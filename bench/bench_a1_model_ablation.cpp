@@ -1,0 +1,85 @@
+// Ablation A1 (DESIGN.md ablation #3): which terms of the analytic scaling
+// model matter? For each kernel archetype, compare the full model against
+// variants with the bandwidth ceiling and/or barrier term removed, using
+// the discrete-event simulator (which has neither closed-form term) as the
+// independent reference at the core counts where it is trustworthy.
+#include <cmath>
+#include <exception>
+#include <iostream>
+
+#include "core/rcr.hpp"
+
+namespace {
+
+double des_time(const rcr::sim::MachineModel& machine,
+                const rcr::sim::WorkloadModel& work, std::size_t cores) {
+  const auto tasks =
+      rcr::sim::make_task_durations(machine, work, 4 * cores, 0.2);
+  const double serial_s = work.serial_fraction * work.work_ops /
+                          (machine.core_gflops * 1e9);
+  const double barrier_s =
+      machine.barrier_latency_us * 1e-6 *
+      std::log2(static_cast<double>(std::max<std::size_t>(2, cores)));
+  return rcr::sim::simulate_fork_join(tasks, cores, serial_s, barrier_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  rcr::CliParser cli(argc, argv);
+  const auto scale = static_cast<std::size_t>(cli.get_int_or("scale", 1));
+  cli.finish();
+
+  std::cout << "== A1 (ablation): scaling-model terms vs the DES ==\n"
+            << "Speedup predicted at each core count; 'no-bw' drops the\n"
+            << "bandwidth ceiling, 'no-barrier' the synchronization term.\n\n";
+
+  rcr::parallel::ThreadPool pool;
+  for (const auto& k : rcr::kernels::standard_suite(scale)) {
+    rcr::Stopwatch sw;
+    (void)k.run_serial();
+    const double serial_s = std::max(1e-6, sw.elapsed_seconds());
+
+    rcr::sim::MachineModel machine;
+    machine.core_gflops = k.work_ops / serial_s / 1e9;
+    rcr::sim::WorkloadModel work;
+    work.work_ops = k.work_ops;
+    work.serial_fraction = k.serial_fraction;
+    work.bytes_per_flop = k.bytes_per_flop;
+
+    const double t1 = rcr::sim::predict_time(machine, work, 1);
+    const double des1 = des_time(machine, work, 1);
+
+    rcr::report::TextTable table(
+        {"Cores", "Full model", "no-bw", "no-barrier", "DES"});
+    for (std::size_t p : {4, 16, 64, 256}) {
+      rcr::sim::ModelAblation no_bw;
+      no_bw.include_bandwidth = false;
+      rcr::sim::ModelAblation no_barrier;
+      no_barrier.include_barriers = false;
+      table.add_row(
+          {std::to_string(p),
+           rcr::format_double(t1 / rcr::sim::predict_time(machine, work, p),
+                              1),
+           rcr::format_double(
+               t1 / rcr::sim::predict_time_ablated(machine, work, p, no_bw),
+               1),
+           rcr::format_double(t1 / rcr::sim::predict_time_ablated(
+                                       machine, work, p, no_barrier),
+                              1),
+           rcr::format_double(des1 / des_time(machine, work, p), 1)});
+    }
+    std::cout << "kernel " << k.name << " (bytes/flop "
+              << rcr::format_double(k.bytes_per_flop, 1) << ")\n"
+              << table.render() << "\n";
+  }
+  std::cout
+      << "Reading: for memory-bound kernels (spmv, stencil, reduction) the\n"
+      << "no-bw column overshoots wildly — the bandwidth ceiling is the\n"
+      << "load-bearing term. For compute-bound kernels all variants agree\n"
+      << "with the DES, so the extra terms cost nothing when idle.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

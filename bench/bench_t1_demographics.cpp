@@ -1,0 +1,6 @@
+// Regenerates experiment T1 of the reconstructed evaluation (DESIGN.md).
+#include "bench/experiment_main.hpp"
+
+int main(int argc, char** argv) {
+  return rcr::bench::run_experiment("T1", argc, argv);
+}

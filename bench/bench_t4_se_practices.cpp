@@ -1,0 +1,6 @@
+// Regenerates experiment T4 of the reconstructed evaluation (DESIGN.md).
+#include "bench/experiment_main.hpp"
+
+int main(int argc, char** argv) {
+  return rcr::bench::run_experiment("T4", argc, argv);
+}

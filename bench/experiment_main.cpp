@@ -1,0 +1,30 @@
+#include "bench/experiment_main.hpp"
+
+#include <exception>
+#include <iostream>
+
+#include "core/rcr.hpp"
+
+namespace rcr::bench {
+
+int run_experiment(const char* id, int argc, char** argv) {
+  try {
+    CliParser cli(argc, argv);
+    core::StudyConfig config;
+    config.n_2011 = static_cast<std::size_t>(cli.get_int_or("n2011", 120));
+    config.n_2024 = static_cast<std::size_t>(cli.get_int_or("n2024", 650));
+    config.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 7));
+    cli.finish();
+
+    const core::Study study(config);
+    report::ExperimentRegistry registry;
+    core::register_all_experiments(registry, study);
+    std::cout << registry.run(id);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace rcr::bench

@@ -1,0 +1,16 @@
+// Shared driver for the per-table/per-figure bench binaries.
+//
+// Every bench_<id> binary regenerates exactly one artifact of the
+// reconstructed evaluation (see DESIGN.md's experiment index). Common flags:
+//   --n2011 N   respondents in the 2011 wave   (default 120)
+//   --n2024 N   respondents in the 2024 wave   (default 650)
+//   --seed  S   master seed                     (default 7)
+#pragma once
+
+namespace rcr::bench {
+
+// Builds the study from CLI flags, runs the experiment with the given id,
+// and prints the artifact. Returns a process exit code.
+int run_experiment(const char* id, int argc, char** argv);
+
+}  // namespace rcr::bench

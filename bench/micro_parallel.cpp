@@ -1,0 +1,111 @@
+// Microbenchmarks of the parallel runtime, including the static-vs-dynamic
+// chunking ablation DESIGN.md calls out. On a single-core host the numbers
+// quantify pure runtime overhead (the interesting part for the survey's
+// "parallelism has a fixed cost" discussion).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+rcr::parallel::ThreadPool& pool() {
+  static rcr::parallel::ThreadPool p;
+  return p;
+}
+
+void BM_RunBatchOverhead(benchmark::State& state) {
+  const auto tasks_n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(tasks_n);
+    for (std::size_t i = 0; i < tasks_n; ++i)
+      tasks.push_back([] { benchmark::DoNotOptimize(0); });
+    pool().run_batch(std::move(tasks));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RunBatchOverhead)->Arg(1)->Arg(16)->Arg(256);
+
+void parallel_for_bench(benchmark::State& state,
+                        rcr::parallel::Schedule schedule) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    rcr::parallel::parallel_for(
+        pool(), 0, n,
+        [&](std::size_t i) {
+          out[i] = std::sqrt(static_cast<double>(i) + 1.0);
+        },
+        {schedule, 0});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ParallelForStatic(benchmark::State& state) {
+  parallel_for_bench(state, rcr::parallel::Schedule::kStatic);
+}
+BENCHMARK(BM_ParallelForStatic)->Range(1024, 1 << 20);
+
+void BM_ParallelForDynamic(benchmark::State& state) {
+  parallel_for_bench(state, rcr::parallel::Schedule::kDynamic);
+}
+BENCHMARK(BM_ParallelForDynamic)->Range(1024, 1 << 20);
+
+// Irregular per-iteration cost: where dynamic scheduling should earn its
+// keep on multi-core hosts.
+void irregular_bench(benchmark::State& state,
+                     rcr::parallel::Schedule schedule) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    rcr::parallel::parallel_for(
+        pool(), 0, n,
+        [&](std::size_t i) {
+          // Cost spikes on every 64th index.
+          const std::size_t reps = (i % 64 == 0) ? 512 : 4;
+          double acc = 0.0;
+          for (std::size_t r = 0; r < reps; ++r)
+            acc += std::sqrt(static_cast<double>(i + r));
+          out[i] = acc;
+        },
+        {schedule, 0});
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_IrregularStatic(benchmark::State& state) {
+  irregular_bench(state, rcr::parallel::Schedule::kStatic);
+}
+BENCHMARK(BM_IrregularStatic)->Arg(1 << 14);
+
+void BM_IrregularDynamic(benchmark::State& state) {
+  irregular_bench(state, rcr::parallel::Schedule::kDynamic);
+}
+BENCHMARK(BM_IrregularDynamic)->Arg(1 << 14);
+
+void BM_ParallelReduce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const double s = rcr::parallel::parallel_reduce<double>(
+        pool(), 0, n, 0.0,
+        [](std::size_t lo, std::size_t hi) {
+          double acc = 0.0;
+          for (std::size_t i = lo; i < hi; ++i)
+            acc += static_cast<double>(i);
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelReduce)->Range(1 << 12, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

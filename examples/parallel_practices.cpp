@@ -1,0 +1,67 @@
+// What does parallelization buy a researcher? Runs the real kernel suite,
+// calibrates the machine model from the measured serial time, and projects
+// strong scaling with both the analytic model and the discrete-event
+// simulator — the F5 experiment as a walkthrough.
+//
+//   ./build/examples/parallel_practices [--scale 1] [--max-cores 256]
+#include <cmath>
+#include <iostream>
+
+#include "core/rcr.hpp"
+
+int main(int argc, char** argv) {
+  rcr::CliParser cli(argc, argv);
+  const auto scale = static_cast<std::size_t>(cli.get_int_or("scale", 1));
+  const auto max_cores =
+      static_cast<std::size_t>(cli.get_int_or("max-cores", 256));
+  cli.finish();
+
+  rcr::parallel::ThreadPool pool;
+  std::cout << "host pool: " << pool.thread_count() << " thread(s)\n\n";
+
+  for (const auto& k : rcr::kernels::standard_suite(scale)) {
+    rcr::Stopwatch sw;
+    const double checksum = k.run_serial();
+    const double serial_s = std::max(1e-6, sw.elapsed_seconds());
+    sw.reset();
+    const double parallel_checksum = k.run_parallel(pool);
+    const double parallel_s = std::max(1e-6, sw.elapsed_seconds());
+
+    rcr::sim::MachineModel machine;
+    machine.core_gflops = k.work_ops / serial_s / 1e9;
+    rcr::sim::WorkloadModel work;
+    work.work_ops = k.work_ops;
+    work.serial_fraction = k.serial_fraction;
+    work.bytes_per_flop = k.bytes_per_flop;
+
+    std::cout << "== " << k.name << " ==\n"
+              << "  measured serial:  " << rcr::format_double(serial_s * 1e3, 2)
+              << " ms (checksum " << rcr::format_double(checksum, 4) << ")\n"
+              << "  measured on pool: "
+              << rcr::format_double(parallel_s * 1e3, 2)
+              << " ms (checksum diff "
+              << rcr::format_double(std::fabs(checksum - parallel_checksum), 9)
+              << ")\n"
+              << "  calibrated throughput: "
+              << rcr::format_double(machine.core_gflops, 2) << " Gop/s/core\n";
+
+    rcr::report::TextTable table(
+        {"Cores", "Projected speedup", "Amdahl ideal", "Efficiency"});
+    for (std::size_t p = 1; p <= max_cores; p *= 4) {
+      const double t1 = rcr::sim::predict_time(machine, work, 1);
+      const double tp = rcr::sim::predict_time(machine, work, p);
+      table.add_row(
+          {std::to_string(p), rcr::format_double(t1 / tp, 1),
+           rcr::format_double(rcr::sim::amdahl_speedup(k.serial_fraction, p),
+                              1),
+           rcr::format_percent(t1 / tp / static_cast<double>(p), 0)});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  std::cout << "Memory-bound kernels (spmv, stencil) flatten early at the\n"
+               "bandwidth ceiling; compute-bound ones (nbody, matmul,\n"
+               "monte-carlo) track Amdahl — why \"just use more cores\" pays\n"
+               "off so unevenly across research codes.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Planning the next wave: power analysis, minimum detectable effects at
+// the current design, stratified allocation of the recruitment budget, and
+// the questionnaire codebook — the before-fielding workflow.
+//
+//   ./build/examples/survey_planning [--budget 800] [--baseline 0.3]
+#include <cmath>
+#include <iostream>
+
+#include "core/rcr.hpp"
+#include "survey/allocate.hpp"
+#include "stats/power.hpp"
+
+int main(int argc, char** argv) {
+  rcr::CliParser cli(argc, argv);
+  const auto budget = static_cast<std::size_t>(cli.get_int_or("budget", 800));
+  const double baseline = cli.get_double_or("baseline", 0.3);
+  cli.finish();
+
+  // 1. What can the historical design (120 vs 650) detect at all?
+  std::cout << "Minimum detectable shift (80% power, alpha 0.05) from a "
+            << rcr::format_percent(baseline, 0) << " baseline:\n";
+  rcr::report::TextTable mdd({"Design", "n2011", "n2024", "MDD (pp)"});
+  for (const auto& [n1, n2] :
+       std::vector<std::pair<double, double>>{
+           {120, 650}, {120, 2000}, {500, 2000}}) {
+    mdd.add_row({rcr::format_double(n1, 0) + " vs " +
+                     rcr::format_double(n2, 0),
+                 rcr::format_double(n1, 0), rcr::format_double(n2, 0),
+                 rcr::format_double(
+                     100.0 * rcr::stats::minimum_detectable_difference(
+                                 baseline, n1, n2),
+                     1)});
+  }
+  std::cout << mdd.render() << "\n";
+
+  // 2. Per-group n needed to pin down specific shifts.
+  std::cout << "Per-wave n needed (balanced waves, 80% power):\n";
+  rcr::report::TextTable need({"Shift to detect", "n per wave"});
+  for (const auto& [p1, p2] : std::vector<std::pair<double, double>>{
+           {0.30, 0.40}, {0.30, 0.35}, {0.05, 0.10}, {0.45, 0.55}}) {
+    need.add_row(
+        {rcr::format_percent(p1, 0) + " -> " + rcr::format_percent(p2, 0),
+         std::to_string(rcr::stats::two_proportion_sample_size(p1, p2))});
+  }
+  std::cout << need.render() << "\n";
+
+  // 3. Split the recruitment budget across fields. Population sizes come
+  //    from the calibrated field mix; within-field variability of the key
+  //    outcome (GPU use) is estimated from a synthetic pilot.
+  const auto pilot = rcr::synth::generate_2024(2000, 99);
+  const auto& fields = rcr::synth::fields();
+  const auto groups = pilot.group_rows(rcr::synth::col::kField);
+  const auto& res =
+      pilot.multiselect(rcr::synth::col::kParallelResources);
+  const auto gpu =
+      static_cast<std::size_t>(res.find_option("GPU"));
+  std::vector<double> sizes, sds;
+  for (std::size_t f = 0; f < fields.size(); ++f) {
+    sizes.push_back(
+        rcr::synth::params_for(rcr::synth::Wave::k2024).field_mix[f]);
+    double hit = 0.0, n = 0.0;
+    for (std::size_t row : groups[f]) {
+      if (res.is_missing(row)) continue;
+      n += 1.0;
+      if (res.has(row, gpu)) hit += 1.0;
+    }
+    const double p = n > 0.0 ? hit / n : 0.5;
+    sds.push_back(std::sqrt(p * (1.0 - p)));  // binomial stddev
+  }
+  const auto proportional =
+      rcr::survey::proportional_allocation(sizes, budget);
+  const auto neyman = rcr::survey::neyman_allocation(sizes, sds, budget);
+  std::cout << "Allocating " << budget << " respondents across fields:\n";
+  rcr::report::TextTable alloc(
+      {"Field", "Pop. share", "Pilot GPU sd", "Proportional", "Neyman"});
+  for (std::size_t f = 0; f < fields.size(); ++f) {
+    alloc.add_row({fields[f], rcr::format_percent(sizes[f], 0),
+                   rcr::format_double(sds[f], 2),
+                   std::to_string(proportional[f]),
+                   std::to_string(neyman[f])});
+  }
+  std::cout << alloc.render() << "\n";
+
+  // 4. The instrument that would be fielded.
+  std::cout << "--- codebook (first lines) ---\n";
+  const std::string codebook =
+      rcr::survey::render_codebook(rcr::synth::instrument());
+  std::cout << codebook.substr(0, codebook.find("\n## `languages`"))
+            << "\n[... " << rcr::synth::instrument().size()
+            << " questions total — see render_codebook() ...]\n";
+  return 0;
+}

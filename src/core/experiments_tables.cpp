@@ -1,0 +1,290 @@
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiments.hpp"
+#include "data/crosstab.hpp"
+#include "report/series.hpp"
+#include "report/table.hpp"
+#include "stats/contingency.hpp"
+#include "synth/domain.hpp"
+#include "trend/trend.hpp"
+#include "util/strings.hpp"
+
+namespace rcr::core {
+
+namespace {
+using rcr::format_double;
+using rcr::format_percent;
+
+std::string wave_header(const Study& study) {
+  return "2011 wave n=" + std::to_string(study.wave2011().row_count()) +
+         ", 2024 wave n=" + std::to_string(study.wave2024().row_count()) +
+         "\n";
+}
+
+// Renders an option-battery (shares per wave + adjusted significance).
+std::string render_battery(const std::vector<trend::ShareTrend>& trends) {
+  report::TextTable t({"Indicator", "2011 share [95% CI]",
+                       "2024 share [95% CI]", "Δ (pp)", "Odds ratio",
+                       "p (Holm)", "Trend"});
+  for (const auto& tr : trends) {
+    t.add_row({tr.indicator,
+               report::share_cell(tr.share1.estimate, tr.share1.lo,
+                                  tr.share1.hi),
+               report::share_cell(tr.share2.estimate, tr.share2.lo,
+                                  tr.share2.hi),
+               format_double(100.0 * (tr.share2.estimate - tr.share1.estimate),
+                             1),
+               format_double(tr.odds_ratio, 2), report::p_cell(tr.p_adjusted),
+               trend::direction_label(tr.direction)});
+  }
+  return t.render();
+}
+}  // namespace
+
+std::string run_t1_demographics(const Study& study) {
+  std::string out = wave_header(study);
+  for (const auto* wave : {&study.wave2011(), &study.wave2024()}) {
+    const bool is_2011 = wave == &study.wave2011();
+    out += std::string("\nWave ") + (is_2011 ? "2011" : "2024") +
+           " — respondents by field and career stage\n";
+    const auto ct =
+        data::crosstab(*wave, synth::col::kField, synth::col::kCareerStage);
+    std::vector<std::string> headers = {"Field"};
+    for (const auto& c : ct.col_labels) headers.push_back(c);
+    headers.push_back("Total");
+    headers.push_back("Share");
+    report::TextTable t(headers);
+    const double grand = ct.counts.grand_total();
+    for (std::size_t r = 0; r < ct.row_labels.size(); ++r) {
+      std::vector<std::string> row = {ct.row_labels[r]};
+      for (std::size_t c = 0; c < ct.col_labels.size(); ++c)
+        row.push_back(format_double(ct.counts.at(r, c), 0));
+      row.push_back(format_double(ct.counts.row_total(r), 0));
+      row.push_back(format_percent(ct.counts.row_total(r) / grand));
+      t.add_row(std::move(row));
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+std::string run_t2_languages_by_field(const Study& study) {
+  std::string out = wave_header(study);
+  out += "\nShare of respondents in each field using each language "
+         "(2024 wave; 2011 overall row for contrast)\n";
+  const auto ct = data::crosstab_multiselect(
+      study.wave2024(), synth::col::kField, synth::col::kLanguages);
+  // Row denominators: respondents per field who answered the question.
+  const auto groups = study.wave2024().group_rows(synth::col::kField);
+  const auto& langs = study.wave2024().multiselect(synth::col::kLanguages);
+
+  std::vector<std::string> headers = {"Field"};
+  for (const auto& l : ct.col_labels) headers.push_back(l);
+  report::TextTable t(headers);
+  for (std::size_t f = 0; f < ct.row_labels.size(); ++f) {
+    double denom = 0.0;
+    for (std::size_t row : groups[f])
+      if (!langs.is_missing(row)) denom += 1.0;
+    std::vector<std::string> row = {ct.row_labels[f]};
+    for (std::size_t l = 0; l < ct.col_labels.size(); ++l)
+      row.push_back(denom > 0.0
+                        ? format_percent(ct.counts.at(f, l) / denom, 0)
+                        : "-");
+    t.add_row(std::move(row));
+  }
+  // Overall rows for both waves.
+  for (const auto* wave : {&study.wave2011(), &study.wave2024()}) {
+    const auto shares = data::option_shares(*wave, synth::col::kLanguages);
+    std::vector<std::string> row = {
+        wave == &study.wave2011() ? "(all, 2011)" : "(all, 2024)"};
+    for (const auto& s : shares)
+      row.push_back(format_percent(s.share.estimate, 0));
+    t.add_row(std::move(row));
+  }
+  out += t.render();
+  return out;
+}
+
+std::string run_t3_parallel_models(const Study& study) {
+  std::string out = wave_header(study);
+  out += "\nParallel programming model usage among parallel users\n";
+  const auto only_parallel = [](const data::Table& t) {
+    return t.filter([&t](std::size_t i) { return is_parallel_user(t, i); });
+  };
+  const data::Table p2011 = only_parallel(study.wave2011());
+  const data::Table p2024 = only_parallel(study.wave2024());
+  out += "parallel users: 2011 n=" + std::to_string(p2011.row_count()) +
+         " (" +
+         format_percent(static_cast<double>(p2011.row_count()) /
+                        study.wave2011().row_count()) +
+         "), 2024 n=" + std::to_string(p2024.row_count()) + " (" +
+         format_percent(static_cast<double>(p2024.row_count()) /
+                        study.wave2024().row_count()) +
+         ")\n";
+  const auto battery =
+      trend::option_battery(p2011, p2024, synth::col::kParallelModels);
+  out += render_battery(battery);
+  return out;
+}
+
+std::string run_t4_se_practices(const Study& study) {
+  std::string out = wave_header(study);
+  out += "\nSoftware-engineering practice adoption, 2011 vs 2024\n";
+  const auto battery = trend::option_battery(
+      study.wave2011(), study.wave2024(), synth::col::kSePractices);
+  out += render_battery(battery);
+
+  out += "\nVersion-control adoption by field (2024)\n";
+  const auto ct = data::crosstab_multiselect(
+      study.wave2024(), synth::col::kField, synth::col::kSePractices);
+  const auto groups = study.wave2024().group_rows(synth::col::kField);
+  const auto& se = study.wave2024().multiselect(synth::col::kSePractices);
+  const std::size_t vcs =
+      static_cast<std::size_t>(se.find_option("Version control"));
+  report::TextTable t({"Field", "n", "VCS share [95% CI]"});
+  for (std::size_t f = 0; f < ct.row_labels.size(); ++f) {
+    double denom = 0.0;
+    for (std::size_t row : groups[f])
+      if (!se.is_missing(row)) denom += 1.0;
+    if (denom == 0.0) continue;
+    const auto ci = stats::wilson_ci(ct.counts.at(f, vcs), denom);
+    t.add_row({ct.row_labels[f], format_double(denom, 0),
+               report::share_cell(ci.estimate, ci.lo, ci.hi)});
+  }
+  out += t.render();
+  return out;
+}
+
+std::string run_t5_tool_gap(const Study& study) {
+  std::string out = wave_header(study);
+  for (const auto* wave : {&study.wave2011(), &study.wave2024()}) {
+    const bool is_2011 = wave == &study.wave2011();
+    out += std::string("\nWave ") + (is_2011 ? "2011" : "2024") +
+           " — tool awareness vs use\n";
+    const auto aware = data::option_shares(*wave, synth::col::kToolsAware);
+    const auto used = data::option_shares(*wave, synth::col::kToolsUsed);
+    report::TextTable t(
+        {"Tool", "Aware", "Use", "Gap (pp)", "Use|Aware"});
+    for (std::size_t i = 0; i < aware.size(); ++i) {
+      const double a = aware[i].share.estimate;
+      const double u = used[i].share.estimate;
+      t.add_row({aware[i].label, format_percent(a, 0), format_percent(u, 0),
+                 format_double(100.0 * (a - u), 0),
+                 a > 0.0 ? format_percent(u / a, 0) : "-"});
+    }
+    out += t.render();
+  }
+  out += "\nThe awareness→use gap is the survey's \"tools exist but are not "
+         "picked up\" finding; it narrows for build systems and schedulers "
+         "by 2024 but persists for profilers.\n";
+  return out;
+}
+
+std::string run_t6_significance(const Study& study) {
+  std::string out = wave_header(study);
+  out += "\nAll 2011→2024 shifts, Holm-adjusted within one family\n";
+  std::vector<trend::ShareTrend> all;
+  const auto collect = [&](const std::string& column) {
+    const auto& col = study.wave2011().multiselect(column);
+    for (std::size_t o = 0; o < col.option_count(); ++o)
+      all.push_back(trend::compare_option(study.wave2011(), study.wave2024(),
+                                          column, col.option(o)));
+  };
+  collect(synth::col::kLanguages);
+  collect(synth::col::kParallelResources);
+  collect(synth::col::kSePractices);
+  all.push_back(trend::compare_category(study.wave2011(), study.wave2024(),
+                                        synth::col::kGpuUsage, "Regularly"));
+  // Prefix indicators with their family for readability.
+  trend::adjust_and_classify(all);
+  std::stable_sort(all.begin(), all.end(),
+                   [](const trend::ShareTrend& a, const trend::ShareTrend& b) {
+                     return a.p_adjusted < b.p_adjusted;
+                   });
+  out += render_battery(all);
+
+  const auto shift = trend::distribution_shift_test(
+      study.wave2011(), study.wave2024(), synth::col::kPrimaryLanguage);
+  out += "\nPrimary-language distribution shift (2 x k chi-square): chi2=" +
+         format_double(shift.statistic, 1) +
+         ", dof=" + format_double(shift.dof, 0) +
+         ", p=" + report::p_cell(shift.p_value) +
+         ", Cramer's V=" + format_double(shift.cramers_v, 2) + "\n";
+  return out;
+}
+
+std::string run_t7_gpu_adoption(const Study& study) {
+  std::string out = wave_header(study);
+  out += "\nGPU adoption by field with fitted logistic adoption curves\n";
+  report::TextTable t({"Field", "2011 share", "2024 share", "Slope/yr",
+                       "Midpoint year"});
+  const auto& fields = synth::fields();
+  for (const auto& field : fields) {
+    const data::Table f2011 =
+        study.wave2011().filter_equals(synth::col::kField, field);
+    const data::Table f2024 =
+        study.wave2024().filter_equals(synth::col::kField, field);
+    if (f2011.row_count() < 5 || f2024.row_count() < 5) continue;
+    const auto tr = trend::compare_option(
+        f2011, f2024, synth::col::kParallelResources, "GPU");
+    const auto curve = trend::fit_adoption_curve(
+        f2011, 2011.0, f2024, 2024.0, synth::col::kParallelResources, "GPU");
+    const bool midpoint_sane =
+        std::isfinite(curve.midpoint_year) && curve.slope_per_year > 0.0 &&
+        curve.midpoint_year > 1990.0 && curve.midpoint_year < 2060.0;
+    t.add_row({field, format_percent(tr.share1.estimate, 0),
+               format_percent(tr.share2.estimate, 0),
+               format_double(curve.slope_per_year, 3),
+               midpoint_sane ? format_double(curve.midpoint_year, 1) : "n/a"});
+  }
+  out += t.render();
+  // Pooled curve.
+  const auto curve = trend::fit_adoption_curve(
+      study.wave2011(), 2011.0, study.wave2024(), 2024.0,
+      synth::col::kParallelResources, "GPU");
+  out += "\nPooled logistic fit: P(GPU) = sigmoid(" +
+         format_double(curve.intercept, 2) + " + " +
+         format_double(curve.slope_per_year, 3) + " * (year - 2011)), " +
+         "midpoint " + format_double(curve.midpoint_year, 1) + "\n";
+  return out;
+}
+
+std::string run_t8_field_drilldown(const Study& study) {
+  std::string out = wave_header(study);
+  out += "\nWhere did the headline shifts happen? Per-field trends, each "
+         "family Holm-adjusted.\n";
+  struct Target {
+    const char* column;
+    const char* option;
+  };
+  const Target targets[] = {
+      {synth::col::kLanguages, "Python"},
+      {synth::col::kParallelResources, "GPU"},
+      {synth::col::kSePractices, "Version control"},
+  };
+  for (const auto& target : targets) {
+    out += std::string("\n") + target.option + " by field\n";
+    const auto trends =
+        trend::per_group_trend(study.wave2011(), study.wave2024(),
+                               synth::col::kField, target.column,
+                               target.option);
+    report::TextTable t({"Field", "2011", "2024", "Δ (pp)", "p (Holm)",
+                         "Trend"});
+    for (const auto& tr : trends) {
+      t.add_row({tr.indicator, format_percent(tr.share1.estimate, 0),
+                 format_percent(tr.share2.estimate, 0),
+                 format_double(
+                     100.0 * (tr.share2.estimate - tr.share1.estimate), 0),
+                 report::p_cell(tr.p_adjusted),
+                 trend::direction_label(tr.direction)});
+    }
+    out += t.render();
+  }
+  out += "\nThe Python and version-control shifts are broad-based; GPU "
+         "adoption concentrates in the simulation- and ML-heavy fields, "
+         "with Social Science lagging on every indicator.\n";
+  return out;
+}
+
+}  // namespace rcr::core

@@ -1,0 +1,64 @@
+#include "core/study.hpp"
+
+#include "synth/calibration.hpp"
+#include "synth/domain.hpp"
+#include "util/error.hpp"
+
+namespace rcr::core {
+
+Study::Study(const StudyConfig& config)
+    : config_(config),
+      wave2011_(synth::generate_wave(
+          {synth::Wave::k2011, config.n_2011, config.seed, config.pool})),
+      wave2024_(synth::generate_wave(
+          {synth::Wave::k2024, config.n_2024, config.seed ^ 0xA5A5A5A5ULL,
+           config.pool})) {}
+
+const survey::RakingResult& Study::weights2024() const {
+  if (!weights2024_) {
+    // Population targets: the calibrated strata mixes are, by construction,
+    // the truth the sample was drawn from.
+    const auto& p = synth::params_for(synth::Wave::k2024);
+    survey::MarginTarget field_target{synth::col::kField, {}};
+    for (std::size_t f = 0; f < synth::fields().size(); ++f)
+      field_target.shares[synth::fields()[f]] = p.field_mix[f];
+    survey::MarginTarget career_target{synth::col::kCareerStage, {}};
+    for (std::size_t c = 0; c < synth::career_stages().size(); ++c)
+      career_target.shares[synth::career_stages()[c]] = p.career_mix[c];
+    weights2024_ = std::make_unique<survey::RakingResult>(
+        survey::rake_weights(wave2024_, {field_target, career_target}));
+  }
+  return *weights2024_;
+}
+
+const char* rung_label(ParallelRung r) {
+  switch (r) {
+    case ParallelRung::kSerialOnly: return "Serial only";
+    case ParallelRung::kMulticore: return "Multicore";
+    case ParallelRung::kCluster: return "Cluster";
+    case ParallelRung::kGpu: return "GPU";
+  }
+  return "?";
+}
+
+ParallelRung parallel_rung(const data::Table& table, std::size_t row) {
+  const auto& res = table.multiselect(synth::col::kParallelResources);
+  RCR_CHECK_MSG(!res.is_missing(row), "resources answer missing");
+  const auto idx_of = [&](const char* label) {
+    const std::int32_t i = res.find_option(label);
+    RCR_CHECK_MSG(i >= 0, "resource option missing from schema");
+    return static_cast<std::size_t>(i);
+  };
+  if (res.has(row, idx_of("GPU"))) return ParallelRung::kGpu;
+  if (res.has(row, idx_of("Cluster")) || res.has(row, idx_of("Cloud")))
+    return ParallelRung::kCluster;
+  if (res.has(row, idx_of("Multicore node"))) return ParallelRung::kMulticore;
+  return ParallelRung::kSerialOnly;
+}
+
+bool is_parallel_user(const data::Table& table, std::size_t row) {
+  const auto& res = table.multiselect(synth::col::kParallelResources);
+  return !res.is_missing(row) && res.mask_at(row) != 0;
+}
+
+}  // namespace rcr::core

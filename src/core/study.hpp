@@ -1,0 +1,56 @@
+// Study: the end-to-end object of the reproduction — both survey waves plus
+// the machinery to analyze them. Examples, benches, and integration tests
+// all start here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "data/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "survey/weighting.hpp"
+#include "synth/generator.hpp"
+
+namespace rcr::core {
+
+struct StudyConfig {
+  std::size_t n_2011 = 120;   // 2011 field study reached ~10^2 researchers
+  std::size_t n_2024 = 650;   // the revisit reaches a larger population
+  std::uint64_t seed = 7;
+  rcr::parallel::ThreadPool* pool = nullptr;
+};
+
+class Study {
+ public:
+  explicit Study(const StudyConfig& config = {});
+
+  const StudyConfig& config() const { return config_; }
+  const data::Table& wave2011() const { return wave2011_; }
+  const data::Table& wave2024() const { return wave2024_; }
+
+  // Raking weights for the 2024 wave against the calibrated population
+  // field/career mix (computed on first use).
+  const survey::RakingResult& weights2024() const;
+
+ private:
+  StudyConfig config_;
+  data::Table wave2011_;
+  data::Table wave2024_;
+  mutable std::unique_ptr<survey::RakingResult> weights2024_;
+};
+
+// --- Derived indicators shared by several experiments ----------------------
+
+// Parallelism ladder rungs, ordered by capability.
+enum class ParallelRung { kSerialOnly, kMulticore, kCluster, kGpu };
+const char* rung_label(ParallelRung r);
+
+// Highest rung a respondent reaches, from the parallel_resources answer.
+// GPU outranks cluster (the 2024-defining capability); cloud counts as
+// cluster-class capacity.
+ParallelRung parallel_rung(const data::Table& table, std::size_t row);
+
+// True if the respondent uses any parallel resource.
+bool is_parallel_user(const data::Table& table, std::size_t row);
+
+}  // namespace rcr::core

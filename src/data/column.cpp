@@ -1,0 +1,134 @@
+#include "data/column.hpp"
+
+#include <bit>
+
+namespace rcr::data {
+
+std::vector<double> NumericColumn::present_values() const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (double v : values_)
+    if (!is_missing(v)) out.push_back(v);
+  return out;
+}
+
+CategoricalColumn::CategoricalColumn(std::vector<std::string> categories)
+    : categories_(std::move(categories)), frozen_(true) {}
+
+void CategoricalColumn::push(const std::string& label) {
+  std::int32_t code = find_code(label);
+  if (code == kMissingCode) {
+    RCR_CHECK_MSG(!frozen_, "unknown category '" + label +
+                                "' for a frozen categorical column");
+    code = static_cast<std::int32_t>(categories_.size());
+    categories_.push_back(label);
+  }
+  codes_.push_back(code);
+}
+
+void CategoricalColumn::push_code(std::int32_t code) {
+  RCR_CHECK_MSG(
+      code == kMissingCode ||
+          (code >= 0 && static_cast<std::size_t>(code) < categories_.size()),
+      "categorical code out of range");
+  codes_.push_back(code);
+}
+
+void CategoricalColumn::set_code(std::size_t i, std::int32_t code) {
+  RCR_CHECK_MSG(i < codes_.size(), "set_code row out of range");
+  RCR_CHECK_MSG(
+      code == kMissingCode ||
+          (code >= 0 && static_cast<std::size_t>(code) < categories_.size()),
+      "categorical code out of range");
+  codes_[i] = code;
+}
+
+const std::string& CategoricalColumn::label_at(std::size_t i) const {
+  RCR_CHECK_MSG(!is_missing(i), "label_at on a missing cell");
+  return categories_[static_cast<std::size_t>(codes_[i])];
+}
+
+std::int32_t CategoricalColumn::find_code(const std::string& label) const {
+  for (std::size_t c = 0; c < categories_.size(); ++c)
+    if (categories_[c] == label) return static_cast<std::int32_t>(c);
+  return kMissingCode;
+}
+
+std::vector<double> CategoricalColumn::counts() const {
+  std::vector<double> out(categories_.size(), 0.0);
+  for (std::int32_t code : codes_)
+    if (code != kMissingCode) out[static_cast<std::size_t>(code)] += 1.0;
+  return out;
+}
+
+MultiSelectColumn::MultiSelectColumn(std::vector<std::string> options)
+    : options_(std::move(options)) {
+  RCR_CHECK_MSG(options_.size() <= kMaxOptions,
+                "multi-select supports at most 64 options");
+}
+
+void MultiSelectColumn::push_mask(std::uint64_t mask) {
+  if (options_.size() < kMaxOptions) {
+    RCR_CHECK_MSG((mask >> options_.size()) == 0,
+                  "mask selects options beyond the option list");
+  }
+  masks_.push_back(mask);
+  missing_.push_back(0);
+}
+
+void MultiSelectColumn::push_labels(const std::vector<std::string>& labels) {
+  std::uint64_t mask = 0;
+  for (const auto& label : labels) {
+    const std::int32_t o = find_option(label);
+    RCR_CHECK_MSG(o >= 0, "unknown multi-select option '" + label + "'");
+    mask |= std::uint64_t{1} << o;
+  }
+  push_mask(mask);
+}
+
+void MultiSelectColumn::push_missing() {
+  masks_.push_back(0);
+  missing_.push_back(1);
+}
+
+void MultiSelectColumn::set_mask(std::size_t i, std::uint64_t mask) {
+  RCR_CHECK_MSG(i < masks_.size(), "set_mask row out of range");
+  if (options_.size() < kMaxOptions) {
+    RCR_CHECK_MSG((mask >> options_.size()) == 0,
+                  "mask selects options beyond the option list");
+  }
+  masks_[i] = mask;
+  missing_[i] = 0;
+}
+
+bool MultiSelectColumn::has(std::size_t row, std::size_t option) const {
+  RCR_DCHECK(option < options_.size());
+  return !is_missing(row) && (masks_[row] >> option) & 1u;
+}
+
+std::int32_t MultiSelectColumn::find_option(const std::string& label) const {
+  for (std::size_t o = 0; o < options_.size(); ++o)
+    if (options_[o] == label) return static_cast<std::int32_t>(o);
+  return -1;
+}
+
+std::vector<double> MultiSelectColumn::option_counts() const {
+  std::vector<double> out(options_.size(), 0.0);
+  for (std::size_t i = 0; i < masks_.size(); ++i) {
+    if (missing_[i]) continue;
+    std::uint64_t m = masks_[i];
+    while (m) {
+      const int bit = std::countr_zero(m);
+      out[static_cast<std::size_t>(bit)] += 1.0;
+      m &= m - 1;
+    }
+  }
+  return out;
+}
+
+std::size_t MultiSelectColumn::selection_count(std::size_t row) const {
+  return is_missing(row) ? 0 : static_cast<std::size_t>(
+                                   std::popcount(masks_[row]));
+}
+
+}  // namespace rcr::data

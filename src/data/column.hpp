@@ -1,0 +1,125 @@
+// Typed columns for the survey data engine.
+//
+// Three column kinds cover everything the questionnaire produces:
+//   * Numeric      — doubles, NaN marks a missing answer;
+//   * Categorical  — dictionary-encoded single-choice answers;
+//   * MultiSelect  — bitmask-encoded "check all that apply" answers
+//                    (up to 64 options, ample for any survey question).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rcr::data {
+
+enum class ColumnKind { kNumeric, kCategorical, kMultiSelect };
+
+inline constexpr std::int32_t kMissingCode = -1;
+
+class NumericColumn {
+ public:
+  static double missing() { return std::numeric_limits<double>::quiet_NaN(); }
+  static bool is_missing(double v) { return v != v; }
+
+  void push(double v) { values_.push_back(v); }
+  void push_missing() { values_.push_back(missing()); }
+
+  // Overwrites an existing cell (imputation / recoding).
+  void set(std::size_t i, double v) {
+    RCR_DCHECK(i < values_.size());
+    values_[i] = v;
+  }
+
+  std::size_t size() const { return values_.size(); }
+  double at(std::size_t i) const { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+
+  // All present (non-NaN) values, in row order.
+  std::vector<double> present_values() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+// Dictionary-encoded categorical column. Category set may be fixed up front
+// (schema-driven) or grown on demand (CSV ingestion).
+class CategoricalColumn {
+ public:
+  CategoricalColumn() = default;
+  explicit CategoricalColumn(std::vector<std::string> categories);
+
+  // Appends a value, interning the label if allowed. Throws if the label is
+  // unknown and the category set is frozen.
+  void push(const std::string& label);
+  void push_code(std::int32_t code);
+  void push_missing() { codes_.push_back(kMissingCode); }
+
+  // Overwrites an existing cell with a valid code (imputation / recoding).
+  void set_code(std::size_t i, std::int32_t code);
+
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  std::size_t size() const { return codes_.size(); }
+  std::int32_t code_at(std::size_t i) const { return codes_[i]; }
+  bool is_missing(std::size_t i) const { return codes_[i] == kMissingCode; }
+  const std::string& label_at(std::size_t i) const;
+
+  std::size_t category_count() const { return categories_.size(); }
+  const std::string& category(std::size_t c) const { return categories_[c]; }
+  const std::vector<std::string>& categories() const { return categories_; }
+
+  // Returns the code for a label, or kMissingCode if absent.
+  std::int32_t find_code(const std::string& label) const;
+
+  // Count of rows holding each code (missing rows excluded).
+  std::vector<double> counts() const;
+
+ private:
+  std::vector<std::string> categories_;
+  std::vector<std::int32_t> codes_;
+  bool frozen_ = false;
+};
+
+// "Check all that apply" column; each row is a bitmask over options.
+class MultiSelectColumn {
+ public:
+  MultiSelectColumn() = default;
+  explicit MultiSelectColumn(std::vector<std::string> options);
+
+  static constexpr std::size_t kMaxOptions = 64;
+
+  void push_mask(std::uint64_t mask);
+  void push_labels(const std::vector<std::string>& labels);
+  void push_missing();  // recorded as an all-zero mask with a missing flag
+
+  // Overwrites an existing cell and clears its missing flag.
+  void set_mask(std::size_t i, std::uint64_t mask);
+
+  std::size_t size() const { return masks_.size(); }
+  std::uint64_t mask_at(std::size_t i) const { return masks_[i]; }
+  bool is_missing(std::size_t i) const { return missing_[i] != 0; }
+  bool has(std::size_t row, std::size_t option) const;
+
+  std::size_t option_count() const { return options_.size(); }
+  const std::string& option(std::size_t o) const { return options_[o]; }
+  const std::vector<std::string>& options() const { return options_; }
+  std::int32_t find_option(const std::string& label) const;
+
+  // Number of respondents (non-missing rows) selecting each option.
+  std::vector<double> option_counts() const;
+
+  // Number of options selected in one row.
+  std::size_t selection_count(std::size_t row) const;
+
+ private:
+  std::vector<std::string> options_;
+  std::vector<std::uint64_t> masks_;
+  std::vector<std::uint8_t> missing_;
+};
+
+}  // namespace rcr::data

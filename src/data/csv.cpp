@@ -1,0 +1,236 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rcr::data {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& msg) {
+  throw rcr::InvalidInputError("CSV line " + std::to_string(line) + ": " +
+                               msg);
+}
+
+// Splits one CSV record honoring RFC-4180 double quotes.
+std::vector<std::string> split_record(const std::string& record,
+                                      char delimiter, std::size_t line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    const char ch = record[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < record.size() && record[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += ch;
+      }
+    } else if (ch == '"') {
+      if (!current.empty()) parse_fail(line, "quote inside unquoted field");
+      in_quotes = true;
+    } else if (ch == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (in_quotes) parse_fail(line, "unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string escape_field(const std::string& field, char delimiter) {
+  const bool needs_quotes =
+      field.find(delimiter) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos ||
+      field.find('\r') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table read_csv(std::istream& in, const Table& schema,
+               const CsvOptions& options) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(in, line))
+    throw rcr::InvalidInputError("CSV input is empty (no header row)");
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  const auto header = split_record(line, options.delimiter, line_no);
+  if (header.size() != schema.column_count())
+    parse_fail(line_no, "header has " + std::to_string(header.size()) +
+                            " columns, schema expects " +
+                            std::to_string(schema.column_count()));
+  for (const auto& name : header) {
+    if (!schema.has_column(std::string(trim(name))))
+      parse_fail(line_no, "unknown column '" + name + "'");
+  }
+
+  // Clone the schema (columns, categories, options) into an empty table.
+  Table out;
+  for (const auto& name : schema.column_names()) {
+    switch (schema.kind(name)) {
+      case ColumnKind::kNumeric:
+        out.add_numeric(name);
+        break;
+      case ColumnKind::kCategorical:
+        out.add_categorical(name, schema.categorical(name).categories());
+        break;
+      case ColumnKind::kMultiSelect:
+        out.add_multiselect(name, schema.multiselect(name).options());
+        break;
+    }
+  }
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (trim(line).empty()) continue;
+    const auto fields = split_record(line, options.delimiter, line_no);
+    if (fields.size() != header.size())
+      parse_fail(line_no, "expected " + std::to_string(header.size()) +
+                              " fields, got " + std::to_string(fields.size()));
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      const std::string name{trim(header[f])};
+      const std::string cell{trim(fields[f])};
+      switch (out.kind(name)) {
+        case ColumnKind::kNumeric: {
+          if (cell.empty()) {
+            out.numeric(name).push_missing();
+          } else {
+            const auto v = parse_double(cell);
+            if (!v)
+              parse_fail(line_no, "column '" + name +
+                                      "': not a number: '" + cell + "'");
+            out.numeric(name).push(*v);
+          }
+          break;
+        }
+        case ColumnKind::kCategorical: {
+          auto& col = out.categorical(name);
+          if (cell.empty()) {
+            col.push_missing();
+          } else {
+            if (col.frozen() && col.find_code(cell) == kMissingCode)
+              parse_fail(line_no, "column '" + name +
+                                      "': unknown category '" + cell + "'");
+            col.push(cell);
+          }
+          break;
+        }
+        case ColumnKind::kMultiSelect: {
+          auto& col = out.multiselect(name);
+          if (cell.empty()) {
+            col.push_missing();
+            break;
+          }
+          if (cell == "-") {  // answered, nothing selected
+            col.push_mask(0);
+            break;
+          }
+          std::vector<std::string> labels;
+          for (auto& part : split(cell, options.multiselect_separator)) {
+            const std::string label{trim(part)};
+            if (label.empty()) continue;
+            if (col.find_option(label) < 0)
+              parse_fail(line_no, "column '" + name +
+                                      "': unknown option '" + label + "'");
+            labels.push_back(label);
+          }
+          col.push_labels(labels);
+          break;
+        }
+      }
+    }
+  }
+  out.validate_rectangular();
+  return out;
+}
+
+Table read_csv_file(const std::string& path, const Table& schema,
+                    const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw rcr::InvalidInputError("cannot open CSV file: " + path);
+  return read_csv(in, schema, options);
+}
+
+void write_csv(std::ostream& out, const Table& table,
+               const CsvOptions& options) {
+  table.validate_rectangular();
+  const auto& names = table.column_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) out << options.delimiter;
+    out << escape_field(names[i], options.delimiter);
+  }
+  out << '\n';
+  const std::size_t n = table.row_count();
+  for (std::size_t row = 0; row < n; ++row) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i) out << options.delimiter;
+      const auto& name = names[i];
+      switch (table.kind(name)) {
+        case ColumnKind::kNumeric: {
+          const double v = table.numeric(name).at(row);
+          if (!NumericColumn::is_missing(v)) {
+            // Shortest representation that round-trips exactly.
+            char buf[32];
+            const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+            out.write(buf, res.ptr - buf);
+          }
+          break;
+        }
+        case ColumnKind::kCategorical: {
+          const auto& col = table.categorical(name);
+          if (!col.is_missing(row))
+            out << escape_field(col.label_at(row), options.delimiter);
+          break;
+        }
+        case ColumnKind::kMultiSelect: {
+          const auto& col = table.multiselect(name);
+          if (!col.is_missing(row)) {
+            std::string joined;
+            for (std::size_t o = 0; o < col.option_count(); ++o) {
+              if (!col.has(row, o)) continue;
+              if (!joined.empty()) joined += options.multiselect_separator;
+              joined += col.option(o);
+            }
+            // Distinguish "answered, nothing selected" from missing.
+            if (joined.empty()) joined = "-";
+            out << escape_field(joined, options.delimiter);
+          }
+          break;
+        }
+      }
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const Table& table,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw rcr::InvalidInputError("cannot write CSV file: " + path);
+  write_csv(out, table, options);
+}
+
+}  // namespace rcr::data

@@ -1,0 +1,39 @@
+// CSV ingestion and export for survey tables.
+//
+// Format notes:
+//   * RFC-4180 quoting is supported on read and applied on write when a
+//     field contains a delimiter, quote, or newline.
+//   * Multi-select cells use '|' between selected option labels; a lone
+//     '-' means "answered, nothing selected" (distinct from missing).
+//   * Empty cells are missing values in every column kind.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/table.hpp"
+
+namespace rcr::data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  char multiselect_separator = '|';
+};
+
+// Parses CSV text into `schema`, a table that already has its columns (and,
+// for categorical/multiselect, its category/option sets) defined. The header
+// row must name a subset-ordering of the schema columns; every schema column
+// must appear exactly once. Throws InvalidInputError with a line number on
+// malformed input.
+Table read_csv(std::istream& in, const Table& schema,
+               const CsvOptions& options = {});
+Table read_csv_file(const std::string& path, const Table& schema,
+                    const CsvOptions& options = {});
+
+// Serializes a table; header row first.
+void write_csv(std::ostream& out, const Table& table,
+               const CsvOptions& options = {});
+void write_csv_file(const std::string& path, const Table& table,
+                    const CsvOptions& options = {});
+
+}  // namespace rcr::data

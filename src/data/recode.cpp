@@ -1,0 +1,46 @@
+#include "data/recode.hpp"
+
+#include <algorithm>
+
+namespace rcr::data {
+
+void add_binned_column(Table& table, const std::string& numeric_column,
+                       const std::string& new_name,
+                       const std::vector<double>& breaks,
+                       const std::vector<std::string>& labels) {
+  RCR_CHECK_MSG(!breaks.empty(), "binning needs at least one break");
+  RCR_CHECK_MSG(labels.size() == breaks.size() + 1,
+                "binning needs breaks.size() + 1 labels");
+  RCR_CHECK_MSG(std::is_sorted(breaks.begin(), breaks.end()),
+                "breaks must be ascending");
+  const auto& src = table.numeric(numeric_column);
+  const std::size_t n = src.size();
+
+  // Compute codes first: add_categorical invalidates no references, but
+  // reading src after the add is still fine; building first is clearest.
+  std::vector<std::int32_t> codes(n, kMissingCode);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = src.at(i);
+    if (NumericColumn::is_missing(v)) continue;
+    const auto it = std::upper_bound(breaks.begin(), breaks.end(), v);
+    codes[i] = static_cast<std::int32_t>(it - breaks.begin());
+  }
+  auto& col = table.add_categorical(new_name, labels);
+  for (std::int32_t code : codes) col.push_code(code);
+  table.validate_rectangular();
+}
+
+void add_derived_column(
+    Table& table, const std::string& new_name,
+    std::vector<std::string> categories,
+    const std::function<std::int32_t(const Table&, std::size_t)>& code_fn) {
+  RCR_CHECK_MSG(!categories.empty(), "derived column needs categories");
+  const std::size_t n = table.row_count();
+  std::vector<std::int32_t> codes(n);
+  for (std::size_t i = 0; i < n; ++i) codes[i] = code_fn(table, i);
+  auto& col = table.add_categorical(new_name, std::move(categories));
+  for (std::int32_t code : codes) col.push_code(code);
+  table.validate_rectangular();
+}
+
+}  // namespace rcr::data

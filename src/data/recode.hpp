@@ -1,0 +1,30 @@
+// Recoding utilities: derive categorical columns from existing data —
+// binning numerics into classes ("cores" → width class) and arbitrary
+// row-wise derivations (the parallelism ladder as a real column).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/table.hpp"
+
+namespace rcr::data {
+
+// Adds a categorical column `new_name` classifying `numeric_column` by the
+// half-open intervals (-inf, breaks[0]), [breaks[0], breaks[1]), ...,
+// [breaks.back(), +inf). `labels` must have breaks.size() + 1 entries.
+// Missing numerics become missing categories.
+void add_binned_column(Table& table, const std::string& numeric_column,
+                       const std::string& new_name,
+                       const std::vector<double>& breaks,
+                       const std::vector<std::string>& labels);
+
+// Adds a categorical column computed by `code_fn(row)`; the function
+// returns a code into `categories` or kMissingCode.
+void add_derived_column(
+    Table& table, const std::string& new_name,
+    std::vector<std::string> categories,
+    const std::function<std::int32_t(const Table&, std::size_t)>& code_fn);
+
+}  // namespace rcr::data

@@ -1,0 +1,88 @@
+#include "data/summary.hpp"
+
+#include <algorithm>
+
+#include "report/table.hpp"
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+
+namespace rcr::data {
+
+std::string describe(const Table& table) {
+  table.validate_rectangular();
+  report::TextTable out(
+      {"Column", "Kind", "n", "Missing", "Summary"});
+  const std::size_t rows = table.row_count();
+
+  for (const auto& name : table.column_names()) {
+    switch (table.kind(name)) {
+      case ColumnKind::kNumeric: {
+        const auto& col = table.numeric(name);
+        const auto present = col.present_values();
+        std::string summary = "(all missing)";
+        if (!present.empty()) {
+          const auto s = stats::summarize(present);
+          summary = "mean " + format_double(s.mean, 2) + ", sd " +
+                    format_double(s.stddev, 2) + ", median " +
+                    format_double(s.median, 2) + ", range [" +
+                    format_double(s.min, 2) + ", " +
+                    format_double(s.max, 2) + "]";
+        }
+        out.add_row({name, "numeric", std::to_string(present.size()),
+                     std::to_string(rows - present.size()), summary});
+        break;
+      }
+      case ColumnKind::kCategorical: {
+        const auto& col = table.categorical(name);
+        const auto counts = col.counts();
+        double total = 0.0, best = 0.0;
+        std::size_t best_idx = 0;
+        for (std::size_t c = 0; c < counts.size(); ++c) {
+          total += counts[c];
+          if (counts[c] > best) {
+            best = counts[c];
+            best_idx = c;
+          }
+        }
+        std::string summary = "(all missing)";
+        if (total > 0.0) {
+          summary = std::to_string(counts.size()) + " categories; mode '" +
+                    col.category(best_idx) + "' (" +
+                    format_percent(best / total, 0) + ")";
+        }
+        out.add_row({name, "categorical",
+                     std::to_string(static_cast<std::size_t>(total)),
+                     std::to_string(rows - static_cast<std::size_t>(total)),
+                     summary});
+        break;
+      }
+      case ColumnKind::kMultiSelect: {
+        const auto& col = table.multiselect(name);
+        std::size_t answered = 0;
+        double selections = 0.0;
+        for (std::size_t i = 0; i < col.size(); ++i) {
+          if (col.is_missing(i)) continue;
+          ++answered;
+          selections += static_cast<double>(col.selection_count(i));
+        }
+        const auto counts = col.option_counts();
+        std::size_t best_idx = 0;
+        for (std::size_t o = 1; o < counts.size(); ++o)
+          if (counts[o] > counts[best_idx]) best_idx = o;
+        std::string summary = "(all missing)";
+        if (answered > 0) {
+          summary = "mean " +
+                    format_double(selections / answered, 1) +
+                    " selections; top '" + col.option(best_idx) + "' (" +
+                    format_percent(counts[best_idx] / answered, 0) + ")";
+        }
+        out.add_row({name, "multi-select", std::to_string(answered),
+                     std::to_string(rows - answered), summary});
+        break;
+      }
+    }
+  }
+  return out.render();
+}
+
+}  // namespace rcr::data

@@ -1,0 +1,17 @@
+// Whole-table description: the "Table 0" every survey paper computes first.
+#pragma once
+
+#include <string>
+
+#include "data/table.hpp"
+
+namespace rcr::data {
+
+// Renders a per-column description of the table:
+//   * numeric columns      — n, missing, mean, sd, median, min, max;
+//   * categorical columns  — n, missing, modal category and share;
+//   * multi-select columns — n, missing, mean selections, top option.
+// Output is a fixed-width text table ready for printing.
+std::string describe(const Table& table);
+
+}  // namespace rcr::data

@@ -1,0 +1,231 @@
+#include "data/table.hpp"
+
+#include <algorithm>
+
+namespace rcr::data {
+
+Table::Table(const Table& other) { *this = other; }
+
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  columns_.clear();
+  order_ = other.order_;
+  columns_.reserve(other.columns_.size());
+  for (const auto& c : other.columns_)
+    columns_.push_back(std::make_unique<NamedColumn>(*c));
+  return *this;
+}
+
+NumericColumn& Table::add_numeric(const std::string& name) {
+  RCR_CHECK_MSG(!has_column(name), "duplicate column '" + name + "'");
+  columns_.push_back(
+      std::make_unique<NamedColumn>(NamedColumn{name, NumericColumn{}}));
+  order_.push_back(name);
+  return std::get<NumericColumn>(columns_.back()->column);
+}
+
+CategoricalColumn& Table::add_categorical(
+    const std::string& name, std::vector<std::string> categories) {
+  RCR_CHECK_MSG(!has_column(name), "duplicate column '" + name + "'");
+  if (categories.empty()) {
+    columns_.push_back(
+        std::make_unique<NamedColumn>(NamedColumn{name, CategoricalColumn{}}));
+  } else {
+    columns_.push_back(std::make_unique<NamedColumn>(
+        NamedColumn{name, CategoricalColumn{std::move(categories)}}));
+  }
+  order_.push_back(name);
+  return std::get<CategoricalColumn>(columns_.back()->column);
+}
+
+MultiSelectColumn& Table::add_multiselect(const std::string& name,
+                                          std::vector<std::string> options) {
+  RCR_CHECK_MSG(!has_column(name), "duplicate column '" + name + "'");
+  columns_.push_back(std::make_unique<NamedColumn>(
+      NamedColumn{name, MultiSelectColumn{std::move(options)}}));
+  order_.push_back(name);
+  return std::get<MultiSelectColumn>(columns_.back()->column);
+}
+
+std::size_t Table::row_count() const {
+  if (columns_.empty()) return 0;
+  return std::visit([](const auto& c) { return c.size(); },
+                    columns_.front()->column);
+}
+
+bool Table::has_column(const std::string& name) const {
+  return std::any_of(
+      columns_.begin(), columns_.end(),
+      [&](const auto& c) { return c->name == name; });
+}
+
+ColumnKind Table::kind(const std::string& name) const {
+  const auto& c = find(name).column;
+  if (std::holds_alternative<NumericColumn>(c)) return ColumnKind::kNumeric;
+  if (std::holds_alternative<CategoricalColumn>(c))
+    return ColumnKind::kCategorical;
+  return ColumnKind::kMultiSelect;
+}
+
+Table::NamedColumn& Table::find(const std::string& name) {
+  for (auto& c : columns_)
+    if (c->name == name) return *c;
+  throw InvalidInputError("no such column '" + name + "'");
+}
+
+const Table::NamedColumn& Table::find(const std::string& name) const {
+  for (const auto& c : columns_)
+    if (c->name == name) return *c;
+  throw InvalidInputError("no such column '" + name + "'");
+}
+
+NumericColumn& Table::numeric(const std::string& name) {
+  auto* col = std::get_if<NumericColumn>(&find(name).column);
+  RCR_CHECK_MSG(col, "column '" + name + "' is not numeric");
+  return *col;
+}
+
+const NumericColumn& Table::numeric(const std::string& name) const {
+  const auto* col = std::get_if<NumericColumn>(&find(name).column);
+  RCR_CHECK_MSG(col, "column '" + name + "' is not numeric");
+  return *col;
+}
+
+CategoricalColumn& Table::categorical(const std::string& name) {
+  auto* col = std::get_if<CategoricalColumn>(&find(name).column);
+  RCR_CHECK_MSG(col, "column '" + name + "' is not categorical");
+  return *col;
+}
+
+const CategoricalColumn& Table::categorical(const std::string& name) const {
+  const auto* col = std::get_if<CategoricalColumn>(&find(name).column);
+  RCR_CHECK_MSG(col, "column '" + name + "' is not categorical");
+  return *col;
+}
+
+MultiSelectColumn& Table::multiselect(const std::string& name) {
+  auto* col = std::get_if<MultiSelectColumn>(&find(name).column);
+  RCR_CHECK_MSG(col, "column '" + name + "' is not multi-select");
+  return *col;
+}
+
+const MultiSelectColumn& Table::multiselect(const std::string& name) const {
+  const auto* col = std::get_if<MultiSelectColumn>(&find(name).column);
+  RCR_CHECK_MSG(col, "column '" + name + "' is not multi-select");
+  return *col;
+}
+
+void Table::validate_rectangular() const {
+  const std::size_t n = row_count();
+  for (const auto& cp : columns_) {
+    const auto& c = *cp;
+    const std::size_t size =
+        std::visit([](const auto& col) { return col.size(); }, c.column);
+    RCR_CHECK_MSG(size == n, "column '" + c.name + "' has " +
+                                 std::to_string(size) + " rows, expected " +
+                                 std::to_string(n));
+  }
+}
+
+void Table::append_rows(const Table& other) {
+  validate_rectangular();
+  other.validate_rectangular();
+  RCR_CHECK_MSG(order_ == other.order_, "append_rows: column sets differ");
+  for (const auto& name : order_) {
+    RCR_CHECK_MSG(kind(name) == other.kind(name),
+                  "append_rows: column '" + name + "' kind differs");
+    switch (kind(name)) {
+      case ColumnKind::kNumeric: {
+        auto& dst = numeric(name);
+        const auto& src = other.numeric(name);
+        for (std::size_t i = 0; i < src.size(); ++i) dst.push(src.at(i));
+        break;
+      }
+      case ColumnKind::kCategorical: {
+        auto& dst = categorical(name);
+        const auto& src = other.categorical(name);
+        RCR_CHECK_MSG(dst.categories() == src.categories(),
+                      "append_rows: categories of '" + name + "' differ");
+        for (std::size_t i = 0; i < src.size(); ++i)
+          dst.push_code(src.code_at(i));
+        break;
+      }
+      case ColumnKind::kMultiSelect: {
+        auto& dst = multiselect(name);
+        const auto& src = other.multiselect(name);
+        RCR_CHECK_MSG(dst.options() == src.options(),
+                      "append_rows: options of '" + name + "' differ");
+        for (std::size_t i = 0; i < src.size(); ++i) {
+          if (src.is_missing(i)) {
+            dst.push_missing();
+          } else {
+            dst.push_mask(src.mask_at(i));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+Table Table::filter(const std::function<bool(std::size_t)>& pred) const {
+  validate_rectangular();
+  Table out;
+  // Recreate the schema first so category codes stay aligned.
+  for (const auto& cp : columns_) {
+    const auto& c = *cp;
+    if (const auto* num = std::get_if<NumericColumn>(&c.column)) {
+      (void)num;
+      out.add_numeric(c.name);
+    } else if (const auto* cat = std::get_if<CategoricalColumn>(&c.column)) {
+      out.add_categorical(c.name, cat->categories());
+    } else {
+      const auto& ms = std::get<MultiSelectColumn>(c.column);
+      out.add_multiselect(c.name, ms.options());
+    }
+  }
+  const std::size_t n = row_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!pred(i)) continue;
+    for (const auto& cp : columns_) {
+      const auto& c = *cp;
+      if (const auto* num = std::get_if<NumericColumn>(&c.column)) {
+        out.numeric(c.name).push(num->at(i));
+      } else if (const auto* cat = std::get_if<CategoricalColumn>(&c.column)) {
+        out.categorical(c.name).push_code(cat->code_at(i));
+      } else {
+        const auto& ms = std::get<MultiSelectColumn>(c.column);
+        if (ms.is_missing(i)) {
+          out.multiselect(c.name).push_missing();
+        } else {
+          out.multiselect(c.name).push_mask(ms.mask_at(i));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Table Table::filter_equals(const std::string& column,
+                           const std::string& label) const {
+  const auto& col = categorical(column);
+  const std::int32_t code = col.find_code(label);
+  RCR_CHECK_MSG(code != kMissingCode,
+                "filter_equals: unknown label '" + label + "'");
+  return filter([&col, code](std::size_t i) {
+    return !col.is_missing(i) && col.code_at(i) == code;
+  });
+}
+
+std::vector<std::vector<std::size_t>> Table::group_rows(
+    const std::string& categorical_column) const {
+  const auto& col = categorical(categorical_column);
+  std::vector<std::vector<std::size_t>> groups(col.category_count());
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    if (col.is_missing(i)) continue;
+    groups[static_cast<std::size_t>(col.code_at(i))].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace rcr::data

@@ -1,0 +1,84 @@
+// A small columnar table: the in-memory form of one survey wave.
+//
+// Columns are stored by name in insertion order. All mutation goes through
+// append-style builders; analysis functions never modify a table, they
+// produce new ones (filter/select) or read-only views (spans).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "data/column.hpp"
+
+namespace rcr::data {
+
+class Table {
+ public:
+  Table() = default;
+  Table(const Table& other);             // deep copy
+  Table& operator=(const Table& other);  // deep copy
+  Table(Table&&) noexcept = default;
+  Table& operator=(Table&&) noexcept = default;
+  ~Table() = default;
+
+  // --- schema construction -------------------------------------------------
+  NumericColumn& add_numeric(const std::string& name);
+  CategoricalColumn& add_categorical(const std::string& name,
+                                     std::vector<std::string> categories = {});
+  MultiSelectColumn& add_multiselect(const std::string& name,
+                                     std::vector<std::string> options);
+
+  // --- access ---------------------------------------------------------------
+  std::size_t column_count() const { return order_.size(); }
+  std::size_t row_count() const;
+  bool has_column(const std::string& name) const;
+  ColumnKind kind(const std::string& name) const;
+  const std::vector<std::string>& column_names() const { return order_; }
+
+  NumericColumn& numeric(const std::string& name);
+  const NumericColumn& numeric(const std::string& name) const;
+  CategoricalColumn& categorical(const std::string& name);
+  const CategoricalColumn& categorical(const std::string& name) const;
+  MultiSelectColumn& multiselect(const std::string& name);
+  const MultiSelectColumn& multiselect(const std::string& name) const;
+
+  // Checks that every column has the same number of rows.
+  void validate_rectangular() const;
+
+  // Appends all rows of `other`, whose schema (column names, kinds, and
+  // category/option sets) must match exactly. Used to pool waves or merge
+  // partial CSV ingests.
+  void append_rows(const Table& other);
+
+  // --- relational operations -------------------------------------------------
+  // Rows for which `pred(row_index)` is true, copied into a new table.
+  Table filter(const std::function<bool(std::size_t)>& pred) const;
+
+  // Convenience filter on a categorical column value.
+  Table filter_equals(const std::string& column, const std::string& label) const;
+
+  // Row indices grouped by the code of a categorical column; missing rows
+  // are dropped. Group g corresponds to category code g.
+  std::vector<std::vector<std::size_t>> group_rows(
+      const std::string& categorical_column) const;
+
+ private:
+  struct NamedColumn {
+    std::string name;
+    std::variant<NumericColumn, CategoricalColumn, MultiSelectColumn> column;
+  };
+
+  NamedColumn& find(const std::string& name);
+  const NamedColumn& find(const std::string& name) const;
+
+  // unique_ptr keeps column addresses stable, so references returned by
+  // add_* remain valid as further columns are added.
+  std::vector<std::unique_ptr<NamedColumn>> columns_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace rcr::data

@@ -1,0 +1,33 @@
+// Dense matrix multiplication kernels: naive, cache-blocked, and parallel.
+// Used by the micro benchmarks and to calibrate the simulator's per-core
+// throughput constant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace rcr::kernels {
+
+// Row-major n×n matrices stored as flat vectors.
+using Dense = std::vector<double>;
+
+Dense random_matrix(std::size_t n, std::uint64_t seed);
+
+// c = a * b, classic triple loop (i, k, j order for streaming stores).
+void matmul_serial(const Dense& a, const Dense& b, Dense& c, std::size_t n);
+
+// Cache-blocked variant.
+void matmul_blocked(const Dense& a, const Dense& b, Dense& c, std::size_t n,
+                    std::size_t block = 64);
+
+// Rows of C distributed over the pool.
+void matmul_parallel(rcr::parallel::ThreadPool& pool, const Dense& a,
+                     const Dense& b, Dense& c, std::size_t n);
+
+// Frobenius-norm difference, for verification.
+double frobenius_diff(const Dense& x, const Dense& y);
+
+}  // namespace rcr::kernels

@@ -1,0 +1,114 @@
+#include "kernels/nbody.hpp"
+
+#include <cmath>
+
+#include "parallel/algorithms.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::kernels {
+
+Bodies random_bodies(std::size_t n, std::uint64_t seed) {
+  RCR_CHECK_MSG(n >= 2, "n-body needs at least two bodies");
+  Rng rng(seed);
+  Bodies b;
+  b.x.resize(n);
+  b.y.resize(n);
+  b.z.resize(n);
+  b.vx.resize(n);
+  b.vy.resize(n);
+  b.vz.resize(n);
+  b.mass.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.x[i] = rng.next_double();
+    b.y[i] = rng.next_double();
+    b.z[i] = rng.next_double();
+    b.vx[i] = rng.uniform(-0.01, 0.01);
+    b.vy[i] = rng.uniform(-0.01, 0.01);
+    b.vz[i] = rng.uniform(-0.01, 0.01);
+    b.mass[i] = rng.uniform(0.5, 1.5) / static_cast<double>(n);
+  }
+  return b;
+}
+
+namespace {
+
+// Accumulates accelerations for bodies [lo, hi) against all bodies.
+void accumulate_accel(const Bodies& b, double eps, std::size_t lo,
+                      std::size_t hi, double* ax, double* ay, double* az) {
+  const std::size_t n = b.size();
+  const double eps2 = eps * eps;
+  for (std::size_t i = lo; i < hi; ++i) {
+    double axi = 0.0, ayi = 0.0, azi = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dx = b.x[j] - b.x[i];
+      const double dy = b.y[j] - b.y[i];
+      const double dz = b.z[j] - b.z[i];
+      const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+      const double inv_r = 1.0 / std::sqrt(r2);
+      const double f = b.mass[j] * inv_r * inv_r * inv_r;
+      axi += f * dx;
+      ayi += f * dy;
+      azi += f * dz;
+    }
+    ax[i] = axi;
+    ay[i] = ayi;
+    az[i] = azi;
+  }
+}
+
+void integrate(Bodies& b, const std::vector<double>& ax,
+               const std::vector<double>& ay, const std::vector<double>& az,
+               double dt) {
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.vx[i] += ax[i] * dt;
+    b.vy[i] += ay[i] * dt;
+    b.vz[i] += az[i] * dt;
+    b.x[i] += b.vx[i] * dt;
+    b.y[i] += b.vy[i] * dt;
+    b.z[i] += b.vz[i] * dt;
+  }
+}
+
+}  // namespace
+
+void nbody_step_serial(Bodies& b, double dt, double eps) {
+  const std::size_t n = b.size();
+  std::vector<double> ax(n), ay(n), az(n);
+  accumulate_accel(b, eps, 0, n, ax.data(), ay.data(), az.data());
+  integrate(b, ax, ay, az, dt);
+}
+
+void nbody_step_parallel(rcr::parallel::ThreadPool& pool, Bodies& b,
+                         double dt, double eps) {
+  const std::size_t n = b.size();
+  std::vector<double> ax(n), ay(n), az(n);
+  rcr::parallel::parallel_for_range(
+      pool, 0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        accumulate_accel(b, eps, lo, hi, ax.data(), ay.data(), az.data());
+      },
+      {rcr::parallel::Schedule::kDynamic, 0});
+  integrate(b, ax, ay, az, dt);
+}
+
+double total_energy(const Bodies& b, double eps) {
+  const std::size_t n = b.size();
+  const double eps2 = eps * eps;
+  double kinetic = 0.0, potential = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    kinetic += 0.5 * b.mass[i] *
+               (b.vx[i] * b.vx[i] + b.vy[i] * b.vy[i] + b.vz[i] * b.vz[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = b.x[j] - b.x[i];
+      const double dy = b.y[j] - b.y[i];
+      const double dz = b.z[j] - b.z[i];
+      const double r = std::sqrt(dx * dx + dy * dy + dz * dz + eps2);
+      potential -= b.mass[i] * b.mass[j] / r;
+    }
+  }
+  return kinetic + potential;
+}
+
+}  // namespace rcr::kernels

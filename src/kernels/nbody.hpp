@@ -1,0 +1,34 @@
+// Direct-summation N-body kernel (softened gravity, leapfrog integration).
+// The irregular O(n²) force loop is the classic motivation for dynamic
+// scheduling; the micro benches compare static vs dynamic on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace rcr::kernels {
+
+struct Bodies {
+  std::vector<double> x, y, z;     // positions
+  std::vector<double> vx, vy, vz;  // velocities
+  std::vector<double> mass;
+
+  std::size_t size() const { return x.size(); }
+};
+
+// Random cluster of n bodies in the unit cube, small random velocities.
+Bodies random_bodies(std::size_t n, std::uint64_t seed);
+
+// One leapfrog step with timestep dt and softening eps.
+void nbody_step_serial(Bodies& b, double dt, double eps = 1e-3);
+void nbody_step_parallel(rcr::parallel::ThreadPool& pool, Bodies& b,
+                         double dt, double eps = 1e-3);
+
+// Total energy (kinetic + potential); conserved to O(dt²) by leapfrog,
+// and the serial/parallel agreement check.
+double total_energy(const Bodies& b, double eps = 1e-3);
+
+}  // namespace rcr::kernels

@@ -1,0 +1,83 @@
+#include "kernels/reduction.hpp"
+
+#include <algorithm>
+
+#include "parallel/algorithms.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::kernels {
+
+namespace {
+
+constexpr std::size_t kBlock = 8192;
+
+std::uint64_t block_seed(std::uint64_t master, std::size_t block) {
+  std::uint64_t z = master + 0x9E3779B97F4A7C15ULL * (block + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void reduce_block(std::uint64_t master, std::size_t block, std::size_t total,
+                  ReductionResult& acc) {
+  Rng rng(block_seed(master, block));
+  const std::size_t lo = block * kBlock;
+  const std::size_t hi = std::min(total, lo + kBlock);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double v = rng.next_double();
+    const auto bin = static_cast<std::size_t>(
+        v * static_cast<double>(ReductionResult::kBins));
+    ++acc.histogram[std::min(bin, ReductionResult::kBins - 1)];
+    acc.sum += v;
+    acc.sum_squares += v * v;
+    ++acc.count;
+  }
+}
+
+void merge(ReductionResult& into, const ReductionResult& from) {
+  for (std::size_t b = 0; b < ReductionResult::kBins; ++b)
+    into.histogram[b] += from.histogram[b];
+  into.sum += from.sum;
+  into.sum_squares += from.sum_squares;
+  into.count += from.count;
+}
+
+std::size_t block_count(std::size_t n) { return (n + kBlock - 1) / kBlock; }
+
+}  // namespace
+
+double ReductionResult::checksum() const {
+  double h = 0.0;
+  for (std::size_t b = 0; b < kBins; ++b)
+    h += static_cast<double>(histogram[b]) * static_cast<double>(b + 1);
+  return h + sum + 2.0 * sum_squares + static_cast<double>(count);
+}
+
+ReductionResult reduce_stream_serial(std::size_t count, std::uint64_t seed) {
+  RCR_CHECK_MSG(count > 0, "reduce_stream needs data");
+  ReductionResult acc;
+  for (std::size_t blk = 0; blk < block_count(count); ++blk)
+    reduce_block(seed, blk, count, acc);
+  return acc;
+}
+
+ReductionResult reduce_stream_parallel(rcr::parallel::ThreadPool& pool,
+                                       std::size_t count,
+                                       std::uint64_t seed) {
+  RCR_CHECK_MSG(count > 0, "reduce_stream needs data");
+  return rcr::parallel::parallel_reduce<ReductionResult>(
+      pool, 0, block_count(count), ReductionResult{},
+      [&](std::size_t lo, std::size_t hi) {
+        ReductionResult local;
+        for (std::size_t blk = lo; blk < hi; ++blk)
+          reduce_block(seed, blk, count, local);
+        return local;
+      },
+      [](ReductionResult a, ReductionResult b) {
+        merge(a, b);
+        return a;
+      });
+}
+
+}  // namespace rcr::kernels

@@ -1,0 +1,33 @@
+// Data-reduction kernel: streaming histogram + moments over a synthetic
+// data stream — the "analyze a pile of measurements" archetype that
+// dominates data-heavy fields. Parallel version merges per-chunk partial
+// histograms, the canonical reduction pattern.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "parallel/thread_pool.hpp"
+
+namespace rcr::kernels {
+
+struct ReductionResult {
+  static constexpr std::size_t kBins = 64;
+  std::array<std::uint64_t, kBins> histogram{};
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  std::uint64_t count = 0;
+
+  // Scalar checksum combining the pieces (for suite verification).
+  double checksum() const;
+};
+
+// Reduces `count` deterministic pseudo-random values in [0, 1): values are
+// generated block-wise from `seed`, so serial and parallel runs see the
+// same stream and produce identical histograms.
+ReductionResult reduce_stream_serial(std::size_t count, std::uint64_t seed);
+ReductionResult reduce_stream_parallel(rcr::parallel::ThreadPool& pool,
+                                       std::size_t count, std::uint64_t seed);
+
+}  // namespace rcr::kernels

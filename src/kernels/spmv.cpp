@@ -1,0 +1,76 @@
+#include "kernels/spmv.hpp"
+
+#include <algorithm>
+
+#include "parallel/algorithms.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::kernels {
+
+Csr random_csr(std::size_t rows, std::size_t cols, std::size_t nnz_per_row,
+               std::uint64_t seed) {
+  RCR_CHECK_MSG(rows > 0 && cols > 0, "csr must be non-empty");
+  RCR_CHECK_MSG(nnz_per_row >= 1 && nnz_per_row <= cols,
+                "nnz_per_row out of range");
+  Rng rng(seed);
+  Csr a;
+  a.rows = rows;
+  a.cols = cols;
+  a.row_ptr.resize(rows + 1, 0);
+
+  std::vector<std::uint32_t> row_cols;
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Poisson-ish variation around the target density, at least 1.
+    std::size_t k = nnz_per_row;
+    if (nnz_per_row > 1) {
+      const std::int64_t jitter =
+          rng.uniform_int(-static_cast<std::int64_t>(nnz_per_row / 2),
+                          static_cast<std::int64_t>(nnz_per_row / 2));
+      k = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, static_cast<std::int64_t>(nnz_per_row) +
+                                        jitter));
+      k = std::min(k, cols);
+    }
+    const auto picks = rng.sample_without_replacement(cols, k);
+    row_cols.assign(picks.begin(), picks.end());
+    std::sort(row_cols.begin(), row_cols.end());
+    for (std::uint32_t c : row_cols) {
+      a.col_idx.push_back(c);
+      a.values.push_back(rng.uniform(-1.0, 1.0));
+    }
+    a.row_ptr[r + 1] = a.col_idx.size();
+  }
+  return a;
+}
+
+namespace {
+void spmv_rows(const Csr& a, const double* x, double* y, std::size_t lo,
+               std::size_t hi) {
+  for (std::size_t r = lo; r < hi; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k)
+      sum += a.values[k] * x[a.col_idx[k]];
+    y[r] = sum;
+  }
+}
+}  // namespace
+
+void spmv_serial(const Csr& a, const std::vector<double>& x,
+                 std::vector<double>& y) {
+  RCR_CHECK_MSG(x.size() == a.cols, "spmv x size mismatch");
+  y.resize(a.rows);
+  spmv_rows(a, x.data(), y.data(), 0, a.rows);
+}
+
+void spmv_parallel(rcr::parallel::ThreadPool& pool, const Csr& a,
+                   const std::vector<double>& x, std::vector<double>& y) {
+  RCR_CHECK_MSG(x.size() == a.cols, "spmv x size mismatch");
+  y.resize(a.rows);
+  rcr::parallel::parallel_for_range(
+      pool, 0, a.rows, [&](std::size_t lo, std::size_t hi) {
+        spmv_rows(a, x.data(), y.data(), lo, hi);
+      });
+}
+
+}  // namespace rcr::kernels

@@ -1,0 +1,36 @@
+// Sparse matrix–vector product (CSR) — the memory-bound workhorse of
+// iterative solvers. Its poor parallel scaling on bandwidth-limited
+// machines is exactly the effect the simulator's bandwidth ceiling models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace rcr::kernels {
+
+// Compressed sparse row matrix.
+struct Csr {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> row_ptr;  // rows + 1 entries
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+
+  std::size_t nnz() const { return values.size(); }
+};
+
+// Random sparse matrix with ~nnz_per_row entries per row (at least one),
+// values in [-1, 1]. Column indices are sorted within each row.
+Csr random_csr(std::size_t rows, std::size_t cols, std::size_t nnz_per_row,
+               std::uint64_t seed);
+
+// y = A x.
+void spmv_serial(const Csr& a, const std::vector<double>& x,
+                 std::vector<double>& y);
+void spmv_parallel(rcr::parallel::ThreadPool& pool, const Csr& a,
+                   const std::vector<double>& x, std::vector<double>& y);
+
+}  // namespace rcr::kernels

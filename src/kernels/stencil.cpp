@@ -1,0 +1,86 @@
+#include "kernels/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace rcr::kernels {
+
+HeatGrid::HeatGrid(std::size_t nx, std::size_t ny, double initial_temp,
+                   double boundary_temp)
+    : nx_(nx), ny_(ny), stride_(nx + 2) {
+  RCR_CHECK_MSG(nx > 0 && ny > 0, "heat grid must be non-empty");
+  cells_.assign((nx + 2) * (ny + 2), boundary_temp);
+  next_ = cells_;
+  for (std::size_t y = 1; y <= ny_; ++y)
+    for (std::size_t x = 1; x <= nx_; ++x)
+      cells_[y * stride_ + x] = initial_temp;
+}
+
+double HeatGrid::at(std::size_t x, std::size_t y) const {
+  RCR_DCHECK(x < nx_ + 2 && y < ny_ + 2);
+  return cells_[y * stride_ + x];
+}
+
+double& HeatGrid::at(std::size_t x, std::size_t y) {
+  RCR_DCHECK(x < nx_ + 2 && y < ny_ + 2);
+  return cells_[y * stride_ + x];
+}
+
+void HeatGrid::apply_step(std::size_t row_lo, std::size_t row_hi,
+                          double alpha) {
+  // Rows are 1-based interior indices; reads from cells_, writes to next_.
+  for (std::size_t y = row_lo; y < row_hi; ++y) {
+    const double* up = &cells_[(y - 1) * stride_];
+    const double* mid = &cells_[y * stride_];
+    const double* down = &cells_[(y + 1) * stride_];
+    double* out = &next_[y * stride_];
+    for (std::size_t x = 1; x <= nx_; ++x) {
+      const double u = mid[x];
+      out[x] = u + alpha * (up[x] + down[x] + mid[x - 1] + mid[x + 1] -
+                            4.0 * u);
+    }
+  }
+}
+
+void HeatGrid::swap_buffers() {
+  cells_.swap(next_);
+  // Boundary ring in the new current buffer must stay the boundary value;
+  // it was copied at construction and apply_step never writes it.
+}
+
+void HeatGrid::step_serial(double alpha) {
+  RCR_CHECK_MSG(alpha > 0.0 && alpha <= 0.25, "unstable alpha");
+  apply_step(1, ny_ + 1, alpha);
+  swap_buffers();
+}
+
+void HeatGrid::step_parallel(rcr::parallel::ThreadPool& pool, double alpha) {
+  RCR_CHECK_MSG(alpha > 0.0 && alpha <= 0.25, "unstable alpha");
+  rcr::parallel::parallel_for_range(
+      pool, 1, ny_ + 1,
+      [this, alpha](std::size_t lo, std::size_t hi) {
+        apply_step(lo, hi, alpha);
+      });
+  swap_buffers();
+}
+
+double HeatGrid::interior_sum() const {
+  double s = 0.0;
+  for (std::size_t y = 1; y <= ny_; ++y)
+    for (std::size_t x = 1; x <= nx_; ++x) s += cells_[y * stride_ + x];
+  return s;
+}
+
+double HeatGrid::max_abs_diff(const HeatGrid& other) const {
+  RCR_CHECK_MSG(nx_ == other.nx_ && ny_ == other.ny_,
+                "grid shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    m = std::max(m, std::fabs(cells_[i] - other.cells_[i]));
+  return m;
+}
+
+}  // namespace rcr::kernels

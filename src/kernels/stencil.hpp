@@ -1,0 +1,47 @@
+// 2-D heat diffusion (5-point Jacobi stencil) — the canonical PDE kernel of
+// computational science. Serial and thread-pool-parallel versions produce
+// bit-identical grids, which the tests assert.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace rcr::kernels {
+
+class HeatGrid {
+ public:
+  // Interior nx×ny cells plus a fixed boundary ring. The boundary holds
+  // `boundary_temp`; the interior starts at `initial_temp`.
+  HeatGrid(std::size_t nx, std::size_t ny, double initial_temp = 0.0,
+           double boundary_temp = 100.0);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+
+  double at(std::size_t x, std::size_t y) const;  // includes boundary ring
+  double& at(std::size_t x, std::size_t y);
+
+  // One Jacobi sweep with diffusion coefficient alpha in (0, 0.25];
+  // u' = u + alpha * (sum of 4 neighbours - 4u).
+  void step_serial(double alpha);
+  void step_parallel(rcr::parallel::ThreadPool& pool, double alpha);
+
+  // Sum of interior temperatures; the verification checksum.
+  double interior_sum() const;
+
+  // Max |cell - other.cell| over the full grid.
+  double max_abs_diff(const HeatGrid& other) const;
+
+ private:
+  void apply_step(std::size_t row_lo, std::size_t row_hi, double alpha);
+  void swap_buffers();
+
+  std::size_t nx_, ny_;       // interior size
+  std::size_t stride_;        // nx_ + 2
+  std::vector<double> cells_;  // (nx+2) x (ny+2), row-major
+  std::vector<double> next_;
+};
+
+}  // namespace rcr::kernels

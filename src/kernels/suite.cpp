@@ -1,0 +1,156 @@
+#include "kernels/suite.hpp"
+
+#include "kernels/matmul.hpp"
+#include "kernels/montecarlo.hpp"
+#include "kernels/nbody.hpp"
+#include "kernels/reduction.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/stencil.hpp"
+#include "util/error.hpp"
+
+namespace rcr::kernels {
+
+std::vector<KernelCase> standard_suite(std::size_t scale) {
+  RCR_CHECK_MSG(scale >= 1, "suite scale must be >= 1");
+  std::vector<KernelCase> suite;
+
+  {
+    KernelCase k;
+    k.name = "heat-stencil";
+    k.serial_fraction = 0.02;   // halo bookkeeping + buffer swap
+    k.bytes_per_flop = 4.0;     // streaming 5-point stencil
+    const std::size_t n = 192 * scale;
+    const std::size_t steps = 20;
+    k.work_ops = static_cast<double>(n * n * steps) * 6.0;
+    k.run_serial = [n, steps] {
+      HeatGrid g(n, n);
+      for (std::size_t s = 0; s < steps; ++s) g.step_serial(0.2);
+      return g.interior_sum();
+    };
+    k.run_parallel = [n, steps](rcr::parallel::ThreadPool& pool) {
+      HeatGrid g(n, n);
+      for (std::size_t s = 0; s < steps; ++s) g.step_parallel(pool, 0.2);
+      return g.interior_sum();
+    };
+    suite.push_back(std::move(k));
+  }
+
+  {
+    KernelCase k;
+    k.name = "dense-matmul";
+    k.serial_fraction = 0.005;  // near-perfectly parallel
+    k.bytes_per_flop = 0.3;     // cache-friendly compute-bound
+    const std::size_t n = 96 * scale;
+    k.work_ops = 2.0 * static_cast<double>(n) * n * n;
+    k.run_serial = [n] {
+      const Dense a = random_matrix(n, 1);
+      const Dense b = random_matrix(n, 2);
+      Dense c(n * n);
+      matmul_serial(a, b, c, n);
+      double s = 0.0;
+      for (double v : c) s += v;
+      return s;
+    };
+    k.run_parallel = [n](rcr::parallel::ThreadPool& pool) {
+      const Dense a = random_matrix(n, 1);
+      const Dense b = random_matrix(n, 2);
+      Dense c(n * n);
+      matmul_parallel(pool, a, b, c, n);
+      double s = 0.0;
+      for (double v : c) s += v;
+      return s;
+    };
+    suite.push_back(std::move(k));
+  }
+
+  {
+    KernelCase k;
+    k.name = "nbody";
+    k.serial_fraction = 0.01;  // integration step is serial-ish but tiny
+    k.bytes_per_flop = 0.05;   // strongly compute-bound
+    const std::size_t n = 384 * scale;
+    const std::size_t steps = 3;
+    k.work_ops = static_cast<double>(n) * n * steps * 20.0;
+    k.run_serial = [n, steps] {
+      Bodies b = random_bodies(n, 3);
+      for (std::size_t s = 0; s < steps; ++s) nbody_step_serial(b, 1e-3);
+      return total_energy(b);
+    };
+    k.run_parallel = [n, steps](rcr::parallel::ThreadPool& pool) {
+      Bodies b = random_bodies(n, 3);
+      for (std::size_t s = 0; s < steps; ++s)
+        nbody_step_parallel(pool, b, 1e-3);
+      return total_energy(b);
+    };
+    suite.push_back(std::move(k));
+  }
+
+  {
+    KernelCase k;
+    k.name = "monte-carlo";
+    k.serial_fraction = 0.001;  // embarrassingly parallel
+    k.bytes_per_flop = 0.0;
+    const std::size_t samples = 400000 * scale;
+    k.work_ops = static_cast<double>(samples) * 8.0;
+    k.run_serial = [samples] { return mc_pi_serial(samples, 11); };
+    k.run_parallel = [samples](rcr::parallel::ThreadPool& pool) {
+      return mc_pi_parallel(pool, samples, 11);
+    };
+    suite.push_back(std::move(k));
+  }
+
+  {
+    KernelCase k;
+    k.name = "spmv";
+    k.serial_fraction = 0.02;
+    k.bytes_per_flop = 10.0;  // memory-bound: index + value traffic
+    const std::size_t rows = 60000 * scale;
+    const std::size_t nnz = 12;
+    const std::size_t iters = 8;
+    k.work_ops = static_cast<double>(rows * nnz * iters) * 2.0;
+    const auto checksum = [](const std::vector<double>& y) {
+      double s = 0.0;
+      for (double v : y) s += v;
+      return s;
+    };
+    k.run_serial = [rows, iters, checksum] {
+      const Csr a = random_csr(rows, rows, 12, 5);
+      std::vector<double> x(rows, 1.0), y;
+      for (std::size_t i = 0; i < iters; ++i) {
+        spmv_serial(a, x, y);
+        x.swap(y);
+      }
+      return checksum(x);
+    };
+    k.run_parallel = [rows, iters, checksum](rcr::parallel::ThreadPool& pool) {
+      const Csr a = random_csr(rows, rows, 12, 5);
+      std::vector<double> x(rows, 1.0), y;
+      for (std::size_t i = 0; i < iters; ++i) {
+        spmv_parallel(pool, a, x, y);
+        x.swap(y);
+      }
+      return checksum(x);
+    };
+    suite.push_back(std::move(k));
+  }
+
+  {
+    KernelCase k;
+    k.name = "data-reduction";
+    k.serial_fraction = 0.03;  // partial-histogram merge
+    k.bytes_per_flop = 6.0;    // streaming, memory-bound
+    const std::size_t count = 500000 * scale;
+    k.work_ops = static_cast<double>(count) * 10.0;
+    k.run_serial = [count] {
+      return reduce_stream_serial(count, 23).checksum();
+    };
+    k.run_parallel = [count](rcr::parallel::ThreadPool& pool) {
+      return reduce_stream_parallel(pool, count, 23).checksum();
+    };
+    suite.push_back(std::move(k));
+  }
+
+  return suite;
+}
+
+}  // namespace rcr::kernels

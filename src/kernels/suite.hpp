@@ -1,0 +1,35 @@
+// The standard kernel suite: one entry per computational-science archetype,
+// with the modeling constants the simulator needs (serial fraction and
+// memory intensity). F5 uses the suite both ways: running the real kernels
+// to calibrate single-core cost, and feeding the constants to the simulator
+// to predict scaling beyond the host's core count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace rcr::kernels {
+
+struct KernelCase {
+  std::string name;
+  // Modeled Amdahl serial fraction of one run (setup, reductions, I/O).
+  double serial_fraction = 0.0;
+  // Modeled memory intensity in bytes moved per arithmetic op; drives the
+  // simulator's bandwidth ceiling. ~0 for compute-bound kernels.
+  double bytes_per_flop = 0.0;
+  // Approximate arithmetic operations per run (work units for the sim).
+  double work_ops = 0.0;
+  // Runs the kernel once and returns a verification checksum.
+  std::function<double()> run_serial;
+  std::function<double(rcr::parallel::ThreadPool&)> run_parallel;
+};
+
+// Standard problem sizes multiplied by `scale` (>=1). The defaults complete
+// in well under a second each so the suite is usable inside tests.
+std::vector<KernelCase> standard_suite(std::size_t scale = 1);
+
+}  // namespace rcr::kernels

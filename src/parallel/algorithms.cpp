@@ -1,0 +1,64 @@
+#include "parallel/algorithms.hpp"
+
+#include <algorithm>
+
+namespace rcr::parallel {
+
+namespace {
+
+std::size_t pick_grain(std::size_t total, std::size_t threads,
+                       Schedule schedule, std::size_t requested) {
+  if (requested > 0) return requested;
+  if (schedule == Schedule::kStatic) {
+    // ~2 chunks per thread balances tail imbalance against overhead.
+    return std::max<std::size_t>(1, total / (2 * threads));
+  }
+  // Dynamic: ~8 chunks per thread gives the scheduler room to rebalance.
+  return std::max<std::size_t>(1, total / (8 * threads));
+}
+
+}  // namespace
+
+void parallel_for_range(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    ForOptions options) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t threads = std::max<std::size_t>(1, pool.thread_count());
+  const std::size_t grain =
+      pick_grain(total, threads, options.schedule, options.grain);
+
+  if (total <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  if (options.schedule == Schedule::kStatic) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve((total + grain - 1) / grain);
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      const std::size_t hi = std::min(end, lo + grain);
+      tasks.push_back([&body, lo, hi] { body(lo, hi); });
+    }
+    pool.run_batch(std::move(tasks));
+    return;
+  }
+
+  // Dynamic: one task per worker, each claiming chunks from a shared cursor.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    tasks.push_back([&body, cursor, end, grain] {
+      for (;;) {
+        const std::size_t lo = cursor->fetch_add(grain);
+        if (lo >= end) return;
+        body(lo, std::min(end, lo + grain));
+      }
+    });
+  }
+  pool.run_batch(std::move(tasks));
+}
+
+}  // namespace rcr::parallel

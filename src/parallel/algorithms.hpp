@@ -1,0 +1,77 @@
+// Parallel loop constructs layered on ThreadPool.
+//
+// parallel_for hands each worker a contiguous [begin, end) sub-range, so
+// body functions can use cache-friendly inner loops (the OpenMP
+// "schedule(static)" idiom). Scheduling policy:
+//   * Static  — ranges pre-split into ~2 chunks per thread; lowest overhead.
+//   * Dynamic — smaller chunks pulled from a shared atomic counter; better
+//     for irregular per-iteration cost. The micro benches quantify the gap.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace rcr::parallel {
+
+enum class Schedule { kStatic, kDynamic };
+
+struct ForOptions {
+  Schedule schedule = Schedule::kStatic;
+  // Minimum iterations per chunk; 0 lets the library choose.
+  std::size_t grain = 0;
+};
+
+// Invokes body(lo, hi) over disjoint sub-ranges covering [begin, end).
+void parallel_for_range(ThreadPool& pool, std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t, std::size_t)>& body,
+                        ForOptions options = {});
+
+// Element-wise convenience: body(i) for each i in [begin, end).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Body&& body, ForOptions options = {}) {
+  parallel_for_range(
+      pool, begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      options);
+}
+
+// Parallel reduction: combines per-chunk partial results with `combine`.
+// `chunk_fn(lo, hi)` returns the partial value for a sub-range.
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  T init, ChunkFn&& chunk_fn, Combine&& combine,
+                  ForOptions options = {}) {
+  if (begin >= end) return init;
+  std::vector<T> partials;
+  std::mutex partial_mutex;
+  parallel_for_range(
+      pool, begin, end,
+      [&](std::size_t lo, std::size_t hi) {
+        T local = chunk_fn(lo, hi);
+        std::lock_guard<std::mutex> lock(partial_mutex);
+        partials.push_back(std::move(local));
+      },
+      options);
+  T result = std::move(init);
+  for (auto& p : partials) result = combine(std::move(result), std::move(p));
+  return result;
+}
+
+// out[i] = fn(i) for each i; output must already be sized.
+template <typename T, typename Fn>
+void parallel_transform(ThreadPool& pool, std::vector<T>& out, Fn&& fn,
+                        ForOptions options = {}) {
+  parallel_for(
+      pool, 0, out.size(), [&](std::size_t i) { out[i] = fn(i); }, options);
+}
+
+}  // namespace rcr::parallel

@@ -1,0 +1,101 @@
+#include "parallel/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace rcr::parallel {
+
+// Tracks completion and the first exception of one run_batch call.
+struct ThreadPool::Batch {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+  std::exception_ptr first_error;
+
+  void finish_one(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (error && !first_error) first_error = error;
+    if (--remaining == 0) done.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::pair<Batch*, std::function<void()>> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // only true when shutting down
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      item.second();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    item.first->finish_one(error);
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  Batch batch;
+  batch.remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RCR_CHECK_MSG(!shutting_down_, "run_batch on a destroyed pool");
+    for (auto& t : tasks) queue_.emplace_back(&batch, std::move(t));
+  }
+  work_available_.notify_all();
+
+  // The calling thread helps drain the queue: correct on 1-core hosts and
+  // avoids idle blocking elsewhere. It may execute tasks from other batches;
+  // that is safe because every task is independent.
+  for (;;) {
+    std::pair<Batch*, std::function<void()>> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      item.second();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    item.first->finish_one(error);
+  }
+
+  std::unique_lock<std::mutex> lock(batch.mutex);
+  batch.done.wait(lock, [&] { return batch.remaining == 0; });
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace rcr::parallel

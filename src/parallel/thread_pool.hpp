@@ -1,0 +1,52 @@
+// Fork-join thread pool for the RCR toolkit.
+//
+// The pool follows the OpenMP-style structured-parallelism model the HPC
+// guides recommend: a caller submits a batch of tasks (or a parallel_for
+// range) and blocks until the batch completes. No detached work, no global
+// mutable state; exceptions thrown by tasks are captured and rethrown on
+// the calling thread after the batch drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rcr::parallel {
+
+class ThreadPool {
+ public:
+  // threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Runs all tasks, blocking until every one has finished. If any task
+  // throws, the first captured exception is rethrown here (after all tasks
+  // have still been executed or drained).
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::pair<Batch*, std::function<void()>>> queue_;
+  bool shutting_down_ = false;
+};
+
+// Returns a lazily constructed process-wide pool sized to the hardware.
+ThreadPool& default_pool();
+
+}  // namespace rcr::parallel

@@ -1,0 +1,36 @@
+#include "report/experiment.hpp"
+
+#include "util/error.hpp"
+
+namespace rcr::report {
+
+void ExperimentRegistry::add(Experiment experiment) {
+  RCR_CHECK_MSG(!experiment.id.empty(), "experiment needs an id");
+  RCR_CHECK_MSG(!has(experiment.id),
+                "duplicate experiment id '" + experiment.id + "'");
+  RCR_CHECK_MSG(static_cast<bool>(experiment.run),
+                "experiment '" + experiment.id + "' has no runner");
+  experiments_.push_back(std::move(experiment));
+}
+
+bool ExperimentRegistry::has(const std::string& id) const {
+  for (const auto& e : experiments_)
+    if (e.id == id) return true;
+  return false;
+}
+
+const Experiment& ExperimentRegistry::get(const std::string& id) const {
+  for (const auto& e : experiments_)
+    if (e.id == id) return e;
+  throw InvalidInputError("no such experiment '" + id + "'");
+}
+
+std::string ExperimentRegistry::run(const std::string& id) const {
+  const Experiment& e = get(id);
+  std::string out = "== " + e.id + " (" + e.kind + "): " + e.title + " ==\n";
+  out += e.run();
+  if (out.empty() || out.back() != '\n') out += '\n';
+  return out;
+}
+
+}  // namespace rcr::report

@@ -1,0 +1,35 @@
+// Experiment registry: maps the paper's table/figure ids to runnable code.
+// Bench binaries and the integration tests both drive experiments through
+// this registry, so the printed artifact is identical everywhere.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rcr::report {
+
+struct Experiment {
+  std::string id;      // "T1", "F5", ...
+  std::string kind;    // "table" or "figure"
+  std::string title;
+  // Produces the full printable artifact (table text, CSV series, notes).
+  std::function<std::string()> run;
+};
+
+class ExperimentRegistry {
+ public:
+  void add(Experiment experiment);
+
+  bool has(const std::string& id) const;
+  const Experiment& get(const std::string& id) const;
+  const std::vector<Experiment>& all() const { return experiments_; }
+
+  // Runs one experiment and returns its artifact with a header banner.
+  std::string run(const std::string& id) const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace rcr::report

@@ -1,0 +1,28 @@
+// Figure emission: named (x, y) series rendered as CSV blocks plus a
+// quick ASCII bar view so a terminal run shows the figure's shape.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rcr::report {
+
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+// CSV with one x column and one column per series (points must share x).
+std::string render_series_csv(const std::string& x_label,
+                              const std::vector<Series>& series);
+
+// Horizontal ASCII bars for labeled magnitudes (figure previews).
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+std::string render_bars(const std::vector<Bar>& bars, double max_value = 0.0,
+                        std::size_t width = 40);
+
+}  // namespace rcr::report

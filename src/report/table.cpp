@@ -1,0 +1,76 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rcr::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RCR_CHECK_MSG(!headers_.empty(), "table needs headers");
+}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  RCR_CHECK_MSG(cells.size() == headers_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto emit_row = [&](const std::vector<std::string>& cells,
+                            std::string& out) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size())
+        out += std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string TextTable::render_markdown() const {
+  std::string out = "|";
+  for (const auto& h : headers_) out += " " + h + " |";
+  out += "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += " --- |";
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += "|";
+    for (const auto& cell : row) out += " " + cell + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string share_cell(double estimate, double lo, double hi, int decimals) {
+  return format_percent(estimate, decimals) + " [" +
+         rcr::format_double(100.0 * lo, decimals) + ", " +
+         rcr::format_double(100.0 * hi, decimals) + "]";
+}
+
+std::string p_cell(double p) {
+  if (p < 0.001) return "<0.001";
+  return rcr::format_double(p, 3);
+}
+
+}  // namespace rcr::report

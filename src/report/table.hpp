@@ -1,0 +1,36 @@
+// Fixed-width and markdown table rendering for the bench/report binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rcr::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Cell counts must match the header. Returns *this for chaining.
+  TextTable& add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Fixed-width ASCII with a header rule, right-padding each column.
+  std::string render() const;
+
+  // GitHub-flavored markdown.
+  std::string render_markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "12.3% [10.1, 14.6]" — the standard share-with-CI cell.
+std::string share_cell(double estimate, double lo, double hi,
+                       int decimals = 1);
+
+// Compact p-value formatting ("<0.001" below the threshold).
+std::string p_cell(double p);
+
+}  // namespace rcr::report

@@ -1,0 +1,215 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::sim {
+
+const char* scheduler_label(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::kFcfs: return "FCFS";
+    case SchedulerPolicy::kEasyBackfill: return "EASY-backfill";
+    case SchedulerPolicy::kShortestFirst: return "SJF";
+  }
+  return "?";
+}
+
+std::vector<Job> generate_job_stream(const JobStreamConfig& config) {
+  RCR_CHECK_MSG(config.jobs > 0, "job stream must be non-empty");
+  RCR_CHECK_MSG(config.arrival_rate_per_hour > 0.0,
+                "arrival rate must be positive");
+  RCR_CHECK_MSG(config.max_cores >= 1, "max_cores must be >= 1");
+  Rng rng(config.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs);
+
+  // Width distribution: half the jobs are serial; the rest double in width
+  // with geometrically decaying probability — the standard trace shape.
+  std::vector<double> width_weights;
+  std::vector<std::size_t> widths;
+  double w = 1.0;
+  for (std::size_t c = 1; c <= config.max_cores; c *= 2) {
+    widths.push_back(c);
+    width_weights.push_back(w);
+    w *= 0.55;
+  }
+
+  double t = 0.0;
+  const double mean_gap = 3600.0 / config.arrival_rate_per_hour;
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    t += rng.exponential(1.0 / mean_gap);
+    Job job;
+    job.submit_time = t;
+    job.cores = widths[rng.categorical(width_weights)];
+    job.runtime = std::min(config.max_runtime,
+                           rng.lognormal(config.runtime_log_mu,
+                                         config.runtime_log_sigma));
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+namespace {
+
+struct Running {
+  double end_time;
+  std::size_t cores;
+  bool operator<(const Running& o) const { return end_time < o.end_time; }
+};
+
+// Inserts a running record keeping the vector sorted by end time.
+void insert_running(std::vector<Running>& running, Running r) {
+  running.insert(std::upper_bound(running.begin(), running.end(), r), r);
+}
+
+}  // namespace
+
+QueueMetrics simulate_cluster(std::vector<Job>& jobs, std::size_t total_cores,
+                              SchedulerPolicy policy) {
+  RCR_CHECK_MSG(total_cores >= 1, "cluster needs cores");
+  RCR_CHECK_MSG(!jobs.empty(), "no jobs to simulate");
+  for (const auto& j : jobs) {
+    RCR_CHECK_MSG(j.cores >= 1 && j.cores <= total_cores,
+                  "job width exceeds the cluster");
+    RCR_CHECK_MSG(j.runtime >= 0.0, "negative runtime");
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+
+  std::vector<Running> running;  // sorted by end_time
+  std::deque<std::size_t> queue; // indices of waiting jobs, arrival order
+  std::size_t free_cores = total_cores;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  double busy_core_seconds = 0.0;
+  double makespan = 0.0;
+
+  const auto start_job = [&](std::size_t idx) {
+    Job& j = jobs[idx];
+    j.start_time = now;
+    free_cores -= j.cores;
+    insert_running(running, {now + j.runtime, j.cores});
+    busy_core_seconds += j.runtime * static_cast<double>(j.cores);
+    makespan = std::max(makespan, now + j.runtime);
+  };
+
+  // Attempts to start queued jobs under the active policy.
+  const auto schedule = [&] {
+    if (policy == SchedulerPolicy::kShortestFirst) {
+      // Repeatedly start the shortest queued job that fits right now.
+      for (;;) {
+        std::size_t best = queue.size();
+        for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+          const Job& j = jobs[queue[qi]];
+          if (j.cores > free_cores) continue;
+          if (best == queue.size() ||
+              j.runtime < jobs[queue[best]].runtime) {
+            best = qi;
+          }
+        }
+        if (best == queue.size()) return;
+        start_job(queue[best]);
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(best));
+      }
+    }
+    // FCFS / EASY: start from the head while it fits.
+    while (!queue.empty() && jobs[queue.front()].cores <= free_cores) {
+      start_job(queue.front());
+      queue.pop_front();
+    }
+    if (policy != SchedulerPolicy::kEasyBackfill || queue.empty()) return;
+
+    // EASY backfill: reserve a start time for the head, then let later
+    // jobs run now if they cannot delay that reservation.
+    const Job& head = jobs[queue.front()];
+    // Find the shadow time: walking the running list in end-time order,
+    // when do enough cores accumulate for the head?
+    std::size_t accumulated = free_cores;
+    double shadow = std::numeric_limits<double>::infinity();
+    std::size_t extra_at_shadow = 0;
+    for (const Running& r : running) {
+      accumulated += r.cores;
+      if (accumulated >= head.cores) {
+        shadow = r.end_time;
+        extra_at_shadow = accumulated - head.cores;
+        break;
+      }
+    }
+    // Candidates after the head may backfill if they fit now and either
+    // finish before the shadow time or use only the spare cores that the
+    // head's reservation leaves free.
+    for (std::size_t qi = 1; qi < queue.size();) {
+      const std::size_t idx = queue[qi];
+      const Job& j = jobs[idx];
+      const bool fits_now = j.cores <= free_cores;
+      const bool before_shadow = now + j.runtime <= shadow;
+      const bool within_spare = j.cores <= extra_at_shadow;
+      if (fits_now && (before_shadow || within_spare)) {
+        if (within_spare && !before_shadow) extra_at_shadow -= j.cores;
+        start_job(idx);
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
+      } else {
+        ++qi;
+      }
+    }
+  };
+
+  while (next_arrival < jobs.size() || !queue.empty() || !running.empty()) {
+    // Next event: arrival or completion.
+    const double t_arrival = next_arrival < jobs.size()
+                                 ? jobs[next_arrival].submit_time
+                                 : std::numeric_limits<double>::infinity();
+    const double t_complete = !running.empty()
+                                  ? running.front().end_time
+                                  : std::numeric_limits<double>::infinity();
+    RCR_CHECK_MSG(std::isfinite(t_arrival) || std::isfinite(t_complete),
+                  "scheduler deadlock: queued jobs but no pending events");
+    now = std::min(t_arrival, t_complete);
+
+    // Process all completions at `now`.
+    while (!running.empty() && running.front().end_time <= now) {
+      free_cores += running.front().cores;
+      running.erase(running.begin());
+    }
+    // Process all arrivals at `now`.
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].submit_time <= now) {
+      queue.push_back(next_arrival);
+      ++next_arrival;
+    }
+    schedule();
+  }
+
+  // Metrics.
+  std::vector<double> waits, slowdowns;
+  waits.reserve(jobs.size());
+  slowdowns.reserve(jobs.size());
+  for (const Job& j : jobs) {
+    RCR_CHECK_MSG(j.start_time >= j.submit_time, "job never started");
+    const double wait = j.start_time - j.submit_time;
+    waits.push_back(wait);
+    const double denom = std::max(10.0, j.runtime);
+    slowdowns.push_back((wait + j.runtime) / denom);
+  }
+  QueueMetrics m;
+  m.jobs = jobs.size();
+  m.mean_wait = stats::mean(waits);
+  m.median_wait = stats::median(waits);
+  m.p95_wait = stats::quantile(waits, 0.95);
+  m.max_wait = stats::max(waits);
+  m.mean_bounded_slowdown = stats::mean(slowdowns);
+  m.makespan = makespan;
+  m.utilization =
+      busy_core_seconds / (static_cast<double>(total_cores) * makespan);
+  return m;
+}
+
+}  // namespace rcr::sim

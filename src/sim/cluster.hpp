@@ -1,0 +1,63 @@
+// Batch-cluster queueing simulator.
+//
+// Models the shared departmental cluster the survey's respondents queue on:
+// a fixed pool of cores, a stream of rigid parallel jobs, and a scheduler
+// (FCFS or EASY backfill). F6 sweeps offered load and reports the classic
+// wait-time knee, quantifying the "my job sat in the queue all day"
+// experience that shapes researchers' tooling choices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rcr::sim {
+
+struct Job {
+  double submit_time = 0.0;  // seconds since trace start
+  std::size_t cores = 1;
+  double runtime = 0.0;      // seconds of execution once started
+  // Filled by the simulator:
+  double start_time = -1.0;
+};
+
+enum class SchedulerPolicy {
+  kFcfs,          // strict arrival order; head-of-line blocking
+  kEasyBackfill,  // EASY: jobs may jump ahead if they cannot delay the head
+  kShortestFirst, // SJF: shortest runnable job next (starvation-prone)
+};
+
+const char* scheduler_label(SchedulerPolicy p);
+
+struct JobStreamConfig {
+  std::size_t jobs = 1000;
+  double arrival_rate_per_hour = 30.0;  // Poisson arrivals
+  double runtime_log_mu = 7.0;          // lognormal seconds (e^7 ≈ 18 min)
+  double runtime_log_sigma = 1.5;
+  double max_runtime = 48.0 * 3600.0;   // walltime cap
+  // Job widths: 2^k cores with P(k) ∝ geometric-ish decay, capped below.
+  std::size_t max_cores = 256;
+  std::uint64_t seed = 99;
+};
+
+// Generates a submit-time-sorted job stream.
+std::vector<Job> generate_job_stream(const JobStreamConfig& config);
+
+struct QueueMetrics {
+  std::size_t jobs = 0;
+  double mean_wait = 0.0;
+  double median_wait = 0.0;
+  double p95_wait = 0.0;
+  double max_wait = 0.0;
+  double mean_bounded_slowdown = 0.0;  // bound 10 s (standard metric)
+  double utilization = 0.0;            // busy core-seconds / capacity
+  double makespan = 0.0;               // last completion time
+};
+
+// Simulates the job stream on a cluster with `total_cores` cores.
+// Jobs wider than the cluster throw InvalidInputError.
+// The input vector's start_time fields are updated in place.
+QueueMetrics simulate_cluster(std::vector<Job>& jobs, std::size_t total_cores,
+                              SchedulerPolicy policy);
+
+}  // namespace rcr::sim

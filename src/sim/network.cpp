@@ -1,0 +1,86 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rcr::sim {
+
+namespace {
+void validate(const NetworkModel& net) {
+  RCR_CHECK_MSG(net.latency_us >= 0.0, "negative latency");
+  RCR_CHECK_MSG(net.bandwidth_gbs > 0.0, "bandwidth must be positive");
+}
+}  // namespace
+
+double ptp_time(const NetworkModel& net, double message_bytes) {
+  validate(net);
+  RCR_CHECK_MSG(message_bytes >= 0.0, "negative message size");
+  return net.alpha_seconds() + message_bytes * net.beta_seconds_per_byte();
+}
+
+double broadcast_time(const NetworkModel& net, std::size_t ranks,
+                      double message_bytes) {
+  validate(net);
+  RCR_CHECK_MSG(ranks >= 1, "need at least one rank");
+  if (ranks == 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+  return rounds * ptp_time(net, message_bytes);
+}
+
+double allreduce_time(const NetworkModel& net, std::size_t ranks,
+                      double message_bytes) {
+  validate(net);
+  RCR_CHECK_MSG(ranks >= 1, "need at least one rank");
+  RCR_CHECK_MSG(message_bytes >= 0.0, "negative message size");
+  if (ranks == 1) return 0.0;
+  const double p = static_cast<double>(ranks);
+  return 2.0 * (p - 1.0) * net.alpha_seconds() +
+         2.0 * message_bytes * (p - 1.0) / p * net.beta_seconds_per_byte();
+}
+
+double halo_exchange_time(const NetworkModel& net, std::size_t neighbors,
+                          double halo_bytes) {
+  validate(net);
+  RCR_CHECK_MSG(halo_bytes >= 0.0, "negative halo size");
+  if (neighbors == 0) return 0.0;
+  return static_cast<double>(neighbors) *
+         (net.alpha_seconds() + halo_bytes * net.beta_seconds_per_byte());
+}
+
+double bsp_step_time(const NetworkModel& net, const DistributedWorkload& w,
+                     std::size_t ranks) {
+  validate(net);
+  RCR_CHECK_MSG(ranks >= 1, "need at least one rank");
+  RCR_CHECK_MSG(w.work_ops_total > 0.0 && w.core_gflops > 0.0,
+                "workload must have positive work and throughput");
+  const double compute = w.work_ops_total /
+                         (static_cast<double>(ranks) * w.core_gflops * 1e9);
+  // Halos shrink with the surface/volume ratio as ranks grow: per-rank
+  // halo scales with (1/p)^(1/2) for a 2-D decomposition.
+  const double halo =
+      w.halo_bytes_per_rank / std::sqrt(static_cast<double>(ranks));
+  const double comm = ranks > 1 ? halo_exchange_time(net, w.halo_neighbors,
+                                                     halo) +
+                                      allreduce_time(net, ranks, 8.0)
+                                : 0.0;
+  return compute + comm;
+}
+
+std::size_t bsp_sweet_spot(const NetworkModel& net,
+                           const DistributedWorkload& w,
+                           std::size_t max_ranks) {
+  RCR_CHECK_MSG(max_ranks >= 1, "max_ranks must be >= 1");
+  std::size_t best = 1;
+  double best_time = bsp_step_time(net, w, 1);
+  for (std::size_t p = 2; p <= max_ranks; p *= 2) {
+    const double t = bsp_step_time(net, w, p);
+    if (t < best_time) {
+      best_time = t;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace rcr::sim

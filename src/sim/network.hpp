@@ -1,0 +1,60 @@
+// Communication-cost models for distributed (cluster) workloads.
+//
+// The postal (alpha–beta) model: sending an m-byte message costs
+// alpha + m * beta seconds. Collectives compose point-to-point steps; the
+// formulas below are the standard tree/ring algorithm costs used to reason
+// about MPI programs — the cluster-side complement of the shared-memory
+// scaling model in scaling.hpp.
+#pragma once
+
+#include <cstddef>
+
+namespace rcr::sim {
+
+struct NetworkModel {
+  double latency_us = 2.0;          // alpha, per message
+  double bandwidth_gbs = 12.5;      // 1/beta (100 Gb/s network)
+
+  double alpha_seconds() const { return latency_us * 1e-6; }
+  double beta_seconds_per_byte() const { return 1.0 / (bandwidth_gbs * 1e9); }
+};
+
+// Point-to-point: alpha + m beta.
+double ptp_time(const NetworkModel& net, double message_bytes);
+
+// Broadcast via binomial tree: ceil(log2 p) (alpha + m beta).
+double broadcast_time(const NetworkModel& net, std::size_t ranks,
+                      double message_bytes);
+
+// Allreduce via ring (Rabenseifner-style): 2(p-1) alpha-steps on m/p
+// chunks: 2(p-1) alpha + 2 m (p-1)/p beta.
+double allreduce_time(const NetworkModel& net, std::size_t ranks,
+                      double message_bytes);
+
+// Halo exchange: each rank swaps `halo_bytes` with `neighbors` neighbors
+// (sends run concurrently; cost is per-neighbor serialized alpha, one beta
+// stream): neighbors * alpha + neighbors * halo beta.
+double halo_exchange_time(const NetworkModel& net, std::size_t neighbors,
+                          double halo_bytes);
+
+// Distributed iteration time for a bulk-synchronous stencil-style code:
+// compute (work/p at `core_gflops`) + halo exchange + one allreduce of
+// 8 bytes (the convergence check). The cluster-scale analogue of
+// predict_time(); tests pin its crossover behavior.
+struct DistributedWorkload {
+  double work_ops_total = 1e12;
+  double core_gflops = 4.0;
+  double halo_bytes_per_rank = 1e6;
+  std::size_t halo_neighbors = 4;
+};
+
+double bsp_step_time(const NetworkModel& net, const DistributedWorkload& w,
+                     std::size_t ranks);
+
+// Ranks beyond which adding more stops helping (communication dominates);
+// found by scanning powers of two up to `max_ranks`.
+std::size_t bsp_sweet_spot(const NetworkModel& net,
+                           const DistributedWorkload& w,
+                           std::size_t max_ranks = 1 << 14);
+
+}  // namespace rcr::sim

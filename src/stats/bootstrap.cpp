@@ -1,0 +1,150 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::stats {
+
+namespace {
+
+// Mixes the master seed with the replicate index so each replicate has an
+// independent, order-free stream.
+std::uint64_t replicate_seed(std::uint64_t master, std::size_t index) {
+  std::uint64_t z = master ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double run_one_replicate(std::span<const double> data,
+                         const Statistic& statistic, std::uint64_t seed,
+                         std::vector<double>& scratch) {
+  Rng rng(seed);
+  const std::size_t n = data.size();
+  scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scratch[i] = data[rng.next_below(n)];
+  return statistic(scratch);
+}
+
+}  // namespace
+
+BootstrapResult bootstrap(std::span<const double> data,
+                          const Statistic& statistic,
+                          const BootstrapOptions& options) {
+  RCR_CHECK_MSG(!data.empty(), "bootstrap of empty data");
+  RCR_CHECK_MSG(options.replicates >= 2, "bootstrap needs >= 2 replicates");
+  RCR_CHECK_MSG(options.confidence > 0.0 && options.confidence < 1.0,
+                "bootstrap confidence must lie in (0,1)");
+
+  BootstrapResult result;
+  result.estimate = statistic(data);
+  result.replicates.resize(options.replicates);
+
+  if (options.pool != nullptr) {
+    rcr::parallel::parallel_for_range(
+        *options.pool, 0, options.replicates,
+        [&](std::size_t lo, std::size_t hi) {
+          std::vector<double> scratch;
+          for (std::size_t b = lo; b < hi; ++b) {
+            result.replicates[b] = run_one_replicate(
+                data, statistic, replicate_seed(options.seed, b), scratch);
+          }
+        });
+  } else {
+    std::vector<double> scratch;
+    for (std::size_t b = 0; b < options.replicates; ++b) {
+      result.replicates[b] = run_one_replicate(
+          data, statistic, replicate_seed(options.seed, b), scratch);
+    }
+  }
+
+  std::sort(result.replicates.begin(), result.replicates.end());
+  const double rep_mean = mean(result.replicates);
+  result.bias = rep_mean - result.estimate;
+  result.std_error = result.replicates.size() >= 2
+                         ? stddev(result.replicates)
+                         : 0.0;
+
+  const double alpha = 1.0 - options.confidence;
+  const double lo_q = alpha / 2.0;
+  const double hi_q = 1.0 - alpha / 2.0;
+  const double q_lo = quantile_sorted(result.replicates, lo_q);
+  const double q_hi = quantile_sorted(result.replicates, hi_q);
+
+  result.percentile_ci = {result.estimate, q_lo, q_hi};
+  result.basic_ci = {result.estimate, 2.0 * result.estimate - q_hi,
+                     2.0 * result.estimate - q_lo};
+  const double z = normal_quantile(0.5 + 0.5 * options.confidence);
+  result.normal_ci = {result.estimate,
+                      result.estimate - z * result.std_error,
+                      result.estimate + z * result.std_error};
+
+  if (options.compute_bca) {
+    // Bias correction z0 from the share of replicates below the estimate.
+    std::size_t below = 0;
+    for (double r : result.replicates)
+      if (r < result.estimate) ++below;
+    double frac = static_cast<double>(below) /
+                  static_cast<double>(result.replicates.size());
+    // Clamp away from {0,1}: fully degenerate replicate sets fall back to
+    // the percentile interval.
+    frac = std::min(1.0 - 1e-9, std::max(1e-9, frac));
+    const double z0 = normal_quantile(frac);
+    result.bca_bias_z0 = z0;
+
+    // Jackknife acceleration.
+    const std::size_t n = data.size();
+    std::vector<double> jack(n);
+    std::vector<double> loo(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t k = 0;
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) loo[k++] = data[j];
+      jack[i] = n > 1 ? statistic(loo) : result.estimate;
+    }
+    const double jack_mean = mean(jack);
+    double num = 0.0, den = 0.0;
+    for (double v : jack) {
+      const double d = jack_mean - v;
+      num += d * d * d;
+      den += d * d;
+    }
+    const double a =
+        den > 0.0 ? num / (6.0 * std::pow(den, 1.5)) : 0.0;
+    result.bca_acceleration = a;
+
+    const auto adjusted_quantile = [&](double z_alpha) {
+      const double w = z0 + z_alpha;
+      const double adj = z0 + w / (1.0 - a * w);
+      return normal_cdf(adj);
+    };
+    const double z_lo = normal_quantile(lo_q);
+    const double z_hi = normal_quantile(hi_q);
+    result.bca_ci = {result.estimate,
+                     quantile_sorted(result.replicates,
+                                     adjusted_quantile(z_lo)),
+                     quantile_sorted(result.replicates,
+                                     adjusted_quantile(z_hi))};
+  }
+  return result;
+}
+
+BootstrapResult bootstrap_proportion(std::span<const double> binary_data,
+                                     const BootstrapOptions& options) {
+  for (double v : binary_data)
+    RCR_CHECK_MSG(v == 0.0 || v == 1.0,
+                  "bootstrap_proportion expects 0/1 data");
+  return bootstrap(
+      binary_data, [](std::span<const double> x) { return mean(x); },
+      options);
+}
+
+}  // namespace rcr::stats

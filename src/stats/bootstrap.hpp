@@ -1,0 +1,59 @@
+// Nonparametric bootstrap engine.
+//
+// Resampling is embarrassingly parallel, so the engine optionally fans the
+// replicates out over a ThreadPool; each replicate derives its own RNG from
+// the master seed + replicate index, making results identical whether run
+// serially or on any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/ci.hpp"
+
+namespace rcr::parallel {
+class ThreadPool;
+}
+
+namespace rcr::stats {
+
+// A statistic computed from one (re)sample of the data.
+using Statistic = std::function<double(std::span<const double>)>;
+
+struct BootstrapOptions {
+  std::size_t replicates = 2000;
+  double confidence = 0.95;
+  std::uint64_t seed = 42;
+  // When non-null the replicates run on this pool.
+  rcr::parallel::ThreadPool* pool = nullptr;
+  // Also compute the BCa interval (adds an O(n) jackknife pass over the
+  // statistic; worthwhile for skewed statistics like medians or ratios).
+  bool compute_bca = false;
+};
+
+struct BootstrapResult {
+  double estimate = 0.0;       // statistic on the original sample
+  double bias = 0.0;           // mean(replicates) - estimate
+  double std_error = 0.0;      // stddev of replicates
+  Interval percentile_ci;      // percentile method
+  Interval basic_ci;           // basic (reflected) method
+  Interval normal_ci;          // normal approximation using bootstrap SE
+  Interval bca_ci;             // BCa (only when options.compute_bca)
+  double bca_acceleration = 0.0;   // jackknife acceleration estimate
+  double bca_bias_z0 = 0.0;        // median-bias correction
+  std::vector<double> replicates;  // sorted replicate values
+};
+
+// Bootstraps `statistic` over `data` by resampling with replacement.
+BootstrapResult bootstrap(std::span<const double> data,
+                          const Statistic& statistic,
+                          const BootstrapOptions& options = {});
+
+// Convenience: bootstrap CI for a proportion given binary 0/1 data.
+BootstrapResult bootstrap_proportion(std::span<const double> binary_data,
+                                     const BootstrapOptions& options = {});
+
+}  // namespace rcr::stats

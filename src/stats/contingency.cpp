@@ -1,0 +1,406 @@
+#include "stats/contingency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace rcr::stats {
+
+Contingency::Contingency(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, 0.0) {
+  RCR_CHECK_MSG(rows > 0 && cols > 0, "Contingency must be non-empty");
+}
+
+Contingency::Contingency(
+    std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.begin()->size()) {
+  RCR_CHECK_MSG(rows_ > 0 && cols_ > 0, "Contingency must be non-empty");
+  cells_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    RCR_CHECK_MSG(row.size() == cols_, "ragged contingency initializer");
+    for (double v : row) {
+      RCR_CHECK_MSG(v >= 0.0, "contingency counts must be non-negative");
+      cells_.push_back(v);
+    }
+  }
+}
+
+double& Contingency::at(std::size_t r, std::size_t c) {
+  RCR_DCHECK(r < rows_ && c < cols_);
+  return cells_[r * cols_ + c];
+}
+
+double Contingency::at(std::size_t r, std::size_t c) const {
+  RCR_DCHECK(r < rows_ && c < cols_);
+  return cells_[r * cols_ + c];
+}
+
+void Contingency::add(std::size_t r, std::size_t c, double count) {
+  RCR_CHECK_MSG(count >= 0.0, "cannot add negative counts");
+  at(r, c) += count;
+}
+
+double Contingency::row_total(std::size_t r) const {
+  double t = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) t += at(r, c);
+  return t;
+}
+
+double Contingency::col_total(std::size_t c) const {
+  double t = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) t += at(r, c);
+  return t;
+}
+
+double Contingency::grand_total() const {
+  double t = 0.0;
+  for (double v : cells_) t += v;
+  return t;
+}
+
+double Contingency::expected(std::size_t r, std::size_t c) const {
+  const double grand = grand_total();
+  RCR_CHECK_MSG(grand > 0.0, "expected counts need a non-empty table");
+  return row_total(r) * col_total(c) / grand;
+}
+
+Contingency Contingency::without_empty_margins() const {
+  std::vector<std::size_t> keep_rows, keep_cols;
+  for (std::size_t r = 0; r < rows_; ++r)
+    if (row_total(r) > 0.0) keep_rows.push_back(r);
+  for (std::size_t c = 0; c < cols_; ++c)
+    if (col_total(c) > 0.0) keep_cols.push_back(c);
+  RCR_CHECK_MSG(!keep_rows.empty() && !keep_cols.empty(),
+                "contingency table is entirely zero");
+  Contingency out(keep_rows.size(), keep_cols.size());
+  for (std::size_t i = 0; i < keep_rows.size(); ++i)
+    for (std::size_t j = 0; j < keep_cols.size(); ++j)
+      out.at(i, j) = at(keep_rows[i], keep_cols[j]);
+  return out;
+}
+
+namespace {
+
+ChiSquareResult finish_chi2(const Contingency& t, double statistic) {
+  ChiSquareResult r;
+  r.statistic = statistic;
+  r.dof = static_cast<double>((t.rows() - 1) * (t.cols() - 1));
+  r.p_value = r.dof > 0.0 ? chi2_sf(statistic, r.dof) : 1.0;
+  const double n = t.grand_total();
+  const double k = static_cast<double>(std::min(t.rows(), t.cols()));
+  r.cramers_v = (n > 0.0 && k > 1.0)
+                    ? std::sqrt(statistic / (n * (k - 1.0)))
+                    : 0.0;
+  r.min_expected = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    for (std::size_t j = 0; j < t.cols(); ++j)
+      r.min_expected = std::min(r.min_expected, t.expected(i, j));
+  return r;
+}
+
+void validate_for_independence(const Contingency& t) {
+  RCR_CHECK_MSG(t.rows() >= 2 && t.cols() >= 2,
+                "independence test needs at least a 2x2 table");
+  for (std::size_t r = 0; r < t.rows(); ++r)
+    RCR_CHECK_MSG(t.row_total(r) > 0.0,
+                  "zero row margin; call without_empty_margins() first");
+  for (std::size_t c = 0; c < t.cols(); ++c)
+    RCR_CHECK_MSG(t.col_total(c) > 0.0,
+                  "zero column margin; call without_empty_margins() first");
+}
+
+}  // namespace
+
+ChiSquareResult chi_square_independence(const Contingency& table) {
+  validate_for_independence(table);
+  double stat = 0.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const double e = table.expected(r, c);
+      const double d = table.at(r, c) - e;
+      stat += d * d / e;
+    }
+  }
+  return finish_chi2(table, stat);
+}
+
+ChiSquareResult g_test_independence(const Contingency& table) {
+  validate_for_independence(table);
+  double stat = 0.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const double o = table.at(r, c);
+      if (o > 0.0) stat += 2.0 * o * std::log(o / table.expected(r, c));
+    }
+  }
+  return finish_chi2(table, stat);
+}
+
+ChiSquareResult chi_square_goodness_of_fit(
+    std::span<const double> observed, std::span<const double> expected_p) {
+  RCR_CHECK_MSG(observed.size() == expected_p.size(),
+                "goodness-of-fit size mismatch");
+  RCR_CHECK_MSG(observed.size() >= 2, "goodness-of-fit needs >= 2 cells");
+  double n = 0.0, psum = 0.0;
+  for (double o : observed) {
+    RCR_CHECK_MSG(o >= 0.0, "observed counts must be non-negative");
+    n += o;
+  }
+  for (double p : expected_p) {
+    RCR_CHECK_MSG(p > 0.0, "expected proportions must be positive");
+    psum += p;
+  }
+  RCR_CHECK_MSG(n > 0.0, "goodness-of-fit needs data");
+  ChiSquareResult r;
+  r.min_expected = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double e = n * expected_p[i] / psum;
+    const double d = observed[i] - e;
+    r.statistic += d * d / e;
+    r.min_expected = std::min(r.min_expected, e);
+  }
+  r.dof = static_cast<double>(observed.size() - 1);
+  r.p_value = chi2_sf(r.statistic, r.dof);
+  r.cramers_v = 0.0;  // not defined for goodness-of-fit
+  return r;
+}
+
+FisherResult fisher_exact(double a, double b, double c, double d) {
+  for (double v : {a, b, c, d}) {
+    RCR_CHECK_MSG(v >= 0.0 && v == std::floor(v),
+                  "fisher_exact needs non-negative integer counts");
+  }
+  const double r1 = a + b, r2 = c + d, c1 = a + c, c2 = b + d;
+  const double n = r1 + r2;
+  RCR_CHECK_MSG(n > 0.0, "fisher_exact on an empty table");
+
+  FisherResult out;
+  out.odds_ratio = odds_ratio(a, b, c, d);
+  if (r1 == 0.0 || r2 == 0.0 || c1 == 0.0 || c2 == 0.0) {
+    return out;  // degenerate margin: only one table possible, p = 1
+  }
+
+  // Hypergeometric log-pmf of cell 'a' given fixed margins.
+  const auto log_pmf = [&](double x) {
+    return log_choose(r1, x) + log_choose(r2, c1 - x) - log_choose(n, c1);
+  };
+  const double a_min = std::max(0.0, c1 - r2);
+  const double a_max = std::min(r1, c1);
+  const double log_p_obs = log_pmf(a);
+
+  double p_less = 0.0, p_greater = 0.0, p_two = 0.0;
+  // Relative tolerance mirrors R's fisher.test handling of FP noise.
+  const double thresh = log_p_obs + 1e-7;
+  for (double x = a_min; x <= a_max; x += 1.0) {
+    const double lp = log_pmf(x);
+    const double p = std::exp(lp);
+    if (x <= a) p_less += p;
+    if (x >= a) p_greater += p;
+    if (lp <= thresh) p_two += p;
+  }
+  out.p_less = std::min(1.0, p_less);
+  out.p_greater = std::min(1.0, p_greater);
+  out.p_two_sided = std::min(1.0, p_two);
+  return out;
+}
+
+TwoProportionResult two_proportion_test(double success1, double n1,
+                                        double success2, double n2,
+                                        double confidence) {
+  RCR_CHECK_MSG(n1 > 0.0 && n2 > 0.0, "two_proportion_test needs trials");
+  RCR_CHECK_MSG(success1 >= 0.0 && success1 <= n1, "successes1 out of range");
+  RCR_CHECK_MSG(success2 >= 0.0 && success2 <= n2, "successes2 out of range");
+  RCR_CHECK_MSG(confidence > 0.0 && confidence < 1.0, "bad confidence");
+  TwoProportionResult r;
+  r.p1 = success1 / n1;
+  r.p2 = success2 / n2;
+  r.diff = r.p1 - r.p2;
+  const double pooled = (success1 + success2) / (n1 + n2);
+  const double se_pooled =
+      std::sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2));
+  if (se_pooled > 0.0) {
+    r.z = r.diff / se_pooled;
+    r.p_value = 2.0 * normal_sf(std::fabs(r.z));
+  } else {
+    r.z = 0.0;
+    r.p_value = 1.0;
+  }
+  const double se_unpooled = std::sqrt(r.p1 * (1.0 - r.p1) / n1 +
+                                       r.p2 * (1.0 - r.p2) / n2);
+  const double zcrit = normal_quantile(0.5 + 0.5 * confidence);
+  r.diff_ci_lo = r.diff - zcrit * se_unpooled;
+  r.diff_ci_hi = r.diff + zcrit * se_unpooled;
+  return r;
+}
+
+double odds_ratio(double a, double b, double c, double d) {
+  if (a == 0.0 || b == 0.0 || c == 0.0 || d == 0.0) {
+    a += 0.5;
+    b += 0.5;
+    c += 0.5;
+    d += 0.5;
+  }
+  return (a * d) / (b * c);
+}
+
+MannWhitneyResult mann_whitney_u(std::span<const double> x,
+                                 std::span<const double> y) {
+  RCR_CHECK_MSG(!x.empty() && !y.empty(), "mann_whitney_u needs both samples");
+  const double nx = static_cast<double>(x.size());
+  const double ny = static_cast<double>(y.size());
+  std::vector<double> pooled;
+  pooled.reserve(x.size() + y.size());
+  pooled.insert(pooled.end(), x.begin(), x.end());
+  pooled.insert(pooled.end(), y.begin(), y.end());
+  const auto r = ranks(pooled);
+  double rank_sum_x = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) rank_sum_x += r[i];
+
+  MannWhitneyResult out;
+  out.u = rank_sum_x - nx * (nx + 1.0) / 2.0;
+  out.effect_size = out.u / (nx * ny);
+
+  // Tie-corrected normal approximation.
+  const double n = nx + ny;
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted(pooled);
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double mu = nx * ny / 2.0;
+  const double sigma2 =
+      nx * ny / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (sigma2 > 0.0) {
+    // Continuity correction of 0.5 toward the mean.
+    const double num = out.u - mu;
+    const double corrected =
+        num > 0.5 ? num - 0.5 : (num < -0.5 ? num + 0.5 : 0.0);
+    out.z = corrected / std::sqrt(sigma2);
+    out.p_value = 2.0 * normal_sf(std::fabs(out.z));
+  }
+  return out;
+}
+
+std::vector<double> holm_adjust(std::span<const double> p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    RCR_CHECK_MSG(p_values[i] >= 0.0 && p_values[i] <= 1.0,
+                  "p-values must lie in [0,1]");
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p_values[a] < p_values[b];
+  });
+  std::vector<double> adjusted(m, 0.0);
+  double running_max = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double scaled =
+        std::min(1.0, static_cast<double>(m - k) * p_values[order[k]]);
+    running_max = std::max(running_max, scaled);
+    adjusted[order[k]] = running_max;
+  }
+  return adjusted;
+}
+
+std::vector<double> benjamini_hochberg_adjust(
+    std::span<const double> p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    RCR_CHECK_MSG(p_values[i] >= 0.0 && p_values[i] <= 1.0,
+                  "p-values must lie in [0,1]");
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p_values[a] < p_values[b];
+  });
+  std::vector<double> adjusted(m, 0.0);
+  double running_min = 1.0;
+  for (std::size_t k = m; k-- > 0;) {
+    const double scaled = std::min(
+        1.0, p_values[order[k]] * static_cast<double>(m) /
+                 static_cast<double>(k + 1));
+    running_min = std::min(running_min, scaled);
+    adjusted[order[k]] = running_min;
+  }
+  return adjusted;
+}
+
+McNemarResult mcnemar_test(double b, double c) {
+  RCR_CHECK_MSG(b >= 0.0 && c >= 0.0 && b == std::floor(b) &&
+                    c == std::floor(c),
+                "mcnemar needs non-negative integer discordant counts");
+  McNemarResult r;
+  const double n = b + c;
+  if (n == 0.0) return r;  // no discordant pairs: no evidence, p = 1
+  if (n < 26.0) {
+    // Exact binomial: under H0 each discordant pair is a fair coin.
+    r.exact = true;
+    const double k = std::min(b, c);
+    double tail = 0.0;
+    for (double i = 0.0; i <= k; i += 1.0)
+      tail += std::exp(log_choose(n, i) - n * std::log(2.0));
+    r.p_value = std::min(1.0, 2.0 * tail);
+    // Report the uncorrected statistic for reference.
+    r.statistic = (b - c) * (b - c) / n;
+    return r;
+  }
+  // Edwards continuity correction.
+  const double d = std::fabs(b - c);
+  r.statistic = d >= 1.0 ? (d - 1.0) * (d - 1.0) / n : 0.0;
+  r.p_value = chi2_sf(r.statistic, 1.0);
+  return r;
+}
+
+TrendTestResult cochran_armitage_trend(std::span<const double> successes,
+                                       std::span<const double> trials,
+                                       std::span<const double> scores) {
+  const std::size_t k = successes.size();
+  RCR_CHECK_MSG(k >= 2, "trend test needs >= 2 groups");
+  RCR_CHECK_MSG(trials.size() == k && scores.size() == k,
+                "trend test size mismatch");
+  double total_n = 0.0, total_s = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    RCR_CHECK_MSG(trials[i] > 0.0, "trend test needs positive trials");
+    RCR_CHECK_MSG(successes[i] >= 0.0 && successes[i] <= trials[i],
+                  "trend test successes out of range");
+    total_n += trials[i];
+    total_s += successes[i];
+  }
+  const double p_bar = total_s / total_n;
+  const double s_bar = [&] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += trials[i] * scores[i];
+    return acc / total_n;
+  }();
+
+  // T = Σ s_i (x_i - n_i p̄); Var(T) = p̄(1-p̄) Σ n_i (s_i - s̄)².
+  double t_stat = 0.0, var = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    t_stat += scores[i] * (successes[i] - trials[i] * p_bar);
+    var += trials[i] * (scores[i] - s_bar) * (scores[i] - s_bar);
+  }
+  var *= p_bar * (1.0 - p_bar);
+
+  TrendTestResult r;
+  if (var > 0.0) {
+    r.z = t_stat / std::sqrt(var);
+    r.p_value = 2.0 * normal_sf(std::fabs(r.z));
+  }
+  return r;
+}
+
+}  // namespace rcr::stats

@@ -1,0 +1,131 @@
+// Contingency tables and the categorical association tests the survey
+// analysis runs on them (χ², G-test, Fisher exact, effect sizes).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace rcr::stats {
+
+// Dense r×c table of non-negative counts. Counts are doubles so weighted
+// (fractional) counts from the raking step flow through unchanged.
+class Contingency {
+ public:
+  Contingency(std::size_t rows, std::size_t cols);
+  Contingency(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  void add(std::size_t r, std::size_t c, double count = 1.0);
+
+  double row_total(std::size_t r) const;
+  double col_total(std::size_t c) const;
+  double grand_total() const;
+
+  // Expected count under independence: row_total * col_total / grand.
+  double expected(std::size_t r, std::size_t c) const;
+
+  // Drops all-zero rows and columns (degenerate categories break the tests).
+  Contingency without_empty_margins() const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> cells_;
+};
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+  double cramers_v = 0.0;   // bias-uncorrected Cramér's V
+  double min_expected = 0.0;  // smallest expected cell, for validity warnings
+};
+
+// Pearson χ² test of independence. Requires at least a 2×2 table with
+// positive margins everywhere (call without_empty_margins() first if needed).
+ChiSquareResult chi_square_independence(const Contingency& table);
+
+// Likelihood-ratio G-test of independence (same asymptotics as χ²).
+ChiSquareResult g_test_independence(const Contingency& table);
+
+// χ² goodness-of-fit of observed counts against expected proportions.
+ChiSquareResult chi_square_goodness_of_fit(std::span<const double> observed,
+                                           std::span<const double> expected_p);
+
+struct FisherResult {
+  double p_two_sided = 1.0;
+  double p_less = 1.0;     // P(table at least this extreme toward small a)
+  double p_greater = 1.0;  // toward large a
+  double odds_ratio = 1.0;  // conditional sample OR (ad/bc, inf-safe)
+};
+
+// Fisher's exact test on a 2×2 table of integer counts [[a,b],[c,d]].
+FisherResult fisher_exact(double a, double b, double c, double d);
+
+struct TwoProportionResult {
+  double p1 = 0.0, p2 = 0.0;
+  double diff = 0.0;       // p1 - p2
+  double z = 0.0;          // pooled z statistic
+  double p_value = 1.0;    // two-sided
+  double diff_ci_lo = 0.0; // unpooled Wald CI for the difference
+  double diff_ci_hi = 0.0;
+};
+
+// Two-sample proportion z-test: successes/trials per wave.
+TwoProportionResult two_proportion_test(double success1, double n1,
+                                        double success2, double n2,
+                                        double confidence = 0.95);
+
+// Sample odds ratio of a 2×2 table with Haldane–Anscombe 0.5 correction
+// applied only when a zero cell is present.
+double odds_ratio(double a, double b, double c, double d);
+
+struct MannWhitneyResult {
+  double u = 0.0;
+  double z = 0.0;       // normal approximation with tie correction
+  double p_value = 1.0; // two-sided
+  // Common-language effect size: P(X > Y) + 0.5 P(X == Y).
+  double effect_size = 0.5;
+};
+
+MannWhitneyResult mann_whitney_u(std::span<const double> x,
+                                 std::span<const double> y);
+
+// Holm–Bonferroni step-down adjustment; returns adjusted p-values in the
+// original order, each clamped to [0, 1] and enforced monotone.
+std::vector<double> holm_adjust(std::span<const double> p_values);
+
+// Benjamini–Hochberg FDR adjustment (step-up); returns adjusted p-values
+// ("q-values") in the original order, monotone and clamped to [0, 1].
+std::vector<double> benjamini_hochberg_adjust(
+    std::span<const double> p_values);
+
+struct McNemarResult {
+  double statistic = 0.0;  // continuity-corrected chi-squared (large samples)
+  double p_value = 1.0;    // exact binomial when discordant pairs < 26
+  bool exact = false;      // which method produced p_value
+};
+
+// McNemar's test for paired binary outcomes: `b` pairs changed 0→1 and
+// `c` pairs changed 1→0 (concordant pairs are irrelevant). Two-sided.
+McNemarResult mcnemar_test(double b, double c);
+
+struct TrendTestResult {
+  double z = 0.0;        // standardized Cochran–Armitage statistic
+  double p_value = 1.0;  // two-sided
+};
+
+// Cochran–Armitage test for a linear trend in proportions across ordered
+// groups. `successes[k]` / `trials[k]` are binomial counts at `scores[k]`
+// (e.g. years). Requires >= 2 groups with positive trials.
+TrendTestResult cochran_armitage_trend(std::span<const double> successes,
+                                       std::span<const double> trials,
+                                       std::span<const double> scores);
+
+}  // namespace rcr::stats

@@ -1,0 +1,51 @@
+// Permutation (randomization) tests: exact-in-the-limit p-values with no
+// distributional assumptions — the robustness companion to the z/χ² tests
+// for the survey's small-stratum comparisons. Embarrassingly parallel and
+// deterministic under a seed, like the bootstrap engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace rcr::parallel {
+class ThreadPool;
+}
+
+namespace rcr::stats {
+
+struct PermutationOptions {
+  std::size_t permutations = 5000;
+  std::uint64_t seed = 7;
+  rcr::parallel::ThreadPool* pool = nullptr;
+};
+
+struct PermutationResult {
+  double observed = 0.0;   // statistic on the real labeling
+  double p_value = 1.0;    // two-sided: P(|T*| >= |T|), +1 correction
+  double p_greater = 1.0;  // one-sided upper
+  double p_less = 1.0;     // one-sided lower
+  std::size_t permutations = 0;
+};
+
+// Generic two-sample permutation test. `statistic` maps (group_x, group_y)
+// to a scalar; labels are shuffled `permutations` times.
+using TwoSampleStatistic = std::function<double(
+    std::span<const double>, std::span<const double>)>;
+
+PermutationResult permutation_test(std::span<const double> x,
+                                   std::span<const double> y,
+                                   const TwoSampleStatistic& statistic,
+                                   const PermutationOptions& options = {});
+
+// Difference in means, mean(x) - mean(y).
+PermutationResult permutation_test_mean_diff(
+    std::span<const double> x, std::span<const double> y,
+    const PermutationOptions& options = {});
+
+// Difference in proportions for 0/1 data.
+PermutationResult permutation_test_proportion_diff(
+    std::span<const double> x, std::span<const double> y,
+    const PermutationOptions& options = {});
+
+}  // namespace rcr::stats

@@ -1,0 +1,87 @@
+#include "stats/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace rcr::stats {
+
+namespace {
+void validate_p(double p) {
+  RCR_CHECK_MSG(p > 0.0 && p < 1.0, "proportions must lie in (0,1)");
+}
+}  // namespace
+
+double two_proportion_power(double p1, double p2, double n, double alpha) {
+  validate_p(p1);
+  validate_p(p2);
+  RCR_CHECK_MSG(n > 1.0, "power needs n > 1");
+  RCR_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+  const double z_alpha = normal_quantile(1.0 - alpha / 2.0);
+  const double p_bar = 0.5 * (p1 + p2);
+  const double se0 = std::sqrt(2.0 * p_bar * (1.0 - p_bar) / n);
+  const double se1 =
+      std::sqrt(p1 * (1.0 - p1) / n + p2 * (1.0 - p2) / n);
+  const double delta = std::fabs(p2 - p1);
+  // P(reject) under the alternative, both tails (the far tail is
+  // negligible except for tiny effects, where it matters for correctness).
+  const double upper = (delta - z_alpha * se0) / se1;
+  const double lower = (-delta - z_alpha * se0) / se1;
+  return normal_cdf(upper) + normal_cdf(lower);
+}
+
+std::size_t two_proportion_sample_size(double p1, double p2, double power,
+                                       double alpha) {
+  validate_p(p1);
+  validate_p(p2);
+  RCR_CHECK_MSG(p1 != p2, "effect size is zero: no finite sample suffices");
+  RCR_CHECK_MSG(power > 0.0 && power < 1.0, "power must lie in (0,1)");
+  // Closed-form start, then step to the exact requirement.
+  const double z_a = normal_quantile(1.0 - alpha / 2.0);
+  const double z_b = normal_quantile(power);
+  const double p_bar = 0.5 * (p1 + p2);
+  const double delta = std::fabs(p2 - p1);
+  const double approx =
+      std::pow(z_a * std::sqrt(2.0 * p_bar * (1.0 - p_bar)) +
+                   z_b * std::sqrt(p1 * (1.0 - p1) + p2 * (1.0 - p2)),
+               2.0) /
+      (delta * delta);
+  auto n = static_cast<std::size_t>(std::max(2.0, std::floor(approx)));
+  while (two_proportion_power(p1, p2, static_cast<double>(n), alpha) < power)
+    ++n;
+  while (n > 2 && two_proportion_power(p1, p2, static_cast<double>(n - 1),
+                                       alpha) >= power)
+    --n;
+  return n;
+}
+
+double minimum_detectable_difference(double p1, double n1, double n2,
+                                     double power, double alpha) {
+  validate_p(p1);
+  RCR_CHECK_MSG(n1 > 1.0 && n2 > 1.0, "needs n > 1 in both groups");
+  RCR_CHECK_MSG(power > 0.0 && power < 1.0, "power must lie in (0,1)");
+  // Unequal-n power for a shift to p2 = p1 + d.
+  const auto power_at = [&](double d) {
+    const double p2 = std::min(1.0 - 1e-9, p1 + d);
+    const double z_alpha = normal_quantile(1.0 - alpha / 2.0);
+    const double p_bar = (n1 * p1 + n2 * p2) / (n1 + n2);
+    const double se0 =
+        std::sqrt(p_bar * (1.0 - p_bar) * (1.0 / n1 + 1.0 / n2));
+    const double se1 =
+        std::sqrt(p1 * (1.0 - p1) / n1 + p2 * (1.0 - p2) / n2);
+    return normal_cdf((d - z_alpha * se0) / se1) +
+           normal_cdf((-d - z_alpha * se0) / se1);
+  };
+  double lo = 0.0, hi = 1.0 - p1 - 1e-9;
+  RCR_CHECK_MSG(power_at(hi) >= power,
+                "requested power unreachable within (p1, 1)");
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (power_at(mid) >= power ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace rcr::stats

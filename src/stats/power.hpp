@@ -1,0 +1,28 @@
+// Power analysis for two-proportion comparisons — the calculation that
+// justifies wave sizes before fielding a survey ("how many respondents do
+// we need to detect a 10-point shift?").
+#pragma once
+
+#include <cstddef>
+
+namespace rcr::stats {
+
+// Power of the two-sided two-proportion z-test when the true proportions
+// are p1 and p2 and each group has n observations.
+double two_proportion_power(double p1, double p2, double n,
+                            double alpha = 0.05);
+
+// Smallest per-group n achieving the requested power for detecting
+// p1 vs p2 with a two-sided z-test. Throws if p1 == p2.
+std::size_t two_proportion_sample_size(double p1, double p2,
+                                       double power = 0.8,
+                                       double alpha = 0.05);
+
+// Minimum detectable difference |p2 - p1| around baseline p1 at the given
+// per-group sample sizes and power (solved by bisection on the upward
+// shift; symmetric for small effects).
+double minimum_detectable_difference(double p1, double n1, double n2,
+                                     double power = 0.8,
+                                     double alpha = 0.05);
+
+}  // namespace rcr::stats

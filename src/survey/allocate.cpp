@@ -1,0 +1,70 @@
+#include "survey/allocate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace rcr::survey {
+
+namespace {
+
+// Largest-remainder rounding of fractional shares summing to total_n.
+std::vector<std::size_t> largest_remainder(std::span<const double> weights,
+                                           std::size_t total_n) {
+  double wsum = 0.0;
+  for (double w : weights) {
+    RCR_CHECK_MSG(w >= 0.0, "allocation weights must be non-negative");
+    wsum += w;
+  }
+  RCR_CHECK_MSG(wsum > 0.0, "allocation weights must not all be zero");
+
+  const std::size_t k = weights.size();
+  std::vector<std::size_t> out(k, 0);
+  std::vector<double> remainder(k, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t h = 0; h < k; ++h) {
+    const double exact = static_cast<double>(total_n) * weights[h] / wsum;
+    out[h] = static_cast<std::size_t>(std::floor(exact));
+    remainder[h] = exact - std::floor(exact);
+    assigned += out[h];
+  }
+  // Distribute the leftover units to the largest remainders.
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainder[a] > remainder[b];
+  });
+  for (std::size_t i = 0; assigned < total_n; ++i) {
+    ++out[order[i % k]];
+    ++assigned;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> proportional_allocation(
+    std::span<const double> stratum_sizes, std::size_t total_n) {
+  RCR_CHECK_MSG(!stratum_sizes.empty(), "no strata");
+  RCR_CHECK_MSG(total_n > 0, "total_n must be positive");
+  return largest_remainder(stratum_sizes, total_n);
+}
+
+std::vector<std::size_t> neyman_allocation(
+    std::span<const double> stratum_sizes,
+    std::span<const double> stratum_stddevs, std::size_t total_n) {
+  RCR_CHECK_MSG(!stratum_sizes.empty(), "no strata");
+  RCR_CHECK_MSG(stratum_sizes.size() == stratum_stddevs.size(),
+                "sizes/stddevs length mismatch");
+  RCR_CHECK_MSG(total_n > 0, "total_n must be positive");
+  std::vector<double> weights(stratum_sizes.size());
+  for (std::size_t h = 0; h < weights.size(); ++h) {
+    RCR_CHECK_MSG(stratum_stddevs[h] >= 0.0, "stddevs must be non-negative");
+    weights[h] = stratum_sizes[h] * stratum_stddevs[h];
+  }
+  return largest_remainder(weights, total_n);
+}
+
+}  // namespace rcr::survey

@@ -1,0 +1,23 @@
+// Stratified-sample allocation: how many respondents to recruit per
+// stratum — the planning step before fielding a wave.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rcr::survey {
+
+// Proportional allocation: n_h ∝ N_h. Rounded by largest remainder so the
+// parts sum exactly to `total_n`; every stratum with N_h > 0 gets >= 1
+// when total_n >= number of non-empty strata.
+std::vector<std::size_t> proportional_allocation(
+    std::span<const double> stratum_sizes, std::size_t total_n);
+
+// Neyman allocation: n_h ∝ N_h * S_h (stratum size times within-stratum
+// stddev) — minimizes the variance of the stratified mean at fixed n.
+std::vector<std::size_t> neyman_allocation(
+    std::span<const double> stratum_sizes,
+    std::span<const double> stratum_stddevs, std::size_t total_n);
+
+}  // namespace rcr::survey

@@ -1,0 +1,141 @@
+#include "survey/impute.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::survey {
+
+namespace {
+
+// Donor row indices per stratum code, plus a global pool at the back.
+struct DonorPools {
+  std::vector<std::vector<std::size_t>> by_stratum;
+  std::vector<std::size_t> global;
+};
+
+template <typename IsMissingFn>
+DonorPools build_pools(const data::Table& table,
+                       const std::string& stratum_column,
+                       const IsMissingFn& target_missing) {
+  const auto& strata = table.categorical(stratum_column);
+  DonorPools pools;
+  pools.by_stratum.resize(strata.category_count());
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    if (target_missing(i)) continue;
+    pools.global.push_back(i);
+    if (!strata.is_missing(i))
+      pools.by_stratum[static_cast<std::size_t>(strata.code_at(i))]
+          .push_back(i);
+  }
+  return pools;
+}
+
+// Picks a donor for `row`: same stratum if possible, else the global pool.
+// Returns the table row index, or SIZE_MAX if no donor exists anywhere.
+std::size_t pick_donor(const DonorPools& pools,
+                       const data::CategoricalColumn& strata, std::size_t row,
+                       Rng& rng) {
+  const std::vector<std::size_t>* pool = &pools.global;
+  if (!strata.is_missing(row)) {
+    const auto& stratum_pool =
+        pools.by_stratum[static_cast<std::size_t>(strata.code_at(row))];
+    if (!stratum_pool.empty()) pool = &stratum_pool;
+  }
+  if (pool->empty()) return static_cast<std::size_t>(-1);
+  return (*pool)[rng.next_below(pool->size())];
+}
+
+}  // namespace
+
+ImputationReport hot_deck_impute(data::Table& table,
+                                 const std::string& target_column,
+                                 const std::string& stratum_column,
+                                 std::uint64_t seed) {
+  table.validate_rectangular();
+  const auto& strata = table.categorical(stratum_column);
+  Rng rng(seed);
+  ImputationReport report;
+
+  switch (table.kind(target_column)) {
+    case data::ColumnKind::kNumeric: {
+      auto& col = table.numeric(target_column);
+      const auto pools = build_pools(table, stratum_column, [&](std::size_t i) {
+        return data::NumericColumn::is_missing(col.at(i));
+      });
+      for (std::size_t i = 0; i < col.size(); ++i) {
+        if (!data::NumericColumn::is_missing(col.at(i))) continue;
+        const std::size_t donor = pick_donor(pools, strata, i, rng);
+        if (donor == static_cast<std::size_t>(-1)) {
+          ++report.unimputable_cells;
+          continue;
+        }
+        col.set(i, col.at(donor));
+        ++report.imputed_cells;
+      }
+      break;
+    }
+    case data::ColumnKind::kCategorical: {
+      auto& col = table.categorical(target_column);
+      const auto pools = build_pools(
+          table, stratum_column,
+          [&](std::size_t i) { return col.is_missing(i); });
+      for (std::size_t i = 0; i < col.size(); ++i) {
+        if (!col.is_missing(i)) continue;
+        const std::size_t donor = pick_donor(pools, strata, i, rng);
+        if (donor == static_cast<std::size_t>(-1)) {
+          ++report.unimputable_cells;
+          continue;
+        }
+        col.set_code(i, col.code_at(donor));
+        ++report.imputed_cells;
+      }
+      break;
+    }
+    case data::ColumnKind::kMultiSelect: {
+      auto& col = table.multiselect(target_column);
+      const auto pools = build_pools(
+          table, stratum_column,
+          [&](std::size_t i) { return col.is_missing(i); });
+      for (std::size_t i = 0; i < col.size(); ++i) {
+        if (!col.is_missing(i)) continue;
+        const std::size_t donor = pick_donor(pools, strata, i, rng);
+        if (donor == static_cast<std::size_t>(-1)) {
+          ++report.unimputable_cells;
+          continue;
+        }
+        col.set_mask(i, col.mask_at(donor));
+        ++report.imputed_cells;
+      }
+      break;
+    }
+  }
+  return report;
+}
+
+std::size_t missing_count(const data::Table& table,
+                          const std::string& column) {
+  std::size_t missing = 0;
+  switch (table.kind(column)) {
+    case data::ColumnKind::kNumeric: {
+      const auto& col = table.numeric(column);
+      for (std::size_t i = 0; i < col.size(); ++i)
+        if (data::NumericColumn::is_missing(col.at(i))) ++missing;
+      break;
+    }
+    case data::ColumnKind::kCategorical: {
+      const auto& col = table.categorical(column);
+      for (std::size_t i = 0; i < col.size(); ++i)
+        if (col.is_missing(i)) ++missing;
+      break;
+    }
+    case data::ColumnKind::kMultiSelect: {
+      const auto& col = table.multiselect(column);
+      for (std::size_t i = 0; i < col.size(); ++i)
+        if (col.is_missing(i)) ++missing;
+      break;
+    }
+  }
+  return missing;
+}
+
+}  // namespace rcr::survey

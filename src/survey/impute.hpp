@@ -1,0 +1,36 @@
+// Missing-data imputation for survey tables.
+//
+// Hot-deck imputation within strata: a missing answer is filled with the
+// answer of a randomly drawn "donor" respondent from the same stratum
+// (e.g. same field), preserving the within-stratum answer distribution —
+// the standard pragmatic treatment for modest survey nonresponse.
+// Imputation is deterministic under the given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.hpp"
+
+namespace rcr::survey {
+
+struct ImputationReport {
+  std::size_t imputed_cells = 0;
+  std::size_t unimputable_cells = 0;  // strata with no donor at all
+};
+
+// Fills missing values of `target_column` (numeric, categorical, or
+// multi-select) in place, drawing donors from rows with the same value of
+// `stratum_column` (a categorical column; rows with a missing stratum fall
+// back to the global donor pool).
+ImputationReport hot_deck_impute(data::Table& table,
+                                 const std::string& target_column,
+                                 const std::string& stratum_column,
+                                 std::uint64_t seed = 1234);
+
+// Count of missing cells in a column of any kind (for reporting).
+std::size_t missing_count(const data::Table& table,
+                          const std::string& column);
+
+}  // namespace rcr::survey

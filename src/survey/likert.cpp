@@ -1,0 +1,42 @@
+#include "survey/likert.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rcr::survey {
+
+LikertSummary summarize_likert(const data::Table& table,
+                               const std::string& column, int scale_points,
+                               int top_box_from, double confidence) {
+  RCR_CHECK_MSG(scale_points >= 2, "Likert scale needs >= 2 points");
+  if (top_box_from < 0) top_box_from = scale_points - 1;
+  RCR_CHECK_MSG(top_box_from >= 1 && top_box_from <= scale_points,
+                "top_box_from out of scale");
+
+  const auto values = table.numeric(column).present_values();
+  RCR_CHECK_MSG(!values.empty(), "no Likert answers in '" + column + "'");
+
+  LikertSummary s;
+  s.scale_points = scale_points;
+  s.top_box_from = top_box_from;
+  s.answered = values.size();
+  s.distribution.assign(static_cast<std::size_t>(scale_points), 0.0);
+
+  double top = 0.0;
+  for (double v : values) {
+    RCR_CHECK_MSG(v == std::floor(v) && v >= 1.0 && v <= scale_points,
+                  "unvalidated Likert value in '" + column + "'");
+    s.distribution[static_cast<std::size_t>(v) - 1] += 1.0;
+    if (v >= top_box_from) top += 1.0;
+  }
+  const double n = static_cast<double>(values.size());
+  for (double& d : s.distribution) d /= n;
+  s.mean = stats::mean(values);
+  s.median = stats::median(values);
+  s.top_box = stats::wilson_ci(top, n, confidence);
+  return s;
+}
+
+}  // namespace rcr::survey

@@ -1,0 +1,29 @@
+// Likert-scale summaries (agreement scales, time-allocation bands).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/table.hpp"
+#include "stats/ci.hpp"
+
+namespace rcr::survey {
+
+struct LikertSummary {
+  int scale_points = 5;
+  std::size_t answered = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  std::vector<double> distribution;   // share of answers at each point 1..k
+  stats::Interval top_box;            // Wilson CI on share at >= top_box_from
+  int top_box_from = 4;               // default: 4..5 on a 5-point scale
+};
+
+// Summarizes a Likert numeric column. Values must already be validated
+// (integers in 1..scale_points); missing answers are skipped.
+LikertSummary summarize_likert(const data::Table& table,
+                               const std::string& column, int scale_points,
+                               int top_box_from = -1,
+                               double confidence = 0.95);
+
+}  // namespace rcr::survey

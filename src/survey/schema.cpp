@@ -1,0 +1,180 @@
+#include "survey/schema.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rcr::survey {
+
+Question Question::single_choice(std::string id, std::string text,
+                                 std::vector<std::string> choices,
+                                 bool required) {
+  RCR_CHECK_MSG(choices.size() >= 2, "single-choice needs >= 2 choices");
+  Question q;
+  q.id = std::move(id);
+  q.text = std::move(text);
+  q.kind = QuestionKind::kSingleChoice;
+  q.choices = std::move(choices);
+  q.required = required;
+  return q;
+}
+
+Question Question::multi_select(std::string id, std::string text,
+                                std::vector<std::string> choices) {
+  RCR_CHECK_MSG(!choices.empty(), "multi-select needs choices");
+  Question q;
+  q.id = std::move(id);
+  q.text = std::move(text);
+  q.kind = QuestionKind::kMultiSelect;
+  q.choices = std::move(choices);
+  return q;
+}
+
+Question Question::likert(std::string id, std::string text, int scale_points) {
+  RCR_CHECK_MSG(scale_points >= 2 && scale_points <= 11,
+                "Likert scale must have 2..11 points");
+  Question q;
+  q.id = std::move(id);
+  q.text = std::move(text);
+  q.kind = QuestionKind::kLikert;
+  q.scale_points = scale_points;
+  return q;
+}
+
+Question Question::numeric(std::string id, std::string text) {
+  Question q;
+  q.id = std::move(id);
+  q.text = std::move(text);
+  q.kind = QuestionKind::kNumeric;
+  return q;
+}
+
+Questionnaire::Questionnaire(std::string name, std::vector<Question> questions)
+    : name_(std::move(name)), questions_(std::move(questions)) {
+  RCR_CHECK_MSG(!questions_.empty(), "questionnaire must have questions");
+  for (std::size_t i = 0; i < questions_.size(); ++i) {
+    RCR_CHECK_MSG(!questions_[i].id.empty(), "question id must be non-empty");
+    for (std::size_t j = i + 1; j < questions_.size(); ++j)
+      RCR_CHECK_MSG(questions_[i].id != questions_[j].id,
+                    "duplicate question id '" + questions_[i].id + "'");
+  }
+}
+
+bool Questionnaire::has_question(const std::string& id) const {
+  for (const auto& q : questions_)
+    if (q.id == id) return true;
+  return false;
+}
+
+const Question& Questionnaire::question(const std::string& id) const {
+  for (const auto& q : questions_)
+    if (q.id == id) return q;
+  throw InvalidInputError("no such question '" + id + "'");
+}
+
+data::Table Questionnaire::make_table() const {
+  data::Table table;
+  for (const auto& q : questions_) {
+    switch (q.kind) {
+      case QuestionKind::kSingleChoice:
+        table.add_categorical(q.id, q.choices);
+        break;
+      case QuestionKind::kMultiSelect:
+        table.add_multiselect(q.id, q.choices);
+        break;
+      case QuestionKind::kLikert:
+      case QuestionKind::kNumeric:
+        table.add_numeric(q.id);
+        break;
+    }
+  }
+  return table;
+}
+
+std::string render_codebook(const Questionnaire& questionnaire) {
+  std::string out = "# Codebook: " + questionnaire.name() + "\n";
+  for (const auto& q : questionnaire.questions()) {
+    out += "\n## `" + q.id + "`\n\n" + q.text + "\n\n";
+    switch (q.kind) {
+      case QuestionKind::kSingleChoice:
+        out += "* Type: single choice";
+        if (q.required) out += " (required)";
+        out += "\n* Choices:";
+        for (const auto& c : q.choices) out += " `" + c + "`";
+        out += "\n";
+        break;
+      case QuestionKind::kMultiSelect:
+        out += "* Type: multi-select\n* Options:";
+        for (const auto& c : q.choices) out += " `" + c + "`";
+        out += "\n";
+        break;
+      case QuestionKind::kLikert:
+        out += "* Type: Likert 1.." + std::to_string(q.scale_points) + "\n";
+        break;
+      case QuestionKind::kNumeric:
+        out += "* Type: numeric (non-negative)\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<ValidationIssue> validate_responses(const Questionnaire& q,
+                                                const data::Table& table) {
+  table.validate_rectangular();
+  std::vector<ValidationIssue> issues;
+  const std::size_t n = table.row_count();
+
+  for (const auto& question : q.questions()) {
+    if (!table.has_column(question.id)) {
+      issues.push_back({0, question.id, "column missing from table"});
+      continue;
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      switch (question.kind) {
+        case QuestionKind::kSingleChoice: {
+          const auto& col = table.categorical(question.id);
+          if (col.is_missing(row)) {
+            if (question.required)
+              issues.push_back({row, question.id, "required answer missing"});
+          }
+          break;
+        }
+        case QuestionKind::kMultiSelect: {
+          const auto& col = table.multiselect(question.id);
+          if (question.required && col.is_missing(row))
+            issues.push_back({row, question.id, "required answer missing"});
+          break;
+        }
+        case QuestionKind::kLikert: {
+          const double v = table.numeric(question.id).at(row);
+          if (data::NumericColumn::is_missing(v)) {
+            if (question.required)
+              issues.push_back({row, question.id, "required answer missing"});
+          } else if (v != std::floor(v) || v < 1.0 ||
+                     v > question.scale_points) {
+            issues.push_back(
+                {row, question.id,
+                 "Likert answer out of 1.." +
+                     std::to_string(question.scale_points)});
+          }
+          break;
+        }
+        case QuestionKind::kNumeric: {
+          const double v = table.numeric(question.id).at(row);
+          if (data::NumericColumn::is_missing(v)) {
+            if (question.required)
+              issues.push_back({row, question.id, "required answer missing"});
+          } else if (!std::isfinite(v) || v < 0.0) {
+            issues.push_back(
+                {row, question.id, "numeric answer must be finite and >= 0"});
+          }
+          break;
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace rcr::survey

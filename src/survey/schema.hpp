@@ -1,0 +1,80 @@
+// Questionnaire schema: the formal definition of what a survey wave asks.
+//
+// The schema is the single source of truth shared by the synthetic
+// generator (which fills it in), the CSV reader (which validates external
+// data against it), and the analysis layer (which consumes coded columns).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/table.hpp"
+
+namespace rcr::survey {
+
+enum class QuestionKind {
+  kSingleChoice,  // exactly one of `choices` (or missing)
+  kMultiSelect,   // any subset of `choices`
+  kLikert,        // integer scale 1..scale_points
+  kNumeric        // free non-negative number (cores, GB, hours, ...)
+};
+
+struct Question {
+  std::string id;     // column name, e.g. "primary_language"
+  std::string text;   // wording shown to respondents
+  QuestionKind kind = QuestionKind::kSingleChoice;
+  std::vector<std::string> choices;  // single-choice / multi-select only
+  int scale_points = 5;              // Likert only
+  bool required = false;             // validation rejects missing answers
+
+  static Question single_choice(std::string id, std::string text,
+                                std::vector<std::string> choices,
+                                bool required = false);
+  static Question multi_select(std::string id, std::string text,
+                               std::vector<std::string> choices);
+  static Question likert(std::string id, std::string text,
+                         int scale_points = 5);
+  static Question numeric(std::string id, std::string text);
+};
+
+class Questionnaire {
+ public:
+  Questionnaire(std::string name, std::vector<Question> questions);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Question>& questions() const { return questions_; }
+  std::size_t size() const { return questions_.size(); }
+
+  bool has_question(const std::string& id) const;
+  const Question& question(const std::string& id) const;
+
+  // Builds an empty data::Table whose columns mirror the questionnaire:
+  // single-choice -> frozen categorical, multi-select -> multiselect,
+  // Likert & numeric -> numeric.
+  data::Table make_table() const;
+
+ private:
+  std::string name_;
+  std::vector<Question> questions_;
+};
+
+// Renders the questionnaire as a markdown codebook: one section per
+// question with id, wording, type, and answer set — the artifact a survey
+// methods appendix publishes.
+std::string render_codebook(const Questionnaire& questionnaire);
+
+// One validation problem found in a response table.
+struct ValidationIssue {
+  std::size_t row = 0;
+  std::string question_id;
+  std::string message;
+};
+
+// Checks a table (typically CSV-ingested) against the questionnaire:
+// Likert answers within scale, numeric answers finite and non-negative,
+// required questions answered. Returns all issues; empty means valid.
+std::vector<ValidationIssue> validate_responses(const Questionnaire& q,
+                                                const data::Table& table);
+
+}  // namespace rcr::survey

@@ -1,0 +1,199 @@
+#include "synth/calibration.hpp"
+
+#include "util/error.hpp"
+
+namespace rcr::synth {
+
+namespace {
+
+// Index helpers documenting the order of the label vectors in domain.cpp.
+// Languages: MATLAB, C, C++, Fortran, Python, R, Julia, Java, Shell, Rust.
+// Resources: Multicore, Cluster, GPU, Cloud.
+// Fields: Physics, Chemistry, Biology, Engineering, CS, Math,
+//         Earth/Climate, Social Sci.
+
+WaveParams make_2011() {
+  WaveParams p;
+  p.wave = Wave::k2011;
+  // A 2011 campus sample skews toward the computationally active sciences.
+  p.field_mix = {0.16, 0.12, 0.14, 0.18, 0.14, 0.08, 0.10, 0.08};
+  p.career_mix = {0.52, 0.18, 0.18, 0.12};  // grad-heavy, as in 2011
+
+  // 2011 anchor: MATLAB the most common research language; C/C++ strong;
+  // Fortran alive in simulation fields; Python rising but not dominant;
+  // Julia/Rust effectively nonexistent.
+  p.language_base = {
+      0.48,  // MATLAB
+      0.30,  // C
+      0.32,  // C++
+      0.18,  // Fortran
+      0.30,  // Python
+      0.18,  // R
+      0.00,  // Julia (pre-release in 2011)
+      0.16,  // Java
+      0.22,  // Shell
+      0.00,  // Rust (pre-release in 2011)
+  };
+
+  // 2011 anchor: most researchers run serial or single-node jobs; cluster
+  // use a strong minority; GPU nascent; cloud rare.
+  p.resource_base = {0.42, 0.28, 0.08, 0.04};
+
+  // Models among parallel users: OpenMP, MPI, CUDA/HIP, Threads,
+  // Task framework, SIMD.
+  p.model_base = {0.38, 0.45, 0.30, 0.30, 0.08, 0.10};
+
+  // 2011 anchor: weak software-engineering practice adoption — VCS usage
+  // was far from universal, testing/CI/review rare.
+  // Version control, Unit tests, CI, Code review, Issue tracking, Docs.
+  p.se_base = {0.42, 0.18, 0.04, 0.10, 0.12, 0.30};
+
+  // Tools: Debugger, Profiler, Build system, Job scheduler, Containers.
+  p.tool_aware_base = {0.80, 0.55, 0.60, 0.45, 0.02};
+  p.tool_used_given_aware = {0.55, 0.30, 0.55, 0.60, 0.30};
+
+  // Median dataset well under a few GB in 2011.
+  p.dataset_log_gb_mu = -0.7;   // median ~0.5 GB
+  p.dataset_log_gb_sigma = 2.2; // heavy tail into the TB range
+
+  p.cores_log2_mu = 4.0;  // cluster jobs around 16 cores
+  p.cores_log2_sd = 1.6;
+
+  p.time_programming_mean = 3.1;  // ~35% of research time programming
+  p.expertise_mean = 2.9;
+  p.years_mu = 1.6;   // median ~5 years
+  p.years_sigma = 0.7;
+  p.missing_rate = 0.04;
+  return p;
+}
+
+WaveParams make_2024() {
+  WaveParams p;
+  p.wave = Wave::k2024;
+  // 2024: computational work has spread; CS/ML and data-heavy bio grow.
+  p.field_mix = {0.14, 0.10, 0.16, 0.17, 0.17, 0.07, 0.10, 0.09};
+  p.career_mix = {0.48, 0.20, 0.18, 0.14};
+
+  // 2024 anchor: Python dominant; MATLAB and Fortran receding; R steady in
+  // data-heavy fields; Julia and Rust present but niche.
+  p.language_base = {
+      0.26,  // MATLAB
+      0.20,  // C
+      0.28,  // C++
+      0.08,  // Fortran
+      0.82,  // Python
+      0.26,  // R
+      0.07,  // Julia
+      0.10,  // Java
+      0.38,  // Shell
+      0.04,  // Rust
+  };
+
+  // 2024 anchor: multicore ubiquitous, cluster use mainstream, GPU heavily
+  // adopted (ML), cloud a real option.
+  p.resource_base = {0.68, 0.46, 0.38, 0.22};
+
+  // OpenMP steady, MPI slightly diluted by frameworks, CUDA way up,
+  // task frameworks (Dask/Spark/Ray-style) mainstream.
+  p.model_base = {0.35, 0.38, 0.55, 0.35, 0.30, 0.12};
+
+  // 2024 anchor: version control near-universal; tests/CI/review normal
+  // practice in larger groups though far from complete.
+  p.se_base = {0.88, 0.45, 0.30, 0.35, 0.42, 0.45};
+
+  p.tool_aware_base = {0.85, 0.65, 0.75, 0.70, 0.65};
+  p.tool_used_given_aware = {0.55, 0.35, 0.70, 0.70, 0.55};
+
+  // Datasets grew by ~2 orders of magnitude at the median.
+  p.dataset_log_gb_mu = 2.3;   // median ~10 GB
+  p.dataset_log_gb_sigma = 2.5;
+
+  p.cores_log2_mu = 5.5;  // cluster jobs around 32–64 cores
+  p.cores_log2_sd = 1.8;
+
+  p.time_programming_mean = 3.5;
+  p.expertise_mean = 3.2;
+  p.years_mu = 1.8;
+  p.years_sigma = 0.7;
+  p.missing_rate = 0.03;
+  return p;
+}
+
+void validate(const WaveParams& p) {
+  RCR_CHECK(p.field_mix.size() == fields().size());
+  RCR_CHECK(p.career_mix.size() == career_stages().size());
+  RCR_CHECK(p.language_base.size() == languages().size());
+  RCR_CHECK(p.resource_base.size() == parallel_resources().size());
+  RCR_CHECK(p.model_base.size() == parallel_models().size());
+  RCR_CHECK(p.se_base.size() == se_practices().size());
+  RCR_CHECK(p.tool_aware_base.size() == dev_tools().size());
+  RCR_CHECK(p.tool_used_given_aware.size() == dev_tools().size());
+}
+
+}  // namespace
+
+const WaveParams& params_for(Wave wave) {
+  static const WaveParams w2011 = [] {
+    auto p = make_2011();
+    validate(p);
+    return p;
+  }();
+  static const WaveParams w2024 = [] {
+    auto p = make_2024();
+    validate(p);
+    return p;
+  }();
+  return wave == Wave::k2011 ? w2011 : w2024;
+}
+
+double field_language_multiplier(std::size_t field, std::size_t lang) {
+  // Rows: fields (Physics, Chemistry, Biology, Engineering, CS, Math,
+  // Earth/Climate, Social Sci). Columns: languages (MATLAB, C, C++,
+  // Fortran, Python, R, Julia, Java, Shell, Rust).
+  static const double kMult[8][10] = {
+      // Physics: Fortran/C++ simulation culture, little R.
+      {0.9, 1.3, 1.3, 2.2, 1.0, 0.3, 1.3, 0.6, 1.2, 0.8},
+      // Chemistry: Fortran packages, MATLAB analysis.
+      {1.1, 1.0, 1.0, 1.8, 1.0, 0.6, 0.8, 0.6, 1.0, 0.5},
+      // Biology: R/Python pipelines, little Fortran.
+      {0.7, 0.5, 0.5, 0.2, 1.1, 2.2, 0.6, 0.7, 1.2, 0.5},
+      // Engineering: MATLAB stronghold, C/C++ embedded work.
+      {1.6, 1.2, 1.2, 0.9, 0.9, 0.3, 0.8, 0.9, 0.9, 1.0},
+      // Computer Sci: systems languages, no MATLAB culture.
+      {0.4, 1.5, 1.7, 0.3, 1.1, 0.4, 1.0, 1.5, 1.3, 2.5},
+      // Mathematics: MATLAB/Julia lean, modest everything else.
+      {1.3, 0.7, 0.8, 0.8, 0.9, 0.7, 2.2, 0.5, 0.7, 0.6},
+      // Earth/Climate: Fortran models, Python analysis.
+      {0.8, 0.8, 0.8, 2.5, 1.1, 1.0, 0.7, 0.4, 1.2, 0.4},
+      // Social Sci: R/Stata-style statistics, little systems code.
+      {0.6, 0.3, 0.3, 0.1, 0.9, 2.8, 0.4, 0.5, 0.6, 0.2},
+  };
+  RCR_DCHECK(field < 8 && lang < 10);
+  return kMult[field][lang];
+}
+
+double field_resource_multiplier(std::size_t field, std::size_t resource) {
+  // Columns: Multicore, Cluster, GPU, Cloud.
+  static const double kMult[8][4] = {
+      {1.1, 1.5, 1.1, 0.8},  // Physics
+      {1.0, 1.3, 0.9, 0.7},  // Chemistry
+      {1.0, 1.0, 0.9, 1.2},  // Biology (pipelines, cloud genomics)
+      {1.1, 1.1, 1.1, 0.9},  // Engineering
+      {1.1, 1.0, 1.5, 1.5},  // Computer Sci (ML, cloud-native)
+      {0.9, 0.8, 0.7, 0.6},  // Mathematics
+      {1.0, 1.6, 0.9, 0.9},  // Earth/Climate (big simulations)
+      {0.7, 0.3, 0.3, 0.8},  // Social Sci
+  };
+  RCR_DCHECK(field < 8 && resource < 4);
+  return kMult[field][resource];
+}
+
+double field_intensity_shift(std::size_t field) {
+  // Additive shift on the latent programming-intensity mean (in [0,1]).
+  static const double kShift[8] = {0.05,  0.0,  -0.02, 0.04,
+                                   0.18, 0.02, 0.05,  -0.12};
+  RCR_DCHECK(field < 8);
+  return kShift[field];
+}
+
+}  // namespace rcr::synth

@@ -1,0 +1,83 @@
+// Calibration targets for the synthetic respondent population.
+//
+// Every number here is an explicit modeling assumption, standing in for the
+// unavailable human-subject data. Anchors:
+//   * 2011 wave — published findings of "A Survey of the Practice of
+//     Computational Science" (Prabhu et al., SC 2011): MATLAB-centric
+//     scripting, C/C++/Fortran for performance, majority of researchers
+//     effectively serial, scarce software-engineering practice adoption,
+//     GPU use nascent.
+//   * 2024 wave — well-documented ecosystem shifts a revisit would find:
+//     Python dominance, MATLAB/Fortran decline, Julia/Rust entry, broad
+//     version-control adoption, mainstream GPU + cluster/cloud use, larger
+//     datasets.
+// EXPERIMENTS.md lists, per experiment, which of these anchors drive it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "synth/domain.hpp"
+
+namespace rcr::synth {
+
+// All probabilities are baselines for an average respondent; the generator
+// modulates them by field multipliers and per-respondent latent traits.
+struct WaveParams {
+  Wave wave = Wave::k2011;
+
+  // Population strata (normalized by the generator).
+  std::vector<double> field_mix;   // over fields()
+  std::vector<double> career_mix;  // over career_stages()
+
+  // P(uses language l) baseline, over languages().
+  std::vector<double> language_base;
+
+  // P(routinely uses resource r) baseline, over parallel_resources().
+  std::vector<double> resource_base;
+
+  // P(uses model m | has a matching resource), over parallel_models().
+  std::vector<double> model_base;
+
+  // P(practice p) baseline, over se_practices().
+  std::vector<double> se_base;
+
+  // P(aware of tool t) baseline and P(uses | aware), over dev_tools().
+  std::vector<double> tool_aware_base;
+  std::vector<double> tool_used_given_aware;
+
+  // Typical dataset size: lognormal over GB.
+  double dataset_log_gb_mu = 0.0;
+  double dataset_log_gb_sigma = 1.0;
+
+  // Cluster job width: cores = 2^round(N(mu, sd)) for cluster users.
+  double cores_log2_mu = 3.0;
+  double cores_log2_sd = 1.5;
+
+  // Likert means (1..5): research time spent programming, self expertise.
+  double time_programming_mean = 3.0;
+  double expertise_mean = 3.0;
+
+  // Years programming: lognormal parameters.
+  double years_mu = 1.6;
+  double years_sigma = 0.6;
+
+  // Probability an optional question is left unanswered.
+  double missing_rate = 0.03;
+};
+
+// Immutable parameters for each wave.
+const WaveParams& params_for(Wave wave);
+
+// Field-specific multiplier applied to language_base[lang] for respondents
+// in fields()[field]. Encodes e.g. "Social Sci leans R, CS leans C++".
+double field_language_multiplier(std::size_t field, std::size_t lang);
+
+// Field-specific multiplier on resource_base[resource] ("Physics and
+// Engineering lean on clusters; Social Sci rarely does").
+double field_resource_multiplier(std::size_t field, std::size_t resource);
+
+// Field-specific multiplier on the latent programming-intensity trait mean.
+double field_intensity_shift(std::size_t field);
+
+}  // namespace rcr::synth

@@ -1,0 +1,104 @@
+#include "synth/domain.hpp"
+
+namespace rcr::synth {
+
+const std::vector<std::string>& fields() {
+  static const std::vector<std::string> v = {
+      "Physics",      "Chemistry",   "Biology",        "Engineering",
+      "Computer Sci", "Mathematics", "Earth/Climate",  "Social Sci"};
+  return v;
+}
+
+const std::vector<std::string>& career_stages() {
+  static const std::vector<std::string> v = {
+      "Grad student", "Postdoc", "Faculty", "Research staff"};
+  return v;
+}
+
+const std::vector<std::string>& languages() {
+  static const std::vector<std::string> v = {
+      "MATLAB", "C",  "C++",   "Fortran", "Python", "R",
+      "Julia",  "Java", "Shell", "Rust"};
+  return v;
+}
+
+const std::vector<std::string>& parallel_resources() {
+  static const std::vector<std::string> v = {
+      "Multicore node", "Cluster", "GPU", "Cloud"};
+  return v;
+}
+
+const std::vector<std::string>& parallel_models() {
+  static const std::vector<std::string> v = {
+      "OpenMP",        "MPI",  "CUDA/HIP", "Threads",
+      "Task framework", "SIMD"};
+  return v;
+}
+
+const std::vector<std::string>& se_practices() {
+  static const std::vector<std::string> v = {
+      "Version control", "Unit tests",     "Continuous integration",
+      "Code review",     "Issue tracking", "Documentation"};
+  return v;
+}
+
+const std::vector<std::string>& dev_tools() {
+  static const std::vector<std::string> v = {
+      "Debugger", "Profiler", "Build system", "Job scheduler", "Containers"};
+  return v;
+}
+
+const std::vector<std::string>& gpu_usage_levels() {
+  static const std::vector<std::string> v = {"Never", "Occasionally",
+                                             "Regularly"};
+  return v;
+}
+
+const survey::Questionnaire& instrument() {
+  using survey::Question;
+  static const survey::Questionnaire q(
+      "computation-for-research",
+      {
+          Question::single_choice(col::kField, "Primary research field",
+                                  fields(), /*required=*/true),
+          Question::single_choice(col::kCareerStage, "Career stage",
+                                  career_stages(), /*required=*/true),
+          Question::numeric(col::kYearsProgramming,
+                            "Years of programming experience"),
+          Question::likert(col::kTimeProgramming,
+                           "Share of research time spent programming "
+                           "(1 = <10% ... 5 = >75%)"),
+          Question::multi_select(col::kLanguages,
+                                 "Programming languages used in research",
+                                 languages()),
+          Question::single_choice(col::kPrimaryLanguage,
+                                  "Primary programming language", languages()),
+          Question::multi_select(col::kParallelResources,
+                                 "Parallel compute resources routinely used",
+                                 parallel_resources()),
+          Question::multi_select(col::kParallelModels,
+                                 "Parallel programming models used",
+                                 parallel_models()),
+          Question::numeric(col::kCoresTypical,
+                            "Typical number of cores used by one job"),
+          Question::single_choice(col::kGpuUsage,
+                                  "How often do you use GPUs?",
+                                  gpu_usage_levels()),
+          Question::multi_select(col::kSePractices,
+                                 "Software engineering practices used",
+                                 se_practices()),
+          Question::multi_select(col::kToolsAware,
+                                 "Developer tools you are aware of",
+                                 dev_tools()),
+          Question::multi_select(col::kToolsUsed,
+                                 "Developer tools you actually use",
+                                 dev_tools()),
+          Question::numeric(col::kDatasetGb,
+                            "Typical dataset size (GB)"),
+          Question::likert(col::kExpertise,
+                           "Self-rated programming expertise (1..5)"),
+      });
+  return q;
+}
+
+}  // namespace rcr::synth

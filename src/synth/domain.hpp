@@ -1,0 +1,68 @@
+// Domain vocabulary of the two-wave study: strata, answer sets, and the
+// shared questionnaire. Every label here is a column/category name used
+// consistently by the generator, the analysis layer, and the reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "survey/schema.hpp"
+
+namespace rcr::synth {
+
+enum class Wave { k2011, k2024 };
+
+inline const char* wave_label(Wave w) {
+  return w == Wave::k2011 ? "2011" : "2024";
+}
+
+// Research fields (strata). Mirrors the departments the 2011 field study
+// drew from, with the additions a 2024 revisit would need.
+const std::vector<std::string>& fields();
+
+// Career stages.
+const std::vector<std::string>& career_stages();
+
+// Programming languages asked about. The union of both waves' lists; Julia
+// and Rust simply have ~zero share in 2011.
+const std::vector<std::string>& languages();
+
+// Parallel computing resources ("which do you routinely use?").
+const std::vector<std::string>& parallel_resources();
+
+// Parallel programming models (asked of parallel users).
+const std::vector<std::string>& parallel_models();
+
+// Software-engineering practices.
+const std::vector<std::string>& se_practices();
+
+// Developer tools (asked twice: aware-of and actually-use).
+const std::vector<std::string>& dev_tools();
+
+// GPU usage frequency scale.
+const std::vector<std::string>& gpu_usage_levels();
+
+// Column ids used throughout the toolkit.
+namespace col {
+inline constexpr const char* kField = "field";
+inline constexpr const char* kCareerStage = "career_stage";
+inline constexpr const char* kYearsProgramming = "years_programming";
+inline constexpr const char* kTimeProgramming = "time_programming";  // Likert 5
+inline constexpr const char* kLanguages = "languages";
+inline constexpr const char* kPrimaryLanguage = "primary_language";
+inline constexpr const char* kParallelResources = "parallel_resources";
+inline constexpr const char* kParallelModels = "parallel_models";
+inline constexpr const char* kCoresTypical = "cores_typical";
+inline constexpr const char* kGpuUsage = "gpu_usage";
+inline constexpr const char* kSePractices = "se_practices";
+inline constexpr const char* kToolsAware = "tools_aware";
+inline constexpr const char* kToolsUsed = "tools_used";
+inline constexpr const char* kDatasetGb = "dataset_size_gb";
+inline constexpr const char* kExpertise = "self_rated_expertise";  // Likert 5
+}  // namespace col
+
+// The questionnaire both waves share (the 2024 revisit re-asked the 2011
+// instrument so trends are comparable; that is what this models).
+const survey::Questionnaire& instrument();
+
+}  // namespace rcr::synth

@@ -1,0 +1,261 @@
+#include "trend/trend.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rcr::trend {
+
+const char* direction_label(Direction d) {
+  switch (d) {
+    case Direction::kIncrease: return "increase";
+    case Direction::kDecrease: return "decrease";
+    case Direction::kStable: return "stable";
+  }
+  return "?";
+}
+
+namespace {
+
+ShareTrend build_trend(const std::string& name, double count1, double n1,
+                       double count2, double n2, double confidence) {
+  RCR_CHECK_MSG(n1 > 0.0 && n2 > 0.0,
+                "trend '" + name + "': both waves need answered rows");
+  ShareTrend t;
+  t.indicator = name;
+  t.count1 = count1;
+  t.n1 = n1;
+  t.count2 = count2;
+  t.n2 = n2;
+  t.share1 = stats::wilson_ci(count1, n1, confidence);
+  t.share2 = stats::wilson_ci(count2, n2, confidence);
+  // Convention: "wave 2 vs wave 1", so p1 = new wave share.
+  t.test = stats::two_proportion_test(count2, n2, count1, n1, confidence);
+  t.odds_ratio =
+      stats::odds_ratio(count2, n2 - count2, count1, n1 - count1);
+  return t;
+}
+
+// Counts (selected, answered) for a multi-select option in one table.
+std::pair<double, double> option_counts(const data::Table& table,
+                                        const std::string& column,
+                                        const std::string& option) {
+  const auto& col = table.multiselect(column);
+  const std::int32_t o = col.find_option(option);
+  RCR_CHECK_MSG(o >= 0, "unknown option '" + option + "'");
+  double count = 0.0, n = 0.0;
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    if (col.is_missing(i)) continue;
+    n += 1.0;
+    if (col.has(i, static_cast<std::size_t>(o))) count += 1.0;
+  }
+  return {count, n};
+}
+
+std::pair<double, double> category_counts(const data::Table& table,
+                                          const std::string& column,
+                                          const std::string& label) {
+  const auto& col = table.categorical(column);
+  const std::int32_t code = col.find_code(label);
+  RCR_CHECK_MSG(code >= 0, "unknown category '" + label + "'");
+  double count = 0.0, n = 0.0;
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    if (col.is_missing(i)) continue;
+    n += 1.0;
+    if (col.code_at(i) == code) count += 1.0;
+  }
+  return {count, n};
+}
+
+}  // namespace
+
+ShareTrend compare_option(const data::Table& wave1, const data::Table& wave2,
+                          const std::string& column, const std::string& option,
+                          double confidence) {
+  const auto [c1, n1] = option_counts(wave1, column, option);
+  const auto [c2, n2] = option_counts(wave2, column, option);
+  return build_trend(option, c1, n1, c2, n2, confidence);
+}
+
+ShareTrend compare_category(const data::Table& wave1, const data::Table& wave2,
+                            const std::string& column,
+                            const std::string& label, double confidence) {
+  const auto [c1, n1] = category_counts(wave1, column, label);
+  const auto [c2, n2] = category_counts(wave2, column, label);
+  return build_trend(label, c1, n1, c2, n2, confidence);
+}
+
+ShareTrend compare_predicate(
+    const data::Table& wave1, const data::Table& wave2,
+    const std::string& indicator_name,
+    const std::function<std::optional<bool>(const data::Table&, std::size_t)>&
+        predicate,
+    double confidence) {
+  const auto count_wave = [&](const data::Table& t) {
+    double count = 0.0, n = 0.0;
+    for (std::size_t i = 0; i < t.row_count(); ++i) {
+      const auto v = predicate(t, i);
+      if (!v) continue;
+      n += 1.0;
+      if (*v) count += 1.0;
+    }
+    return std::pair<double, double>{count, n};
+  };
+  const auto [c1, n1] = count_wave(wave1);
+  const auto [c2, n2] = count_wave(wave2);
+  return build_trend(indicator_name, c1, n1, c2, n2, confidence);
+}
+
+void adjust_and_classify(std::vector<ShareTrend>& trends, double alpha,
+                         Multiplicity method) {
+  RCR_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+  if (trends.empty()) return;
+  std::vector<double> raw;
+  raw.reserve(trends.size());
+  for (const auto& t : trends) raw.push_back(t.test.p_value);
+  const auto adjusted = method == Multiplicity::kHolm
+                            ? stats::holm_adjust(raw)
+                            : stats::benjamini_hochberg_adjust(raw);
+  for (std::size_t i = 0; i < trends.size(); ++i) {
+    trends[i].p_adjusted = adjusted[i];
+    if (adjusted[i] < alpha) {
+      trends[i].direction = trends[i].test.diff > 0.0 ? Direction::kIncrease
+                                                      : Direction::kDecrease;
+    } else {
+      trends[i].direction = Direction::kStable;
+    }
+  }
+}
+
+std::vector<ShareTrend> option_battery(const data::Table& wave1,
+                                       const data::Table& wave2,
+                                       const std::string& column, double alpha,
+                                       double confidence) {
+  const auto& col = wave1.multiselect(column);
+  std::vector<ShareTrend> trends;
+  trends.reserve(col.option_count());
+  for (std::size_t o = 0; o < col.option_count(); ++o)
+    trends.push_back(
+        compare_option(wave1, wave2, column, col.option(o), confidence));
+  adjust_and_classify(trends, alpha);
+  return trends;
+}
+
+std::vector<ShareTrend> per_group_trend(const data::Table& wave1,
+                                        const data::Table& wave2,
+                                        const std::string& group_column,
+                                        const std::string& option_column,
+                                        const std::string& option,
+                                        std::size_t min_group_n, double alpha,
+                                        double confidence) {
+  const auto& groups1 = wave1.categorical(group_column);
+  const auto& groups2 = wave2.categorical(group_column);
+  RCR_CHECK_MSG(groups1.categories() == groups2.categories(),
+                "waves disagree on the categories of '" + group_column + "'");
+  std::vector<ShareTrend> trends;
+  for (const auto& label : groups1.categories()) {
+    const data::Table g1 = wave1.filter_equals(group_column, label);
+    const data::Table g2 = wave2.filter_equals(group_column, label);
+    if (g1.row_count() < min_group_n || g2.row_count() < min_group_n)
+      continue;
+    auto t = compare_option(g1, g2, option_column, option, confidence);
+    t.indicator = label;
+    trends.push_back(std::move(t));
+  }
+  adjust_and_classify(trends, alpha);
+  return trends;
+}
+
+double AdoptionCurve::predict(double year) const {
+  return stats::sigmoid(intercept + slope_per_year * (year - 2011.0));
+}
+
+AdoptionCurve fit_adoption_curve(const data::Table& wave1, double year1,
+                                 const data::Table& wave2, double year2,
+                                 const std::string& column,
+                                 const std::string& option) {
+  RCR_CHECK_MSG(year2 > year1, "waves must be time-ordered");
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  const auto append = [&](const data::Table& t, double year) {
+    const auto& col = t.multiselect(column);
+    const std::int32_t o = col.find_option(option);
+    RCR_CHECK_MSG(o >= 0, "unknown option '" + option + "'");
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      if (col.is_missing(i)) continue;
+      xs.push_back({year - 2011.0});
+      ys.push_back(col.has(i, static_cast<std::size_t>(o)) ? 1.0 : 0.0);
+    }
+  };
+  append(wave1, year1);
+  append(wave2, year2);
+  RCR_CHECK_MSG(xs.size() >= 4, "adoption fit needs data in both waves");
+
+  // Mild ridge keeps the fit finite when adoption is 0% or 100% in a wave.
+  const auto fit = stats::logistic_fit(xs, ys, {}, /*ridge_lambda=*/1e-4);
+  AdoptionCurve c;
+  c.intercept = fit.coefficients[0];
+  c.slope_per_year = fit.coefficients[1];
+  c.converged = fit.converged;
+  c.midpoint_year =
+      c.slope_per_year != 0.0 ? 2011.0 - c.intercept / c.slope_per_year
+                              : std::numeric_limits<double>::quiet_NaN();
+  c.share_2011 = c.predict(year1);
+  c.share_2024 = c.predict(year2);
+  return c;
+}
+
+double TransitionCounts::share_before() const {
+  const double n = pairs();
+  return n > 0.0 ? (kept + abandoned) / n : 0.0;
+}
+
+double TransitionCounts::share_after() const {
+  const double n = pairs();
+  return n > 0.0 ? (kept + adopted) / n : 0.0;
+}
+
+TransitionCounts option_transitions(const data::Table& wave1,
+                                    const data::Table& wave2,
+                                    const std::string& column,
+                                    const std::string& option) {
+  const auto& c1 = wave1.multiselect(column);
+  const auto& c2 = wave2.multiselect(column);
+  RCR_CHECK_MSG(c1.size() == c2.size(),
+                "panel waves must have the same (paired) rows");
+  const std::int32_t o1 = c1.find_option(option);
+  const std::int32_t o2 = c2.find_option(option);
+  RCR_CHECK_MSG(o1 >= 0 && o1 == o2, "option mismatch across waves");
+
+  TransitionCounts t;
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    if (c1.is_missing(i) || c2.is_missing(i)) continue;
+    const bool before = c1.has(i, static_cast<std::size_t>(o1));
+    const bool after = c2.has(i, static_cast<std::size_t>(o1));
+    if (before && after) t.kept += 1.0;
+    else if (!before && after) t.adopted += 1.0;
+    else if (before && !after) t.abandoned += 1.0;
+    else t.never += 1.0;
+  }
+  t.mcnemar = stats::mcnemar_test(t.adopted, t.abandoned);
+  return t;
+}
+
+stats::ChiSquareResult distribution_shift_test(const data::Table& wave1,
+                                               const data::Table& wave2,
+                                               const std::string& column) {
+  const auto& c1 = wave1.categorical(column);
+  const auto& c2 = wave2.categorical(column);
+  RCR_CHECK_MSG(c1.categories() == c2.categories(),
+                "waves disagree on the category set of '" + column + "'");
+  stats::Contingency table(2, c1.category_count());
+  const auto counts1 = c1.counts();
+  const auto counts2 = c2.counts();
+  for (std::size_t c = 0; c < counts1.size(); ++c) {
+    table.at(0, c) = counts1[c];
+    table.at(1, c) = counts2[c];
+  }
+  return stats::chi_square_independence(table.without_empty_margins());
+}
+
+}  // namespace rcr::trend

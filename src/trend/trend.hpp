@@ -1,0 +1,134 @@
+// Two-wave trend analysis: the statistical core of the "Practices and
+// Trends" comparison between the 2011 study and the 2024 revisit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/table.hpp"
+#include "stats/ci.hpp"
+#include "stats/contingency.hpp"
+#include "stats/regression.hpp"
+
+namespace rcr::trend {
+
+enum class Direction { kIncrease, kDecrease, kStable };
+
+const char* direction_label(Direction d);
+
+// Share of one indicator in each wave plus the cross-wave test.
+struct ShareTrend {
+  std::string indicator;
+  double count1 = 0.0, n1 = 0.0;   // wave 1 (2011)
+  double count2 = 0.0, n2 = 0.0;   // wave 2 (2024)
+  stats::Interval share1;          // Wilson CI
+  stats::Interval share2;
+  stats::TwoProportionResult test; // pooled z, two-sided p
+  double odds_ratio = 1.0;         // wave2 odds / wave1 odds
+  double p_adjusted = 1.0;         // Holm-adjusted within a battery
+  Direction direction = Direction::kStable;
+};
+
+// Indicator = "respondent selected `option` of multi-select `column`".
+// Missing answers are excluded from the denominator.
+ShareTrend compare_option(const data::Table& wave1, const data::Table& wave2,
+                          const std::string& column, const std::string& option,
+                          double confidence = 0.95);
+
+// Indicator = "respondent answered `label` on single-choice `column`".
+ShareTrend compare_category(const data::Table& wave1, const data::Table& wave2,
+                            const std::string& column,
+                            const std::string& label,
+                            double confidence = 0.95);
+
+// Indicator = arbitrary per-row predicate (missing handled by caller
+// returning nullopt).
+ShareTrend compare_predicate(
+    const data::Table& wave1, const data::Table& wave2,
+    const std::string& indicator_name,
+    const std::function<std::optional<bool>(const data::Table&, std::size_t)>&
+        predicate,
+    double confidence = 0.95);
+
+// Family-wise / FDR control for a battery of trends.
+enum class Multiplicity {
+  kHolm,               // family-wise error rate (the batteries' default)
+  kBenjaminiHochberg,  // false discovery rate (for exploratory sweeps)
+};
+
+// Applies the chosen multiplicity adjustment across a battery of trends and
+// classifies each: significant increase / decrease at `alpha` (on adjusted
+// p), else stable.
+void adjust_and_classify(std::vector<ShareTrend>& trends, double alpha = 0.05,
+                         Multiplicity method = Multiplicity::kHolm);
+
+// Every option of a multi-select column, as one adjusted battery.
+std::vector<ShareTrend> option_battery(const data::Table& wave1,
+                                       const data::Table& wave2,
+                                       const std::string& column,
+                                       double alpha = 0.05,
+                                       double confidence = 0.95);
+
+// One option's trend computed separately within each category of a
+// grouping column (e.g. per research field), Holm-adjusted as one family.
+// Groups with fewer than `min_group_n` answered rows in either wave are
+// skipped. Each trend's indicator is the group label.
+std::vector<ShareTrend> per_group_trend(const data::Table& wave1,
+                                        const data::Table& wave2,
+                                        const std::string& group_column,
+                                        const std::string& option_column,
+                                        const std::string& option,
+                                        std::size_t min_group_n = 5,
+                                        double alpha = 0.05,
+                                        double confidence = 0.95);
+
+// Logistic adoption curve fitted on respondent-level data pooled over both
+// waves: P(adopt | year) = sigmoid(b0 + b1 * (year - 2011)).
+struct AdoptionCurve {
+  double intercept = 0.0;       // b0 at year 2011
+  double slope_per_year = 0.0;  // b1
+  double midpoint_year = 0.0;   // year where P = 0.5
+  bool converged = false;
+  double share_2011 = 0.0;      // fitted share at each wave
+  double share_2024 = 0.0;
+
+  double predict(double year) const;
+};
+
+// Fits the curve for one multi-select option observed in both waves.
+AdoptionCurve fit_adoption_curve(const data::Table& wave1, double year1,
+                                 const data::Table& wave2, double year2,
+                                 const std::string& column,
+                                 const std::string& option);
+
+// --- Panel (paired) analysis ------------------------------------------------
+
+// Transition counts of one multi-select option between paired waves (rows
+// matched by index). Pairs with a missing answer in either wave are dropped.
+struct TransitionCounts {
+  double kept = 0.0;       // used then, uses now
+  double adopted = 0.0;    // not then, uses now
+  double abandoned = 0.0;  // used then, not now
+  double never = 0.0;      // neither wave
+  stats::McNemarResult mcnemar;  // adopted vs abandoned
+
+  double pairs() const { return kept + adopted + abandoned + never; }
+  double share_before() const;
+  double share_after() const;
+};
+
+TransitionCounts option_transitions(const data::Table& wave1,
+                                    const data::Table& wave2,
+                                    const std::string& column,
+                                    const std::string& option);
+
+// χ² test of the full category distribution shift between waves (e.g. did
+// the primary-language mix change?). Returns the test on the 2×k table.
+stats::ChiSquareResult distribution_shift_test(const data::Table& wave1,
+                                               const data::Table& wave2,
+                                               const std::string& column);
+
+}  // namespace rcr::trend

@@ -1,0 +1,73 @@
+#include "util/cli.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rcr {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> CliParser::get(const std::string& name) {
+  consumed_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliParser::get_or(const std::string& name,
+                              const std::string& fallback) {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t CliParser::get_int_or(const std::string& name,
+                                   std::int64_t fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const auto parsed = parse_int(*v);
+  if (!parsed)
+    throw InvalidInputError("flag --" + name + " expects an integer, got '" +
+                            *v + "'");
+  return *parsed;
+}
+
+double CliParser::get_double_or(const std::string& name, double fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const auto parsed = parse_double(*v);
+  if (!parsed)
+    throw InvalidInputError("flag --" + name + " expects a number, got '" +
+                            *v + "'");
+  return *parsed;
+}
+
+bool CliParser::has_switch(const std::string& name) {
+  const auto v = get(name);
+  return v && *v != "false" && *v != "0";
+}
+
+void CliParser::finish() const {
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!consumed_.count(name))
+      throw InvalidInputError("unknown flag --" + name);
+  }
+}
+
+}  // namespace rcr

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for examples and bench drivers.
+//
+// Supports "--name=value" and "--name value" forms plus boolean switches.
+// Unknown flags raise InvalidInputError so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rcr {
+
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  // Declares a flag so unknown-flag detection works; returns value if given.
+  std::optional<std::string> get(const std::string& name);
+  std::string get_or(const std::string& name, const std::string& fallback);
+  std::int64_t get_int_or(const std::string& name, std::int64_t fallback);
+  double get_double_or(const std::string& name, double fallback);
+  bool has_switch(const std::string& name);
+
+  // Call after all declarations; throws on flags never asked about.
+  void finish() const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rcr

@@ -1,0 +1,63 @@
+// Error handling primitives for the RCR toolkit.
+//
+// The toolkit reports programming errors and unsatisfiable requests by
+// throwing rcr::Error. Hot loops use RCR_DCHECK, which compiles away in
+// release builds, so error handling never taxes the numeric kernels.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rcr {
+
+// Base exception for every failure raised by the toolkit.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when user-provided input (CSV, schema, responses) is malformed.
+class InvalidInputError : public Error {
+ public:
+  explicit InvalidInputError(const std::string& what) : Error(what) {}
+};
+
+// Raised when an algorithm cannot proceed (singular matrix, empty data, ...).
+class ComputeError : public Error {
+ public:
+  explicit ComputeError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace rcr
+
+// Always-on invariant check; throws rcr::Error with location info.
+#define RCR_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rcr::detail::fail("RCR_CHECK", #cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define RCR_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rcr::detail::fail("RCR_CHECK", #cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define RCR_DCHECK(cond) ((void)0)
+#else
+#define RCR_DCHECK(cond) RCR_CHECK(cond)
+#endif

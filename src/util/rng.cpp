@@ -1,0 +1,245 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace rcr {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state would be absorbing; splitmix64 cannot produce four zero
+  // outputs from any seed, but guard anyway.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+  has_spare_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  RCR_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RCR_CHECK_MSG(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform(double lo, double hi) {
+  RCR_DCHECK(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller, polar rejection form (no trig, numerically friendly).
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_ = true;
+  return u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) {
+  RCR_CHECK_MSG(lambda > 0.0, "exponential rate must be positive");
+  // -log(1-U) avoids log(0) since next_double() < 1.
+  return -std::log1p(-next_double()) / lambda;
+}
+
+double Rng::gamma(double shape, double scale) {
+  RCR_CHECK_MSG(shape > 0.0 && scale > 0.0, "gamma parameters must be > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale back (Marsaglia–Tsang boosting trick).
+    const double u = next_double();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v * scale;
+  }
+}
+
+double Rng::beta(double a, double b) {
+  const double x = gamma(a, 1.0);
+  const double y = gamma(b, 1.0);
+  return x / (x + y);
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  RCR_CHECK_MSG(lambda >= 0.0, "poisson rate must be non-negative");
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion, numerically stabilized in log space.
+    const double limit = -lambda;
+    double sum = 0.0;
+    std::uint64_t k = 0;
+    for (;;) {
+      sum += std::log1p(-next_double());  // log of uniform product term
+      if (sum < limit) return k;
+      ++k;
+    }
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // simulator's arrival batching at large lambda.
+  for (;;) {
+    const double draw = normal(lambda, std::sqrt(lambda));
+    if (draw > -0.5) return static_cast<std::uint64_t>(draw + 0.5);
+  }
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  RCR_CHECK_MSG(!weights.empty(), "categorical needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    RCR_CHECK_MSG(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  RCR_CHECK_MSG(total > 0.0, "categorical weights must not all be zero");
+  double r = next_double() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  RCR_CHECK_MSG(k <= n, "cannot sample more items than the population");
+  // Partial Fisher–Yates over an index vector; O(n) space, O(n + k) time.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::split() {
+  // A fresh seed derived from two outputs keeps child streams decorrelated.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  return Rng(a ^ rotl(b, 31));
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  RCR_CHECK_MSG(!weights.empty(), "AliasTable needs at least one weight");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    RCR_CHECK_MSG(w >= 0.0, "AliasTable weights must be non-negative");
+    total += w;
+  }
+  RCR_CHECK_MSG(total > 0.0, "AliasTable weights must not all be zero");
+
+  norm_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    norm_[i] = weights[i] / total;
+    scaled[i] = norm_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  const std::size_t i = static_cast<std::size_t>(rng.next_below(prob_.size()));
+  return rng.next_double() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace rcr

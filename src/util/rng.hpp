@@ -1,0 +1,119 @@
+// Deterministic random number generation for the RCR toolkit.
+//
+// Every stochastic component (synthetic population, bootstrap, simulator
+// arrivals) draws from rcr::Rng so that a single 64-bit seed reproduces an
+// entire study byte-for-byte, independent of the host platform or the
+// standard library's distribution implementations (which are not portable).
+//
+// The core generator is xoshiro256** (Blackman & Vigna, 2018): fast, 256-bit
+// state, passes BigCrush. Seeding goes through SplitMix64 as the authors
+// recommend. Distributions are implemented here from first principles so
+// results are identical across compilers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rcr {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  // Re-initializes the state from a single seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  // Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next_u64(); }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Standard normal via Box–Muller (cached spare value).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  // Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+
+  // Gamma(shape k > 0, scale theta) via Marsaglia–Tsang.
+  double gamma(double shape, double scale);
+
+  // Beta(a, b) via two gamma draws.
+  double beta(double a, double b);
+
+  // Poisson(lambda >= 0); inversion for small lambda, PTRS-lite otherwise.
+  std::uint64_t poisson(double lambda);
+
+  // Index drawn from unnormalized non-negative weights (linear scan).
+  // For repeated draws from the same weights prefer AliasTable.
+  std::size_t categorical(std::span<const double> weights);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  // Derives an independent child generator; used to give each thread or
+  // each respondent its own stream while keeping the study reproducible.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+// Walker alias table: O(1) sampling from a fixed discrete distribution.
+// Construction is O(n). Weights must be non-negative with a positive sum.
+class AliasTable {
+ public:
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return prob_.size(); }
+
+  // Normalized probability of outcome i (for testing / introspection).
+  double probability(std::size_t i) const { return norm_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> norm_;
+};
+
+}  // namespace rcr

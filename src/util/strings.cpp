@@ -1,0 +1,19 @@
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace rcr {
+
+std::string format_double(double value, int decimals) {
+  RCR_CHECK_MSG(decimals >= 0 && decimals <= 17, "decimals out of range");
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace rcr

@@ -1,0 +1,101 @@
+// Tests for Table::append_rows and trend::per_group_trend (the wave-pooling
+// and drill-down extensions).
+#include <gtest/gtest.h>
+
+#include "data/table.hpp"
+#include "trend/trend.hpp"
+#include "util/error.hpp"
+
+namespace rcr {
+namespace {
+
+data::Table make_wave(std::size_t a_hits, std::size_t a_n,
+                      std::size_t b_hits, std::size_t b_n) {
+  data::Table t;
+  auto& field = t.add_categorical("field", {"a", "b"});
+  auto& m = t.add_multiselect("m", {"x"});
+  auto& v = t.add_numeric("v");
+  const auto fill = [&](const char* label, std::size_t hits, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      field.push(label);
+      m.push_mask(i < hits ? 1 : 0);
+      v.push(static_cast<double>(i));
+    }
+  };
+  fill("a", a_hits, a_n);
+  fill("b", b_hits, b_n);
+  return t;
+}
+
+TEST(AppendRowsTest, ConcatenatesMatchingSchemas) {
+  auto t1 = make_wave(2, 4, 1, 3);
+  const auto t2 = make_wave(1, 2, 2, 2);
+  t1.append_rows(t2);
+  EXPECT_EQ(t1.row_count(), 11u);
+  EXPECT_NO_THROW(t1.validate_rectangular());
+  // First appended row lands at index 7 with field "a", mask 1, v 0.
+  EXPECT_EQ(t1.categorical("field").label_at(7), "a");
+  EXPECT_EQ(t1.multiselect("m").mask_at(7), 1u);
+  EXPECT_DOUBLE_EQ(t1.numeric("v").at(7), 0.0);
+}
+
+TEST(AppendRowsTest, PreservesMissingCells) {
+  data::Table a;
+  a.add_numeric("v").push(1.0);
+  a.add_multiselect("m", {"x"}).push_mask(1);
+  data::Table b;
+  b.add_numeric("v").push_missing();
+  b.add_multiselect("m", {"x"}).push_missing();
+  a.append_rows(b);
+  EXPECT_TRUE(data::NumericColumn::is_missing(a.numeric("v").at(1)));
+  EXPECT_TRUE(a.multiselect("m").is_missing(1));
+}
+
+TEST(AppendRowsTest, RejectsSchemaMismatch) {
+  auto t1 = make_wave(1, 2, 1, 2);
+  data::Table other;
+  other.add_numeric("v");
+  EXPECT_THROW(t1.append_rows(other), rcr::Error);
+
+  data::Table wrong_categories;
+  wrong_categories.add_categorical("field", {"a", "c"});
+  wrong_categories.add_multiselect("m", {"x"});
+  wrong_categories.add_numeric("v");
+  EXPECT_THROW(t1.append_rows(wrong_categories), rcr::Error);
+}
+
+TEST(PerGroupTrendTest, SplitsByGroupAndAdjusts) {
+  // Group a: 10% -> 60% (strong shift); group b: flat 50%.
+  const auto w1 = make_wave(10, 100, 50, 100);
+  const auto w2 = make_wave(240, 400, 200, 400);
+  const auto trends = trend::per_group_trend(w1, w2, "field", "m", "x");
+  ASSERT_EQ(trends.size(), 2u);
+  EXPECT_EQ(trends[0].indicator, "a");
+  EXPECT_EQ(trends[0].direction, trend::Direction::kIncrease);
+  EXPECT_EQ(trends[1].indicator, "b");
+  EXPECT_EQ(trends[1].direction, trend::Direction::kStable);
+  // Holm within the family: adjusted >= raw.
+  for (const auto& t : trends) EXPECT_GE(t.p_adjusted, t.test.p_value);
+}
+
+TEST(PerGroupTrendTest, SkipsSmallGroups) {
+  const auto w1 = make_wave(1, 3, 50, 100);  // group a too small
+  const auto w2 = make_wave(2, 3, 60, 100);
+  const auto trends =
+      trend::per_group_trend(w1, w2, "field", "m", "x", /*min_group_n=*/5);
+  ASSERT_EQ(trends.size(), 1u);
+  EXPECT_EQ(trends[0].indicator, "b");
+}
+
+TEST(PerGroupTrendTest, RejectsMismatchedCategorySets) {
+  const auto w1 = make_wave(1, 5, 1, 5);
+  data::Table w2;
+  w2.add_categorical("field", {"a", "z"});
+  w2.add_multiselect("m", {"x"});
+  w2.add_numeric("v");
+  EXPECT_THROW(trend::per_group_trend(w1, w2, "field", "m", "x"),
+               rcr::Error);
+}
+
+}  // namespace
+}  // namespace rcr

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/crosstab.hpp"
+#include "data/csv.hpp"
+#include "data/table.hpp"
+#include "util/error.hpp"
+
+namespace rcr::data {
+namespace {
+
+Table make_sample_table() {
+  Table t;
+  auto& field = t.add_categorical("field", {"phys", "bio"});
+  auto& score = t.add_numeric("score");
+  auto& langs = t.add_multiselect("langs", {"py", "cpp", "r"});
+  field.push("phys");  score.push(1.0);  langs.push_labels({"py", "cpp"});
+  field.push("bio");   score.push(2.0);  langs.push_labels({"py", "r"});
+  field.push("phys");  score.push(3.0);  langs.push_labels({"cpp"});
+  field.push("bio");   score.push_missing(); langs.push_missing();
+  return t;
+}
+
+// --- columns -------------------------------------------------------------------
+
+TEST(NumericColumnTest, MissingHandling) {
+  NumericColumn c;
+  c.push(1.0);
+  c.push_missing();
+  c.push(3.0);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(NumericColumn::is_missing(c.at(1)));
+  EXPECT_EQ(c.present_values(), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(CategoricalColumnTest, InternAndFrozen) {
+  CategoricalColumn open;
+  open.push("a");
+  open.push("b");
+  open.push("a");
+  EXPECT_EQ(open.category_count(), 2u);
+  EXPECT_EQ(open.code_at(2), 0);
+  EXPECT_EQ(open.counts(), (std::vector<double>{2.0, 1.0}));
+
+  CategoricalColumn frozen({"x", "y"});
+  frozen.push("y");
+  EXPECT_THROW(frozen.push("z"), rcr::Error);
+  EXPECT_EQ(frozen.find_code("zzz"), kMissingCode);
+}
+
+TEST(CategoricalColumnTest, PushCodeValidation) {
+  CategoricalColumn c({"a", "b"});
+  c.push_code(1);
+  c.push_code(kMissingCode);
+  EXPECT_TRUE(c.is_missing(1));
+  EXPECT_THROW(c.push_code(2), rcr::Error);
+  EXPECT_THROW(c.push_code(-5), rcr::Error);
+}
+
+TEST(CategoricalColumnTest, LabelAtMissingThrows) {
+  CategoricalColumn c({"a"});
+  c.push_missing();
+  EXPECT_THROW(c.label_at(0), rcr::Error);
+}
+
+TEST(MultiSelectColumnTest, MasksAndCounts) {
+  MultiSelectColumn c({"a", "b", "c"});
+  c.push_labels({"a", "c"});
+  c.push_labels({});
+  c.push_missing();
+  c.push_mask(0b010);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_TRUE(c.has(0, 0));
+  EXPECT_FALSE(c.has(0, 1));
+  EXPECT_TRUE(c.has(0, 2));
+  EXPECT_FALSE(c.has(2, 0));  // missing row selects nothing
+  EXPECT_EQ(c.selection_count(0), 2u);
+  EXPECT_EQ(c.selection_count(2), 0u);
+  EXPECT_EQ(c.option_counts(), (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(MultiSelectColumnTest, RejectsUnknownAndOutOfRange) {
+  MultiSelectColumn c({"a", "b"});
+  EXPECT_THROW(c.push_labels({"nope"}), rcr::Error);
+  EXPECT_THROW(c.push_mask(0b100), rcr::Error);
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(TableTest, SchemaAndAccess) {
+  const Table t = make_sample_table();
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.row_count(), 4u);
+  EXPECT_TRUE(t.has_column("score"));
+  EXPECT_FALSE(t.has_column("nope"));
+  EXPECT_EQ(t.kind("field"), ColumnKind::kCategorical);
+  EXPECT_EQ(t.kind("score"), ColumnKind::kNumeric);
+  EXPECT_EQ(t.kind("langs"), ColumnKind::kMultiSelect);
+  EXPECT_THROW(t.numeric("field"), rcr::Error);
+  EXPECT_THROW(t.categorical("nope"), rcr::Error);
+  EXPECT_NO_THROW(t.validate_rectangular());
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  Table t;
+  t.add_numeric("x");
+  EXPECT_THROW(t.add_numeric("x"), rcr::Error);
+  EXPECT_THROW(t.add_categorical("x", {"a", "b"}), rcr::Error);
+}
+
+TEST(TableTest, RaggedTableDetected) {
+  Table t;
+  t.add_numeric("a").push(1.0);
+  t.add_numeric("b");
+  EXPECT_THROW(t.validate_rectangular(), rcr::Error);
+}
+
+TEST(TableTest, FilterKeepsSchemaAndRows) {
+  const Table t = make_sample_table();
+  const Table phys = t.filter_equals("field", "phys");
+  EXPECT_EQ(phys.row_count(), 2u);
+  EXPECT_EQ(phys.categorical("field").categories().size(), 2u);
+  EXPECT_DOUBLE_EQ(phys.numeric("score").at(1), 3.0);
+  EXPECT_TRUE(phys.multiselect("langs").has(0, 0));
+}
+
+TEST(TableTest, FilterPreservesMissing) {
+  const Table t = make_sample_table();
+  const Table bio = t.filter_equals("field", "bio");
+  EXPECT_EQ(bio.row_count(), 2u);
+  EXPECT_TRUE(NumericColumn::is_missing(bio.numeric("score").at(1)));
+  EXPECT_TRUE(bio.multiselect("langs").is_missing(1));
+}
+
+TEST(TableTest, FilterUnknownLabelThrows) {
+  const Table t = make_sample_table();
+  EXPECT_THROW(t.filter_equals("field", "chem"), rcr::Error);
+}
+
+TEST(TableTest, GroupRows) {
+  const Table t = make_sample_table();
+  const auto groups = t.group_rows("field");
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{1, 3}));
+}
+
+// --- crosstab ------------------------------------------------------------------
+
+TEST(CrosstabTest, CategoricalByMultiselect) {
+  const Table t = make_sample_table();
+  const auto ct = crosstab_multiselect(t, "field", "langs");
+  EXPECT_EQ(ct.row_labels, (std::vector<std::string>{"phys", "bio"}));
+  EXPECT_EQ(ct.col_labels, (std::vector<std::string>{"py", "cpp", "r"}));
+  EXPECT_DOUBLE_EQ(ct.counts.at(0, 0), 1.0);  // phys x py
+  EXPECT_DOUBLE_EQ(ct.counts.at(0, 1), 2.0);  // phys x cpp
+  EXPECT_DOUBLE_EQ(ct.counts.at(1, 2), 1.0);  // bio x r
+}
+
+TEST(CrosstabTest, CategoricalByCategorical) {
+  Table t;
+  auto& a = t.add_categorical("a", {"x", "y"});
+  auto& b = t.add_categorical("b", {"u", "v"});
+  a.push("x"); b.push("u");
+  a.push("x"); b.push("v");
+  a.push("y"); b.push("v");
+  a.push_missing(); b.push("u");  // dropped
+  const auto ct = crosstab(t, "a", "b");
+  EXPECT_DOUBLE_EQ(ct.counts.grand_total(), 3.0);
+  EXPECT_DOUBLE_EQ(ct.counts.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ct.row_share(0, 0), 0.5);
+}
+
+TEST(CrosstabTest, WeightedCounts) {
+  Table t;
+  auto& a = t.add_categorical("a", {"x", "y"});
+  auto& b = t.add_categorical("b", {"u", "v"});
+  auto& w = t.add_numeric("w");
+  a.push("x"); b.push("u"); w.push(2.0);
+  a.push("x"); b.push("u"); w.push(0.5);
+  a.push("y"); b.push("v"); w.push_missing();  // dropped
+  const auto ct = crosstab(t, "a", "b", std::optional<std::string>{"w"});
+  EXPECT_DOUBLE_EQ(ct.counts.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(ct.counts.grand_total(), 2.5);
+}
+
+TEST(OptionSharesTest, ComputesWilsonIntervals) {
+  const Table t = make_sample_table();
+  const auto shares = option_shares(t, "langs");
+  ASSERT_EQ(shares.size(), 3u);
+  // 3 answered rows; py selected by 2.
+  EXPECT_DOUBLE_EQ(shares[0].total, 3.0);
+  EXPECT_NEAR(shares[0].share.estimate, 2.0 / 3.0, 1e-12);
+  EXPECT_LT(shares[0].share.lo, shares[0].share.estimate);
+  EXPECT_GT(shares[0].share.hi, shares[0].share.estimate);
+}
+
+TEST(CategorySharesTest, Computes) {
+  const Table t = make_sample_table();
+  const auto shares = category_shares(t, "field");
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(shares[0].count, 2.0);
+  EXPECT_DOUBLE_EQ(shares[0].total, 4.0);
+}
+
+// --- CSV -----------------------------------------------------------------------
+
+TEST(CsvTest, RoundTrip) {
+  const Table t = make_sample_table();
+  std::ostringstream out;
+  write_csv(out, t);
+  std::istringstream in(out.str());
+  const Table back = read_csv(in, t);
+  EXPECT_EQ(back.row_count(), t.row_count());
+  EXPECT_EQ(back.categorical("field").label_at(0), "phys");
+  EXPECT_DOUBLE_EQ(back.numeric("score").at(2), 3.0);
+  EXPECT_TRUE(NumericColumn::is_missing(back.numeric("score").at(3)));
+  EXPECT_TRUE(back.multiselect("langs").has(0, 1));
+  EXPECT_TRUE(back.multiselect("langs").is_missing(3));
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimiters) {
+  Table schema;
+  schema.add_categorical("name", {"a,b", "plain", "with \"quotes\""});
+  schema.add_numeric("v");
+  std::istringstream in(
+      "name,v\n\"a,b\",1\nplain,2\n\"with \"\"quotes\"\"\",3\n");
+  const Table t = read_csv(in, schema);
+  EXPECT_EQ(t.row_count(), 3u);
+  EXPECT_EQ(t.categorical("name").label_at(0), "a,b");
+  EXPECT_EQ(t.categorical("name").label_at(2), "with \"quotes\"");
+
+  // And write side escapes them back.
+  std::ostringstream out;
+  write_csv(out, t);
+  std::istringstream in2(out.str());
+  const Table t2 = read_csv(in2, schema);
+  EXPECT_EQ(t2.categorical("name").label_at(0), "a,b");
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCrLf) {
+  Table schema;
+  schema.add_numeric("x");
+  std::istringstream in("x\r\n1\r\n\r\n2\r\n");
+  const Table t = read_csv(in, schema);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+struct BadCsvCase {
+  const char* name;
+  const char* text;
+};
+
+class CsvErrorTest : public ::testing::TestWithParam<BadCsvCase> {};
+
+TEST_P(CsvErrorTest, RejectsMalformedInput) {
+  Table schema;
+  schema.add_categorical("c", {"a", "b"});
+  schema.add_numeric("n");
+  std::istringstream in(GetParam().text);
+  EXPECT_THROW(read_csv(in, schema), rcr::InvalidInputError)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CsvErrorTest,
+    ::testing::Values(
+        BadCsvCase{"empty", ""},
+        BadCsvCase{"unknown_header", "c,wrong\na,1\n"},
+        BadCsvCase{"missing_column", "c\na\n"},
+        BadCsvCase{"wrong_field_count", "c,n\na\n"},
+        BadCsvCase{"bad_number", "c,n\na,xyz\n"},
+        BadCsvCase{"unknown_category", "c,n\nz,1\n"},
+        BadCsvCase{"unterminated_quote", "c,n\n\"a,1\n"}),
+    [](const ::testing::TestParamInfo<BadCsvCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CsvTest, MultiselectUnknownOptionRejected) {
+  Table schema;
+  schema.add_multiselect("m", {"a", "b"});
+  std::istringstream in("m\na|z\n");
+  EXPECT_THROW(read_csv(in, schema), rcr::InvalidInputError);
+}
+
+TEST(CsvTest, FileNotFoundThrows) {
+  Table schema;
+  schema.add_numeric("x");
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv", schema),
+               rcr::InvalidInputError);
+}
+
+}  // namespace
+}  // namespace rcr::data

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/reduction.hpp"
+#include "util/error.hpp"
+
+namespace rcr::kernels {
+namespace {
+
+rcr::parallel::ThreadPool& pool() {
+  static rcr::parallel::ThreadPool p(4);
+  return p;
+}
+
+TEST(ReductionTest, CountsEveryValue) {
+  const auto r = reduce_stream_serial(100000, 7);
+  EXPECT_EQ(r.count, 100000u);
+  std::uint64_t hist_total = 0;
+  for (auto c : r.histogram) hist_total += c;
+  EXPECT_EQ(hist_total, r.count);
+}
+
+TEST(ReductionTest, MomentsMatchUniformDistribution) {
+  const std::size_t n = 2000000;
+  const auto r = reduce_stream_serial(n, 7);
+  EXPECT_NEAR(r.sum / static_cast<double>(n), 0.5, 0.002);
+  EXPECT_NEAR(r.sum_squares / static_cast<double>(n), 1.0 / 3.0, 0.002);
+}
+
+TEST(ReductionTest, HistogramApproximatelyUniform) {
+  const std::size_t n = 640000;
+  const auto r = reduce_stream_serial(n, 11);
+  const double expected =
+      static_cast<double>(n) / ReductionResult::kBins;  // 10000 per bin
+  for (auto c : r.histogram) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(ReductionTest, ParallelIdenticalToSerial) {
+  for (std::size_t n : {100u, 8192u, 50001u}) {
+    const auto s = reduce_stream_serial(n, 3);
+    const auto p = reduce_stream_parallel(pool(), n, 3);
+    EXPECT_EQ(s.histogram, p.histogram) << n;
+    EXPECT_EQ(s.count, p.count);
+    // Sums may differ only by float reassociation across partials.
+    EXPECT_NEAR(s.sum, p.sum, 1e-7);
+    EXPECT_NEAR(s.sum_squares, p.sum_squares, 1e-7);
+  }
+}
+
+TEST(ReductionTest, DifferentSeedsDiffer) {
+  const auto a = reduce_stream_serial(10000, 1);
+  const auto b = reduce_stream_serial(10000, 2);
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(ReductionTest, ChecksumIsStable) {
+  const auto a = reduce_stream_serial(12345, 9);
+  const auto b = reduce_stream_serial(12345, 9);
+  EXPECT_DOUBLE_EQ(a.checksum(), b.checksum());
+}
+
+TEST(ReductionTest, RejectsEmptyStream) {
+  EXPECT_THROW(reduce_stream_serial(0, 1), rcr::Error);
+  EXPECT_THROW(reduce_stream_parallel(pool(), 0, 1), rcr::Error);
+}
+
+}  // namespace
+}  // namespace rcr::kernels

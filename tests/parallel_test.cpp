@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace rcr::parallel {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i)
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.run_batch({}));
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i)
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskException) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("task boom"); });
+  tasks.push_back([] {});
+  try {
+    pool.run_batch(std::move(tasks));
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+}
+
+TEST(ThreadPoolTest, AllTasksStillRunWhenOneThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 50; ++i) {
+    tasks.push_back([&counter, i] {
+      counter.fetch_add(1);
+      if (i == 7) throw std::runtime_error("mid-batch failure");
+    });
+  }
+  EXPECT_THROW(pool.run_batch(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> counter{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 20; ++i)
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    pool.run_batch(std::move(tasks));
+    EXPECT_EQ(counter.load(), 20);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
+  EXPECT_EQ(&default_pool(), &default_pool());
+  EXPECT_GE(default_pool().thread_count(), 1u);
+}
+
+// --- parallel_for -------------------------------------------------------------
+
+struct ForCase {
+  std::size_t begin, end;
+  Schedule schedule;
+  std::size_t grain;
+};
+
+class ParallelForTest : public ::testing::TestWithParam<ForCase> {};
+
+TEST_P(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  const auto& c = GetParam();
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(c.end);
+  for (auto& v : visits) v.store(0);
+  parallel_for(
+      pool, c.begin, c.end,
+      [&](std::size_t i) { visits[i].fetch_add(1); },
+      {c.schedule, c.grain});
+  for (std::size_t i = 0; i < c.end; ++i)
+    EXPECT_EQ(visits[i].load(), i >= c.begin ? 1 : 0) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelForTest,
+    ::testing::Values(ForCase{0, 1, Schedule::kStatic, 0},
+                      ForCase{0, 100, Schedule::kStatic, 0},
+                      ForCase{0, 100, Schedule::kDynamic, 0},
+                      ForCase{5, 7, Schedule::kStatic, 0},
+                      ForCase{0, 1000, Schedule::kDynamic, 3},
+                      ForCase{0, 1000, Schedule::kStatic, 7},
+                      ForCase{10, 10, Schedule::kStatic, 0},
+                      ForCase{0, 17, Schedule::kDynamic, 100}));
+
+TEST(ParallelForTest, MatchesSerialSum) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<double> data(n);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> out(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { out[i] = data[i] * 2.0; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(out[i], 2.0 * i);
+}
+
+TEST(ParallelForTest, RangeBodySeesDisjointCover) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  parallel_for_range(pool, 0, 1003,
+                     [&](std::size_t lo, std::size_t hi) {
+                       std::lock_guard<std::mutex> lock(m);
+                       ranges.push_back({lo, hi});
+                     });
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t expected = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, expected);
+    EXPECT_GT(hi, lo);
+    expected = hi;
+  }
+  EXPECT_EQ(expected, 1003u);
+}
+
+TEST(ParallelReduceTest, SumsCorrectly) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  const double total = parallel_reduce<double>(
+      pool, 0, n, 0.0,
+      [](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) s += static_cast<double>(i);
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const int v = parallel_reduce<int>(
+      pool, 5, 5, 42, [](std::size_t, std::size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(ParallelTransformTest, FillsOutput) {
+  ThreadPool pool(4);
+  std::vector<int> out(257);
+  parallel_transform(pool, out,
+                     [](std::size_t i) { return static_cast<int>(i * i); });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelForTest, ExceptionInBodyPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 50) throw rcr::Error("body failed");
+                            }),
+               rcr::Error);
+}
+
+}  // namespace
+}  // namespace rcr::parallel

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "report/experiment.hpp"
+#include "report/series.hpp"
+#include "report/table.hpp"
+#include "util/error.hpp"
+
+namespace rcr::report {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"}).add_row({"b", "22222"});
+  const std::string out = t.render();
+  // Header first, rule second, rows after.
+  EXPECT_EQ(out.find("Name"), 0u);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Columns align: "Value" starts at the same offset in each line.
+  const auto lines_at = [&](std::size_t n) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n; ++i) pos = out.find('\n', pos) + 1;
+    return out.substr(pos, out.find('\n', pos) - pos);
+  };
+  const std::string header = lines_at(0);
+  const std::string row = lines_at(2);
+  EXPECT_EQ(header.find("Value"), row.find("1"));
+}
+
+TEST(TextTableTest, MarkdownFormat) {
+  TextTable t({"A", "B"});
+  t.add_row({"x", "y"});
+  const std::string md = t.render_markdown();
+  EXPECT_NE(md.find("| A | B |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | --- |"), std::string::npos);
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), rcr::Error);
+  EXPECT_THROW(TextTable({}), rcr::Error);
+}
+
+TEST(CellsTest, ShareAndP) {
+  EXPECT_EQ(share_cell(0.25, 0.2, 0.31), "25.0% [20.0, 31.0]");
+  EXPECT_EQ(p_cell(0.0004), "<0.001");
+  EXPECT_EQ(p_cell(0.042), "0.042");
+}
+
+TEST(SeriesTest, CsvFormat) {
+  Series a{"ya", {{1.0, 2.0}, {2.0, 4.0}}};
+  Series b{"yb", {{1.0, 3.0}, {2.0, 6.0}}};
+  const std::string csv = render_series_csv("x", {a, b});
+  EXPECT_EQ(csv.find("x,ya,yb\n"), 0u);
+  EXPECT_NE(csv.find("1.000000,2.000000,3.000000"), std::string::npos);
+}
+
+TEST(SeriesTest, RejectsMisalignedSeries) {
+  Series a{"ya", {{1.0, 2.0}}};
+  Series b{"yb", {{1.0, 3.0}, {2.0, 6.0}}};
+  EXPECT_THROW(render_series_csv("x", {a, b}), rcr::Error);
+  Series c{"yc", {{9.0, 3.0}}};
+  EXPECT_THROW(render_series_csv("x", {a, c}), rcr::Error);
+  EXPECT_THROW(render_series_csv("x", {}), rcr::Error);
+}
+
+TEST(BarsTest, RendersProportionalBars) {
+  const std::string out =
+      render_bars({{"half", 0.5}, {"full", 1.0}}, 1.0, 10);
+  EXPECT_NE(out.find("half  #####....."), std::string::npos);
+  EXPECT_NE(out.find("full  ##########"), std::string::npos);
+}
+
+TEST(BarsTest, AutoScalesToMax) {
+  const std::string out = render_bars({{"a", 2.0}, {"b", 4.0}}, 0.0, 8);
+  EXPECT_NE(out.find("a  ####...."), std::string::npos);
+  EXPECT_NE(out.find("b  ########"), std::string::npos);
+}
+
+TEST(BarsTest, RejectsBadInput) {
+  EXPECT_THROW(render_bars({}), rcr::Error);
+  EXPECT_THROW(render_bars({{"neg", -1.0}}), rcr::Error);
+}
+
+TEST(RegistryTest, AddAndRun) {
+  ExperimentRegistry reg;
+  reg.add({"T9", "table", "demo", [] { return std::string("body"); }});
+  EXPECT_TRUE(reg.has("T9"));
+  EXPECT_FALSE(reg.has("T1"));
+  const std::string out = reg.run("T9");
+  EXPECT_NE(out.find("== T9 (table): demo =="), std::string::npos);
+  EXPECT_NE(out.find("body"), std::string::npos);
+}
+
+TEST(RegistryTest, RejectsDuplicatesAndUnknown) {
+  ExperimentRegistry reg;
+  reg.add({"X", "figure", "t", [] { return std::string(); }});
+  EXPECT_THROW(reg.add({"X", "figure", "t", [] { return std::string(); }}),
+               rcr::Error);
+  EXPECT_THROW(reg.run("Y"), rcr::Error);
+  EXPECT_THROW(reg.add({"", "figure", "t", [] { return std::string(); }}),
+               rcr::Error);
+}
+
+}  // namespace
+}  // namespace rcr::report

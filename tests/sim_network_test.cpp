@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/network.hpp"
+#include "util/error.hpp"
+
+namespace rcr::sim {
+namespace {
+
+NetworkModel net() {
+  NetworkModel n;
+  n.latency_us = 1.0;       // alpha = 1e-6 s
+  n.bandwidth_gbs = 10.0;   // beta = 1e-10 s/B
+  return n;
+}
+
+TEST(PtpTest, AlphaBetaComposition) {
+  // 1e6 bytes at 10 GB/s = 1e-4 s, plus 1 us latency.
+  EXPECT_NEAR(ptp_time(net(), 1e6), 1e-6 + 1e-4, 1e-12);
+  EXPECT_NEAR(ptp_time(net(), 0.0), 1e-6, 1e-15);
+}
+
+TEST(BroadcastTest, LogarithmicRounds) {
+  const double one = ptp_time(net(), 4096);
+  EXPECT_DOUBLE_EQ(broadcast_time(net(), 1, 4096), 0.0);
+  EXPECT_NEAR(broadcast_time(net(), 2, 4096), one, 1e-15);
+  EXPECT_NEAR(broadcast_time(net(), 8, 4096), 3.0 * one, 1e-15);
+  // Non-power-of-two rounds up.
+  EXPECT_NEAR(broadcast_time(net(), 9, 4096), 4.0 * one, 1e-15);
+}
+
+TEST(AllreduceTest, RingFormula) {
+  const std::size_t p = 8;
+  const double m = 1e6;
+  const double expected = 2.0 * 7.0 * 1e-6 + 2.0 * m * 7.0 / 8.0 * 1e-10;
+  EXPECT_NEAR(allreduce_time(net(), p, m), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(allreduce_time(net(), 1, m), 0.0);
+}
+
+TEST(AllreduceTest, BandwidthTermSaturates) {
+  // As p grows, the bandwidth term approaches 2 m beta; latency grows
+  // linearly and eventually dominates.
+  const double t8 = allreduce_time(net(), 8, 1e6);
+  const double t64 = allreduce_time(net(), 64, 1e6);
+  EXPECT_GT(t64, t8);
+  const double bw_limit = 2.0 * 1e6 * 1e-10;
+  EXPECT_GT(t64, bw_limit);
+}
+
+TEST(HaloTest, PerNeighborCost) {
+  EXPECT_DOUBLE_EQ(halo_exchange_time(net(), 0, 1e5), 0.0);
+  EXPECT_NEAR(halo_exchange_time(net(), 4, 1e5),
+              4.0 * (1e-6 + 1e5 * 1e-10), 1e-15);
+}
+
+TEST(BspTest, ComputeDominatedAtSmallScale) {
+  DistributedWorkload w;
+  w.work_ops_total = 1e12;
+  w.core_gflops = 1.0;
+  w.halo_bytes_per_rank = 1e5;
+  const double t1 = bsp_step_time(net(), w, 1);
+  const double t16 = bsp_step_time(net(), w, 16);
+  EXPECT_NEAR(t1, 1000.0, 1e-6);       // pure compute
+  EXPECT_LT(t16, t1 / 10.0);           // near-ideal early scaling
+}
+
+TEST(BspTest, CommunicationEventuallyDominates) {
+  DistributedWorkload w;
+  w.work_ops_total = 1e10;  // small problem
+  w.core_gflops = 10.0;
+  w.halo_bytes_per_rank = 1e6;
+  const std::size_t sweet = bsp_sweet_spot(net(), w);
+  EXPECT_GE(sweet, 1u);
+  EXPECT_LT(sweet, 1u << 14);  // strictly interior: scaling up stops paying
+  // Beyond the sweet spot, time rises again.
+  const double at_sweet = bsp_step_time(net(), w, sweet);
+  const double beyond = bsp_step_time(net(), w, sweet * 16);
+  EXPECT_GT(beyond, at_sweet);
+}
+
+TEST(BspTest, BiggerProblemsScaleFurther) {
+  DistributedWorkload small;
+  small.work_ops_total = 1e9;
+  DistributedWorkload big = small;
+  big.work_ops_total = 1e13;
+  EXPECT_LE(bsp_sweet_spot(net(), small), bsp_sweet_spot(net(), big));
+}
+
+TEST(NetworkTest, RejectsBadInput) {
+  EXPECT_THROW(ptp_time(net(), -1.0), rcr::Error);
+  NetworkModel bad = net();
+  bad.bandwidth_gbs = 0.0;
+  EXPECT_THROW(ptp_time(bad, 1.0), rcr::Error);
+  EXPECT_THROW(broadcast_time(net(), 0, 1.0), rcr::Error);
+  DistributedWorkload w;
+  w.work_ops_total = 0.0;
+  EXPECT_THROW(bsp_step_time(net(), w, 4), rcr::Error);
+}
+
+}  // namespace
+}  // namespace rcr::sim

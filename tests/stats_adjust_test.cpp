@@ -1,0 +1,178 @@
+// Tests for the extension statistics: Benjamini–Hochberg FDR adjustment,
+// the Cochran–Armitage trend test, and BCa bootstrap intervals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/contingency.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::stats {
+namespace {
+
+// --- Benjamini–Hochberg ----------------------------------------------------------
+
+TEST(BhTest, KnownAdjustment) {
+  // p = {0.01, 0.02, 0.03, 0.04} with m = 4:
+  // sorted scaled: 0.04, 0.04, 0.04, 0.04 after the step-up min pass.
+  const auto adj =
+      benjamini_hochberg_adjust(std::vector<double>{0.01, 0.02, 0.03, 0.04});
+  for (double a : adj) EXPECT_NEAR(a, 0.04, 1e-12);
+}
+
+TEST(BhTest, StepUpMonotone) {
+  const std::vector<double> p = {0.001, 0.01, 0.5, 0.04};
+  const auto adj = benjamini_hochberg_adjust(p);
+  // q-values preserve the order of p-values.
+  EXPECT_LT(adj[0], adj[1]);
+  EXPECT_LE(adj[1], adj[3]);
+  EXPECT_LE(adj[3], adj[2]);
+  for (double a : adj) EXPECT_LE(a, 1.0);
+}
+
+TEST(BhTest, LessConservativeThanHolm) {
+  const std::vector<double> p = {0.01, 0.02, 0.03, 0.04, 0.05};
+  const auto bh = benjamini_hochberg_adjust(p);
+  const auto holm = holm_adjust(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_LE(bh[i], holm[i] + 1e-12) << i;
+    EXPECT_GE(bh[i], p[i]);  // adjustment never shrinks p
+  }
+}
+
+TEST(BhTest, SingleTestUnchanged) {
+  const auto adj = benjamini_hochberg_adjust(std::vector<double>{0.2});
+  EXPECT_DOUBLE_EQ(adj[0], 0.2);
+}
+
+TEST(BhTest, RejectsInvalidP) {
+  EXPECT_THROW(benjamini_hochberg_adjust(std::vector<double>{1.5}),
+               rcr::Error);
+}
+
+// --- Cochran–Armitage --------------------------------------------------------------
+
+TEST(CochranArmitageTest, FlatProportionsGiveZero) {
+  const std::vector<double> successes = {20, 40, 60};
+  const std::vector<double> trials = {100, 200, 300};
+  const std::vector<double> scores = {0, 1, 2};
+  const auto r = cochran_armitage_trend(successes, trials, scores);
+  EXPECT_NEAR(r.z, 0.0, 1e-10);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-10);
+}
+
+TEST(CochranArmitageTest, RisingTrendDetected) {
+  const std::vector<double> successes = {10, 30, 60};
+  const std::vector<double> trials = {100, 100, 100};
+  const std::vector<double> scores = {0, 1, 2};
+  const auto r = cochran_armitage_trend(successes, trials, scores);
+  EXPECT_GT(r.z, 5.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(CochranArmitageTest, FallingTrendNegativeZ) {
+  const std::vector<double> successes = {60, 30, 10};
+  const std::vector<double> trials = {100, 100, 100};
+  const std::vector<double> scores = {2011, 2017, 2024};
+  const auto r = cochran_armitage_trend(successes, trials, scores);
+  EXPECT_LT(r.z, -5.0);
+}
+
+TEST(CochranArmitageTest, TwoGroupsMatchProportionTestRoughly) {
+  // With k = 2 the trend test reduces to the two-proportion z-test.
+  const auto trend = cochran_armitage_trend(
+      std::vector<double>{30, 60}, std::vector<double>{100, 100},
+      std::vector<double>{0, 1});
+  const auto prop = two_proportion_test(60, 100, 30, 100);
+  EXPECT_NEAR(std::fabs(trend.z), std::fabs(prop.z), 1e-9);
+}
+
+TEST(CochranArmitageTest, RejectsBadInput) {
+  EXPECT_THROW(cochran_armitage_trend(std::vector<double>{1.0},
+                                      std::vector<double>{10.0},
+                                      std::vector<double>{0.0}),
+               rcr::Error);
+  EXPECT_THROW(cochran_armitage_trend(std::vector<double>{1, 2},
+                                      std::vector<double>{0, 10},
+                                      std::vector<double>{0, 1}),
+               rcr::Error);
+  EXPECT_THROW(cochran_armitage_trend(std::vector<double>{11, 2},
+                                      std::vector<double>{10, 10},
+                                      std::vector<double>{0, 1}),
+               rcr::Error);
+}
+
+// --- BCa bootstrap -------------------------------------------------------------------
+
+std::vector<double> skewed_sample(std::size_t n, std::uint64_t seed) {
+  rcr::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.lognormal(0.0, 1.0);
+  return v;
+}
+
+TEST(BcaTest, ComputedOnlyWhenRequested) {
+  const auto data = skewed_sample(150, 1);
+  const auto stat = [](std::span<const double> x) { return mean(x); };
+  BootstrapOptions off;
+  const auto without = bootstrap(data, stat, off);
+  EXPECT_DOUBLE_EQ(without.bca_ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(without.bca_ci.hi, 0.0);
+
+  BootstrapOptions on;
+  on.compute_bca = true;
+  const auto with = bootstrap(data, stat, on);
+  EXPECT_LT(with.bca_ci.lo, with.estimate);
+  EXPECT_GT(with.bca_ci.hi, with.estimate);
+}
+
+TEST(BcaTest, NearPercentileForSymmetricStatistic) {
+  rcr::Rng rng(2);
+  std::vector<double> data(300);
+  for (double& x : data) x = rng.normal(5.0, 1.0);
+  BootstrapOptions opts;
+  opts.compute_bca = true;
+  opts.replicates = 4000;
+  const auto r = bootstrap(
+      data, [](std::span<const double> x) { return mean(x); }, opts);
+  // Symmetric sampling distribution: BCa ≈ percentile.
+  EXPECT_NEAR(r.bca_ci.lo, r.percentile_ci.lo, 0.02);
+  EXPECT_NEAR(r.bca_ci.hi, r.percentile_ci.hi, 0.02);
+  EXPECT_NEAR(r.bca_bias_z0, 0.0, 0.1);
+}
+
+TEST(BcaTest, SkewedStatisticShiftsInterval) {
+  const auto data = skewed_sample(120, 3);
+  BootstrapOptions opts;
+  opts.compute_bca = true;
+  opts.replicates = 4000;
+  const auto r = bootstrap(
+      data,
+      [](std::span<const double> x) { return variance(x); },  // right-skewed
+      opts);
+  // Acceleration should be clearly nonzero for the variance of lognormals,
+  // and the BCa interval should differ from the percentile one.
+  EXPECT_GT(std::fabs(r.bca_acceleration), 0.01);
+  EXPECT_GT(std::fabs(r.bca_ci.lo - r.percentile_ci.lo) +
+                std::fabs(r.bca_ci.hi - r.percentile_ci.hi),
+            0.01);
+}
+
+TEST(BcaTest, DeterministicForSeed) {
+  const auto data = skewed_sample(80, 4);
+  BootstrapOptions opts;
+  opts.compute_bca = true;
+  opts.seed = 55;
+  const auto stat = [](std::span<const double> x) { return median(x); };
+  const auto a = bootstrap(data, stat, opts);
+  const auto b = bootstrap(data, stat, opts);
+  EXPECT_DOUBLE_EQ(a.bca_ci.lo, b.bca_ci.lo);
+  EXPECT_DOUBLE_EQ(a.bca_ci.hi, b.bca_ci.hi);
+}
+
+}  // namespace
+}  // namespace rcr::stats

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "stats/power.hpp"
+#include "util/error.hpp"
+
+namespace rcr::stats {
+namespace {
+
+TEST(PowerTest, AlphaWhenNoEffect) {
+  // With p1 == p2 the "power" is the type-I error rate.
+  EXPECT_NEAR(two_proportion_power(0.3, 0.3, 500), 0.05, 0.005);
+}
+
+TEST(PowerTest, GrowsWithNAndEffect) {
+  const double small_n = two_proportion_power(0.3, 0.4, 50);
+  const double big_n = two_proportion_power(0.3, 0.4, 500);
+  EXPECT_GT(big_n, small_n);
+  const double small_eff = two_proportion_power(0.3, 0.35, 200);
+  const double big_eff = two_proportion_power(0.3, 0.5, 200);
+  EXPECT_GT(big_eff, small_eff);
+}
+
+TEST(PowerTest, KnownTextbookValue) {
+  // Detecting 0.5 vs 0.6 with n = 388 per group gives ~80% power at
+  // alpha = 0.05 (standard tables put the requirement near 387–408).
+  EXPECT_NEAR(two_proportion_power(0.5, 0.6, 388), 0.80, 0.02);
+}
+
+TEST(PowerTest, SampleSizeAchievesRequestedPower) {
+  const auto n = two_proportion_sample_size(0.5, 0.6, 0.8);
+  EXPECT_GE(two_proportion_power(0.5, 0.6, static_cast<double>(n)), 0.8);
+  EXPECT_LT(two_proportion_power(0.5, 0.6, static_cast<double>(n - 1)), 0.8);
+  EXPECT_NEAR(static_cast<double>(n), 388.0, 25.0);
+}
+
+TEST(PowerTest, SampleSizeShrinksForBigEffects) {
+  EXPECT_LT(two_proportion_sample_size(0.2, 0.6),
+            two_proportion_sample_size(0.2, 0.3));
+}
+
+TEST(PowerTest, MinimumDetectableDifferenceRoundTrips) {
+  const double mdd = minimum_detectable_difference(0.4, 300, 300, 0.8);
+  EXPECT_GT(mdd, 0.0);
+  EXPECT_LT(mdd, 0.5);
+  // Power at exactly the MDD should be ~the requested power.
+  EXPECT_NEAR(two_proportion_power(0.4, 0.4 + mdd, 300), 0.8, 0.02);
+}
+
+TEST(PowerTest, UnequalWavesLikeTheStudy) {
+  // The study's default waves: 120 vs 650. The detectable shift from a
+  // 30% baseline should be roughly 13-16 points — context for T6's
+  // "stable" rows.
+  const double mdd = minimum_detectable_difference(0.3, 120, 650, 0.8);
+  EXPECT_GT(mdd, 0.08);
+  EXPECT_LT(mdd, 0.20);
+}
+
+TEST(PowerTest, RejectsBadInput) {
+  EXPECT_THROW(two_proportion_power(0.0, 0.5, 100), rcr::Error);
+  EXPECT_THROW(two_proportion_power(0.3, 1.0, 100), rcr::Error);
+  EXPECT_THROW(two_proportion_sample_size(0.4, 0.4), rcr::Error);
+  EXPECT_THROW(two_proportion_sample_size(0.4, 0.5, 1.5), rcr::Error);
+  EXPECT_THROW(minimum_detectable_difference(0.4, 1.0, 100), rcr::Error);
+}
+
+}  // namespace
+}  // namespace rcr::stats

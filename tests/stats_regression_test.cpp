@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/matrix.hpp"
+#include "stats/regression.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::stats {
+namespace {
+
+// --- matrix -------------------------------------------------------------------
+
+TEST(MatrixTest, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  const auto at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at.at(2, 1), 6.0);
+  const auto aat = a.multiply(at);
+  EXPECT_DOUBLE_EQ(aat.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(aat.at(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(aat.at(1, 1), 77.0);
+  const auto g = a.gram();  // A^T A, 3x3
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 17.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 2), 27.0);
+  EXPECT_DOUBLE_EQ(g.at(2, 0), 27.0);
+}
+
+TEST(MatrixTest, VectorMultiply) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2; a.at(0, 1) = 0; a.at(1, 0) = 1; a.at(1, 1) = 3;
+  const auto v = a.multiply(std::vector<double>{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 4; a.at(0, 1) = 2; a.at(1, 0) = 2; a.at(1, 1) = 3;
+  const auto x = cholesky_solve(a, std::vector<double>{10.0, 8.0});
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 10.0, 1e-10);
+  EXPECT_NEAR(2 * x[0] + 3 * x[1], 8.0, 1e-10);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 2; a.at(1, 1) = 1;
+  EXPECT_THROW(cholesky_solve(a, std::vector<double>{1.0, 1.0}),
+               rcr::ComputeError);
+}
+
+TEST(LuTest, SolvesGeneralSystem) {
+  Matrix a(3, 3);
+  const double vals[3][3] = {{0, 2, 1}, {3, 0, 1}, {1, 1, 1}};
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) a.at(r, c) = vals[r][c];
+  const std::vector<double> b = {5.0, 7.0, 6.0};
+  const auto x = lu_solve(a, b);
+  for (int r = 0; r < 3; ++r) {
+    double lhs = 0.0;
+    for (int c = 0; c < 3; ++c) lhs += vals[r][c] * x[c];
+    EXPECT_NEAR(lhs, b[r], 1e-10);
+  }
+}
+
+TEST(LuTest, RejectsSingular) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 2; a.at(1, 1) = 4;
+  EXPECT_THROW(lu_solve(a, std::vector<double>{1.0, 1.0}),
+               rcr::ComputeError);
+}
+
+// --- OLS ----------------------------------------------------------------------
+
+TEST(OlsTest, ExactLineRecovered) {
+  // y = 3 + 2x with no noise.
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = ols_fit_simple(x, y);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_stddev, 0.0, 1e-8);
+  EXPECT_NEAR(fit.predict(std::vector<double>{20.0}), 43.0, 1e-8);
+}
+
+TEST(OlsTest, NoisyFitRecoversCoefficients) {
+  rcr::Rng rng(3);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(-2, 2), b = rng.uniform(-2, 2);
+    xs.push_back({a, b});
+    y.push_back(1.5 - 0.8 * a + 2.2 * b + rng.normal(0, 0.3));
+  }
+  const auto fit = ols_fit(xs, y);
+  EXPECT_NEAR(fit.coefficients[0], 1.5, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], -0.8, 0.05);
+  EXPECT_NEAR(fit.coefficients[2], 2.2, 0.05);
+  EXPECT_GT(fit.r_squared, 0.95);
+  // Standard errors should be small and positive.
+  for (double se : fit.std_errors) {
+    EXPECT_GT(se, 0.0);
+    EXPECT_LT(se, 0.1);
+  }
+}
+
+TEST(OlsTest, KnownSimpleRegression) {
+  // Hand-computed: x = {1,2,3}, y = {2, 2, 4} -> slope 1, intercept 2/3.
+  const auto fit = ols_fit_simple(std::vector<double>{1, 2, 3},
+                                  std::vector<double>{2, 2, 4});
+  EXPECT_NEAR(fit.coefficients[1], 1.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[0], 2.0 / 3.0, 1e-10);
+}
+
+TEST(OlsTest, RejectsUnderdetermined) {
+  std::vector<std::vector<double>> xs = {{1.0}, {2.0}};
+  EXPECT_THROW(ols_fit(xs, std::vector<double>{1.0, 2.0}), rcr::Error);
+}
+
+TEST(OlsTest, RejectsCollinearPredictors) {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back({double(i), 2.0 * i});  // perfectly collinear
+    y.push_back(i);
+  }
+  EXPECT_THROW(ols_fit(xs, y), rcr::ComputeError);
+}
+
+// --- logistic -------------------------------------------------------------------
+
+TEST(SigmoidTest, BasicValues) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-14);
+  EXPECT_NEAR(sigmoid(-800.0), 0.0, 1e-300);  // no overflow
+  EXPECT_NEAR(sigmoid(800.0), 1.0, 1e-300);
+}
+
+TEST(LogisticTest, RecoversGeneratingModel) {
+  rcr::Rng rng(9);
+  std::vector<std::vector<double>> xs;
+  std::vector<double> y;
+  const double b0 = -1.0, b1 = 2.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(-3, 3);
+    xs.push_back({x});
+    y.push_back(rng.bernoulli(sigmoid(b0 + b1 * x)) ? 1.0 : 0.0);
+  }
+  const auto fit = logistic_fit(xs, y);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.coefficients[0], b0, 0.15);
+  EXPECT_NEAR(fit.coefficients[1], b1, 0.2);
+  EXPECT_LT(fit.log_likelihood, 0.0);
+  EXPECT_GT(fit.predict(std::vector<double>{3.0}), 0.95);
+  EXPECT_LT(fit.predict(std::vector<double>{-3.0}), 0.1);
+}
+
+TEST(LogisticTest, SeparableDataStaysFiniteWithRidge) {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back({static_cast<double>(i)});
+    y.push_back(i < 10 ? 0.0 : 1.0);
+  }
+  const auto fit = logistic_fit(xs, y, {}, /*ridge_lambda=*/1e-2);
+  for (double c : fit.coefficients) EXPECT_TRUE(std::isfinite(c));
+  EXPECT_GT(fit.coefficients[1], 0.0);
+}
+
+TEST(LogisticTest, WeightsShiftTheFit) {
+  // Same data, but weighting the positive class more raises the intercept.
+  std::vector<std::vector<double>> xs;
+  std::vector<double> y, w_up, w_eq;
+  rcr::Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back({rng.uniform(-1, 1)});
+    y.push_back(rng.bernoulli(0.4) ? 1.0 : 0.0);
+    w_eq.push_back(1.0);
+    w_up.push_back(y.back() == 1.0 ? 3.0 : 1.0);
+  }
+  const auto base = logistic_fit(xs, y, w_eq);
+  const auto boosted = logistic_fit(xs, y, w_up);
+  EXPECT_GT(boosted.coefficients[0], base.coefficients[0]);
+}
+
+TEST(LogisticTest, RejectsNonBinaryLabels) {
+  std::vector<std::vector<double>> xs = {{1.0}, {2.0}};
+  EXPECT_THROW(logistic_fit(xs, std::vector<double>{0.0, 0.5}), rcr::Error);
+}
+
+}  // namespace
+}  // namespace rcr::stats

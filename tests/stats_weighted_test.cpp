@@ -1,0 +1,143 @@
+// Tests for the weighted descriptive statistics plus a fuzz-style CSV
+// round-trip property over randomly generated tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "data/csv.hpp"
+#include "data/table.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr {
+namespace {
+
+// --- weighted variance -------------------------------------------------------------
+
+TEST(WeightedVarianceTest, EqualWeightsMatchSampleVariance) {
+  const std::vector<double> x = {2, 4, 4, 4, 5, 5, 7, 9};
+  const std::vector<double> w(x.size(), 1.0);
+  EXPECT_NEAR(stats::weighted_variance(x, w), stats::variance(x), 1e-12);
+  // Scaling all weights by a constant changes nothing.
+  const std::vector<double> w3(x.size(), 3.0);
+  EXPECT_NEAR(stats::weighted_variance(x, w3), stats::variance(x), 1e-12);
+}
+
+TEST(WeightedVarianceTest, ZeroWeightPointsIgnored) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 1000.0};
+  const std::vector<double> w = {1.0, 1.0, 1.0, 0.0};
+  const std::vector<double> trimmed = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(stats::weighted_variance(x, w), stats::variance(trimmed),
+              1e-12);
+}
+
+TEST(WeightedVarianceTest, RejectsDegenerate) {
+  EXPECT_THROW(stats::weighted_variance(std::vector<double>{1.0},
+                                        std::vector<double>{1.0}),
+               rcr::Error);
+  EXPECT_THROW(stats::weighted_variance(std::vector<double>{1.0, 2.0},
+                                        std::vector<double>{1.0, 0.0}),
+               rcr::Error);
+}
+
+// --- weighted quantile ---------------------------------------------------------------
+
+TEST(WeightedQuantileTest, EqualWeightsHitEmpiricalCdf) {
+  const std::vector<double> x = {10, 20, 30, 40};
+  const std::vector<double> w(4, 1.0);
+  EXPECT_DOUBLE_EQ(stats::weighted_median(x, w), 20.0);
+  EXPECT_DOUBLE_EQ(stats::weighted_quantile(x, w, 0.75), 30.0);
+  EXPECT_DOUBLE_EQ(stats::weighted_quantile(x, w, 1.0), 40.0);
+}
+
+TEST(WeightedQuantileTest, HeavyWeightDragsTheMedian) {
+  const std::vector<double> x = {1.0, 2.0, 100.0};
+  EXPECT_DOUBLE_EQ(
+      stats::weighted_median(x, std::vector<double>{1.0, 1.0, 5.0}), 100.0);
+  EXPECT_DOUBLE_EQ(
+      stats::weighted_median(x, std::vector<double>{5.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(WeightedQuantileTest, UnsortedInputHandled) {
+  const std::vector<double> x = {30, 10, 20};
+  const std::vector<double> w = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(stats::weighted_median(x, w), 20.0);
+}
+
+TEST(WeightedQuantileTest, RejectsBadInput) {
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW(stats::weighted_quantile(x, std::vector<double>{0.0}, 0.5),
+               rcr::Error);
+  EXPECT_THROW(stats::weighted_quantile(x, std::vector<double>{1.0}, 1.5),
+               rcr::Error);
+  EXPECT_THROW(
+      stats::weighted_quantile(x, std::vector<double>{1.0, 2.0}, 0.5),
+      rcr::Error);
+}
+
+// --- CSV fuzz round-trip ---------------------------------------------------------------
+
+// Builds a random table with awkward labels, missing cells, and all three
+// column kinds, then checks a full CSV round trip preserves it.
+class CsvFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsvFuzzTest, RandomTableRoundTrips) {
+  rcr::Rng rng(GetParam());
+  const std::vector<std::string> labels = {
+      "plain", "with space", "comma,inside", "quote\"inside", "pipe-free",
+      "ünïcode"};
+  data::Table t;
+  auto& num = t.add_numeric("n");
+  auto& cat = t.add_categorical("c", labels);
+  auto& multi = t.add_multiselect("m", {"a", "b", "comma,opt", "d"});
+  const std::size_t rows = 30 + rng.next_below(50);
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (rng.bernoulli(0.1)) {
+      num.push_missing();
+    } else {
+      num.push(std::floor(rng.uniform(-1000.0, 1000.0) * 16.0) / 16.0);
+    }
+    if (rng.bernoulli(0.1)) {
+      cat.push_missing();
+    } else {
+      cat.push_code(static_cast<std::int32_t>(rng.next_below(labels.size())));
+    }
+    if (rng.bernoulli(0.1)) {
+      multi.push_missing();
+    } else {
+      multi.push_mask(rng.next_below(16));  // includes the empty mask
+    }
+  }
+
+  std::ostringstream buffer;
+  data::write_csv(buffer, t);
+  std::istringstream in(buffer.str());
+  data::Table schema;
+  schema.add_numeric("n");
+  schema.add_categorical("c", labels);
+  schema.add_multiselect("m", {"a", "b", "comma,opt", "d"});
+  const data::Table back = data::read_csv(in, schema);
+
+  ASSERT_EQ(back.row_count(), rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const bool nm = data::NumericColumn::is_missing(num.at(i));
+    EXPECT_EQ(nm, data::NumericColumn::is_missing(back.numeric("n").at(i)));
+    if (!nm) {
+      EXPECT_DOUBLE_EQ(num.at(i), back.numeric("n").at(i));
+    }
+    EXPECT_EQ(cat.code_at(i), back.categorical("c").code_at(i));
+    EXPECT_EQ(multi.is_missing(i), back.multiselect("m").is_missing(i));
+    if (!multi.is_missing(i)) {
+      EXPECT_EQ(multi.mask_at(i), back.multiselect("m").mask_at(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace rcr

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "survey/impute.hpp"
+#include "util/error.hpp"
+
+namespace rcr::survey {
+namespace {
+
+// Two strata with clearly different answer distributions, plus holes.
+data::Table make_table() {
+  data::Table t;
+  auto& stratum = t.add_categorical("field", {"a", "b"});
+  auto& value = t.add_numeric("v");
+  auto& choice = t.add_categorical("c", {"x", "y"});
+  auto& multi = t.add_multiselect("m", {"p", "q"});
+  // Stratum a: v = 1, c = x, m = {p}.
+  for (int i = 0; i < 5; ++i) {
+    stratum.push("a");
+    value.push(1.0);
+    choice.push("x");
+    multi.push_labels({"p"});
+  }
+  // Stratum b: v = 9, c = y, m = {q}.
+  for (int i = 0; i < 5; ++i) {
+    stratum.push("b");
+    value.push(9.0);
+    choice.push("y");
+    multi.push_labels({"q"});
+  }
+  // Holes, one per stratum per column.
+  stratum.push("a");
+  value.push_missing();
+  choice.push_missing();
+  multi.push_missing();
+  stratum.push("b");
+  value.push_missing();
+  choice.push_missing();
+  multi.push_missing();
+  return t;
+}
+
+TEST(ImputeTest, FillsFromTheRightStratum) {
+  auto t = make_table();
+  EXPECT_EQ(missing_count(t, "v"), 2u);
+  const auto numeric_report = hot_deck_impute(t, "v", "field");
+  EXPECT_EQ(numeric_report.imputed_cells, 2u);
+  EXPECT_EQ(numeric_report.unimputable_cells, 0u);
+  EXPECT_DOUBLE_EQ(t.numeric("v").at(10), 1.0);  // stratum a donor
+  EXPECT_DOUBLE_EQ(t.numeric("v").at(11), 9.0);  // stratum b donor
+  EXPECT_EQ(missing_count(t, "v"), 0u);
+
+  hot_deck_impute(t, "c", "field");
+  EXPECT_EQ(t.categorical("c").label_at(10), "x");
+  EXPECT_EQ(t.categorical("c").label_at(11), "y");
+
+  hot_deck_impute(t, "m", "field");
+  EXPECT_TRUE(t.multiselect("m").has(10, 0));   // p
+  EXPECT_TRUE(t.multiselect("m").has(11, 1));   // q
+}
+
+TEST(ImputeTest, DeterministicForSeed) {
+  auto a = make_table();
+  auto b = make_table();
+  hot_deck_impute(a, "v", "field", 77);
+  hot_deck_impute(b, "v", "field", 77);
+  for (std::size_t i = 0; i < a.row_count(); ++i)
+    EXPECT_DOUBLE_EQ(a.numeric("v").at(i), b.numeric("v").at(i));
+}
+
+TEST(ImputeTest, MissingStratumFallsBackToGlobalPool) {
+  data::Table t;
+  auto& stratum = t.add_categorical("field", {"a", "b"});
+  auto& value = t.add_numeric("v");
+  stratum.push("a");
+  value.push(4.0);
+  stratum.push_missing();
+  value.push_missing();
+  const auto report = hot_deck_impute(t, "v", "field");
+  EXPECT_EQ(report.imputed_cells, 1u);
+  EXPECT_DOUBLE_EQ(t.numeric("v").at(1), 4.0);
+}
+
+TEST(ImputeTest, NoDonorsAnywhereIsReported) {
+  data::Table t;
+  auto& stratum = t.add_categorical("field", {"a", "b"});
+  auto& value = t.add_numeric("v");
+  stratum.push("a");
+  value.push_missing();
+  const auto report = hot_deck_impute(t, "v", "field");
+  EXPECT_EQ(report.imputed_cells, 0u);
+  EXPECT_EQ(report.unimputable_cells, 1u);
+  EXPECT_EQ(missing_count(t, "v"), 1u);
+}
+
+TEST(ImputeTest, PreservesPresentValues) {
+  auto t = make_table();
+  const auto before = t.numeric("v").values();
+  hot_deck_impute(t, "v", "field");
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (!data::NumericColumn::is_missing(before[i])) {
+      EXPECT_DOUBLE_EQ(t.numeric("v").at(i), before[i]);
+    }
+  }
+}
+
+TEST(MissingCountTest, CountsEveryKind) {
+  const auto t = make_table();
+  EXPECT_EQ(missing_count(t, "v"), 2u);
+  EXPECT_EQ(missing_count(t, "c"), 2u);
+  EXPECT_EQ(missing_count(t, "m"), 2u);
+  EXPECT_EQ(missing_count(t, "field"), 0u);
+}
+
+}  // namespace
+}  // namespace rcr::survey

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trend/trend.hpp"
+#include "util/error.hpp"
+
+namespace rcr::trend {
+namespace {
+
+// Builds a wave with `hits` of `n` rows selecting option "x" of column "m",
+// and the matching single-choice column "c" set to "yes"/"no".
+data::Table make_wave(std::size_t hits, std::size_t n) {
+  data::Table t;
+  auto& m = t.add_multiselect("m", {"x", "y"});
+  auto& c = t.add_categorical("c", {"yes", "no"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool hit = i < hits;
+    m.push_mask(hit ? 0b01 : 0b10);
+    c.push(hit ? "yes" : "no");
+  }
+  return t;
+}
+
+TEST(CompareOptionTest, CountsAndDirection) {
+  const auto w1 = make_wave(10, 100);   // 10%
+  const auto w2 = make_wave(300, 600);  // 50%
+  auto t = compare_option(w1, w2, "m", "x");
+  EXPECT_DOUBLE_EQ(t.count1, 10.0);
+  EXPECT_DOUBLE_EQ(t.n1, 100.0);
+  EXPECT_DOUBLE_EQ(t.count2, 300.0);
+  EXPECT_NEAR(t.share1.estimate, 0.1, 1e-12);
+  EXPECT_NEAR(t.share2.estimate, 0.5, 1e-12);
+  EXPECT_GT(t.test.diff, 0.0);  // wave2 minus wave1
+  EXPECT_LT(t.test.p_value, 1e-6);
+  EXPECT_GT(t.odds_ratio, 1.0);
+
+  std::vector<ShareTrend> battery = {t};
+  adjust_and_classify(battery);
+  EXPECT_EQ(battery[0].direction, Direction::kIncrease);
+}
+
+TEST(CompareOptionTest, MissingRowsExcluded) {
+  auto w1 = make_wave(5, 10);
+  w1.multiselect("m").push_missing();
+  w1.categorical("c").push_missing();
+  const auto w2 = make_wave(5, 10);
+  const auto t = compare_option(w1, w2, "m", "x");
+  EXPECT_DOUBLE_EQ(t.n1, 10.0);  // the missing row does not count
+}
+
+TEST(CompareCategoryTest, Works) {
+  const auto w1 = make_wave(20, 100);
+  const auto w2 = make_wave(20, 100);
+  const auto t = compare_category(w1, w2, "c", "yes");
+  EXPECT_NEAR(t.share1.estimate, 0.2, 1e-12);
+  EXPECT_NEAR(t.share2.estimate, 0.2, 1e-12);
+  EXPECT_NEAR(t.test.p_value, 1.0, 1e-9);
+  std::vector<ShareTrend> battery = {t};
+  adjust_and_classify(battery);
+  EXPECT_EQ(battery[0].direction, Direction::kStable);
+}
+
+TEST(ComparePredicateTest, NulloptExcludes) {
+  const auto w1 = make_wave(4, 10);
+  const auto w2 = make_wave(6, 10);
+  const auto t = compare_predicate(
+      w1, w2, "custom",
+      [](const data::Table& table, std::size_t i) -> std::optional<bool> {
+        if (i % 2 == 1) return std::nullopt;  // half the rows abstain
+        return table.categorical("c").code_at(i) == 0;
+      });
+  EXPECT_DOUBLE_EQ(t.n1, 5.0);
+  EXPECT_DOUBLE_EQ(t.n2, 5.0);
+}
+
+TEST(CompareOptionTest, UnknownOptionThrows) {
+  const auto w1 = make_wave(1, 10);
+  EXPECT_THROW(compare_option(w1, w1, "m", "zzz"), rcr::Error);
+}
+
+TEST(OptionBatteryTest, CoversAllOptionsWithHolm) {
+  const auto w1 = make_wave(10, 100);
+  const auto w2 = make_wave(300, 600);
+  const auto battery = option_battery(w1, w2, "m");
+  ASSERT_EQ(battery.size(), 2u);
+  // Holm-adjusted p >= raw p.
+  for (const auto& t : battery) EXPECT_GE(t.p_adjusted, t.test.p_value);
+  // "x" rose, "y" fell (complementary in this construction).
+  EXPECT_EQ(battery[0].direction, Direction::kIncrease);
+  EXPECT_EQ(battery[1].direction, Direction::kDecrease);
+}
+
+TEST(AdjustClassifyTest, BhIsNoMoreConservativeThanHolm) {
+  const auto w1 = make_wave(10, 100);
+  const auto w2 = make_wave(300, 600);
+  std::vector<ShareTrend> holm = {
+      compare_option(w1, w2, "m", "x"), compare_option(w1, w2, "m", "y"),
+      compare_category(w1, w2, "c", "yes")};
+  auto bh = holm;
+  adjust_and_classify(holm, 0.05, Multiplicity::kHolm);
+  adjust_and_classify(bh, 0.05, Multiplicity::kBenjaminiHochberg);
+  for (std::size_t i = 0; i < holm.size(); ++i) {
+    EXPECT_LE(bh[i].p_adjusted, holm[i].p_adjusted + 1e-12);
+    EXPECT_GE(bh[i].p_adjusted, bh[i].test.p_value);
+  }
+}
+
+TEST(AdjustClassifyTest, EmptyBatteryIsFine) {
+  std::vector<ShareTrend> empty;
+  EXPECT_NO_THROW(adjust_and_classify(empty));
+}
+
+TEST(AdoptionCurveTest, RisingAdoptionHasPositiveSlope) {
+  const auto w1 = make_wave(10, 200);   // 5% in 2011
+  const auto w2 = make_wave(240, 400);  // 60% in 2024
+  const auto c = fit_adoption_curve(w1, 2011, w2, 2024, "m", "x");
+  EXPECT_TRUE(c.converged);
+  EXPECT_GT(c.slope_per_year, 0.0);
+  // Fitted shares reproduce the observed ones (two points, two params).
+  EXPECT_NEAR(c.share_2011, 0.05, 0.01);
+  EXPECT_NEAR(c.share_2024, 0.60, 0.01);
+  // Midpoint falls between the waves (5% -> 60% crosses 50% before 2024).
+  EXPECT_GT(c.midpoint_year, 2011.0);
+  EXPECT_LT(c.midpoint_year, 2024.0);
+  EXPECT_NEAR(c.predict(c.midpoint_year), 0.5, 1e-6);
+}
+
+TEST(AdoptionCurveTest, DecliningAdoptionHasNegativeSlope) {
+  const auto w1 = make_wave(150, 200);
+  const auto w2 = make_wave(40, 400);
+  const auto c = fit_adoption_curve(w1, 2011, w2, 2024, "m", "x");
+  EXPECT_LT(c.slope_per_year, 0.0);
+}
+
+TEST(AdoptionCurveTest, RejectsUnorderedWaves) {
+  const auto w = make_wave(5, 10);
+  EXPECT_THROW(fit_adoption_curve(w, 2024, w, 2011, "m", "x"), rcr::Error);
+}
+
+TEST(DistributionShiftTest, DetectsShift) {
+  const auto w1 = make_wave(90, 100);  // mostly "yes"
+  const auto w2 = make_wave(10, 100);  // mostly "no"
+  const auto r = distribution_shift_test(w1, w2, "c");
+  EXPECT_LT(r.p_value, 1e-10);
+  EXPECT_GT(r.cramers_v, 0.5);
+}
+
+TEST(DistributionShiftTest, NoShiftHighP) {
+  const auto w1 = make_wave(50, 100);
+  const auto w2 = make_wave(250, 500);
+  const auto r = distribution_shift_test(w1, w2, "c");
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(DirectionLabelTest, Labels) {
+  EXPECT_STREQ(direction_label(Direction::kIncrease), "increase");
+  EXPECT_STREQ(direction_label(Direction::kDecrease), "decrease");
+  EXPECT_STREQ(direction_label(Direction::kStable), "stable");
+}
+
+}  // namespace
+}  // namespace rcr::trend
