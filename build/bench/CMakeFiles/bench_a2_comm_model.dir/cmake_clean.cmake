@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_comm_model.dir/bench_a2_comm_model.cpp.o"
+  "CMakeFiles/bench_a2_comm_model.dir/bench_a2_comm_model.cpp.o.d"
+  "bench_a2_comm_model"
+  "bench_a2_comm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_comm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f10_panel.dir/bench_f10_panel.cpp.o: \
+ /root/repo/bench/bench_f10_panel.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

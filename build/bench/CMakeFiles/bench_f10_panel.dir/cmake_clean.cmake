@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_panel.dir/bench_f10_panel.cpp.o"
+  "CMakeFiles/bench_f10_panel.dir/bench_f10_panel.cpp.o.d"
+  "bench_f10_panel"
+  "bench_f10_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

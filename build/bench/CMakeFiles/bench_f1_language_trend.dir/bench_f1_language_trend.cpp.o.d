@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f1_language_trend.dir/bench_f1_language_trend.cpp.o: \
+ /root/repo/bench/bench_f1_language_trend.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

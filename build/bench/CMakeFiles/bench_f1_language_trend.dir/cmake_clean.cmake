@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_language_trend.dir/bench_f1_language_trend.cpp.o"
+  "CMakeFiles/bench_f1_language_trend.dir/bench_f1_language_trend.cpp.o.d"
+  "bench_f1_language_trend"
+  "bench_f1_language_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_language_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f2_parallelism.dir/bench_f2_parallelism.cpp.o: \
+ /root/repo/bench/bench_f2_parallelism.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_parallelism.dir/bench_f2_parallelism.cpp.o"
+  "CMakeFiles/bench_f2_parallelism.dir/bench_f2_parallelism.cpp.o.d"
+  "bench_f2_parallelism"
+  "bench_f2_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f3_cores_cdf.dir/bench_f3_cores_cdf.cpp.o: \
+ /root/repo/bench/bench_f3_cores_cdf.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f4_time_programming.dir/bench_f4_time_programming.cpp.o: \
+ /root/repo/bench/bench_f4_time_programming.cpp \
+ /usr/include/stdc-predef.h /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_time_programming.dir/bench_f4_time_programming.cpp.o"
+  "CMakeFiles/bench_f4_time_programming.dir/bench_f4_time_programming.cpp.o.d"
+  "bench_f4_time_programming"
+  "bench_f4_time_programming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_time_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f5_scaling.dir/bench_f5_scaling.cpp.o: \
+ /root/repo/bench/bench_f5_scaling.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f6_queueing.dir/bench_f6_queueing.cpp.o: \
+ /root/repo/bench/bench_f6_queueing.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f7_weighting.dir/bench_f7_weighting.cpp.o: \
+ /root/repo/bench/bench_f7_weighting.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_weighting.dir/bench_f7_weighting.cpp.o"
+  "CMakeFiles/bench_f7_weighting.dir/bench_f7_weighting.cpp.o.d"
+  "bench_f7_weighting"
+  "bench_f7_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

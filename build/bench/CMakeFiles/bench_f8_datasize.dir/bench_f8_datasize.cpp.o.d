@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f8_datasize.dir/bench_f8_datasize.cpp.o: \
+ /root/repo/bench/bench_f8_datasize.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_datasize.dir/bench_f8_datasize.cpp.o"
+  "CMakeFiles/bench_f8_datasize.dir/bench_f8_datasize.cpp.o.d"
+  "bench_f8_datasize"
+  "bench_f8_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

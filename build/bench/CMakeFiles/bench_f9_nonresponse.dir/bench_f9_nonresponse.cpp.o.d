@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_f9_nonresponse.dir/bench_f9_nonresponse.cpp.o: \
+ /root/repo/bench/bench_f9_nonresponse.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_nonresponse.dir/bench_f9_nonresponse.cpp.o"
+  "CMakeFiles/bench_f9_nonresponse.dir/bench_f9_nonresponse.cpp.o.d"
+  "bench_f9_nonresponse"
+  "bench_f9_nonresponse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_nonresponse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

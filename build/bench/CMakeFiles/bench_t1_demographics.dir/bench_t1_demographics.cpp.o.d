@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_t1_demographics.dir/bench_t1_demographics.cpp.o: \
+ /root/repo/bench/bench_t1_demographics.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

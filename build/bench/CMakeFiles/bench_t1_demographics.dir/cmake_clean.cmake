@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_demographics.dir/bench_t1_demographics.cpp.o"
+  "CMakeFiles/bench_t1_demographics.dir/bench_t1_demographics.cpp.o.d"
+  "bench_t1_demographics"
+  "bench_t1_demographics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_demographics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

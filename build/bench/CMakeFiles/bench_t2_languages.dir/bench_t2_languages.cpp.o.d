@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_t2_languages.dir/bench_t2_languages.cpp.o: \
+ /root/repo/bench/bench_t2_languages.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

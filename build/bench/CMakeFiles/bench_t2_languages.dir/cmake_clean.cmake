@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_languages.dir/bench_t2_languages.cpp.o"
+  "CMakeFiles/bench_t2_languages.dir/bench_t2_languages.cpp.o.d"
+  "bench_t2_languages"
+  "bench_t2_languages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_t3_models.dir/bench_t3_models.cpp.o: \
+ /root/repo/bench/bench_t3_models.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

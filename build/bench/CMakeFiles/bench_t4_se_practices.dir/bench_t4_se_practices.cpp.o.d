@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_t4_se_practices.dir/bench_t4_se_practices.cpp.o: \
+ /root/repo/bench/bench_t4_se_practices.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

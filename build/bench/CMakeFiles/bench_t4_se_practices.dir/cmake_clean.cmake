@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_se_practices.dir/bench_t4_se_practices.cpp.o"
+  "CMakeFiles/bench_t4_se_practices.dir/bench_t4_se_practices.cpp.o.d"
+  "bench_t4_se_practices"
+  "bench_t4_se_practices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_se_practices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

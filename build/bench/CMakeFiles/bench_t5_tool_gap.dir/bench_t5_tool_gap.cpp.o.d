@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_t5_tool_gap.dir/bench_t5_tool_gap.cpp.o: \
+ /root/repo/bench/bench_t5_tool_gap.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

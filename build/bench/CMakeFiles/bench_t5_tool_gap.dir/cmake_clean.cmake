@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_tool_gap.dir/bench_t5_tool_gap.cpp.o"
+  "CMakeFiles/bench_t5_tool_gap.dir/bench_t5_tool_gap.cpp.o.d"
+  "bench_t5_tool_gap"
+  "bench_t5_tool_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_tool_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_t6_significance.dir/bench_t6_significance.cpp.o: \
+ /root/repo/bench/bench_t6_significance.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_significance.dir/bench_t6_significance.cpp.o"
+  "CMakeFiles/bench_t6_significance.dir/bench_t6_significance.cpp.o.d"
+  "bench_t6_significance"
+  "bench_t6_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

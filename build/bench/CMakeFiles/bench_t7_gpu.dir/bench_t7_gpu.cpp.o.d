@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_t7_gpu.dir/bench_t7_gpu.cpp.o: \
+ /root/repo/bench/bench_t7_gpu.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_gpu.dir/bench_t7_gpu.cpp.o"
+  "CMakeFiles/bench_t7_gpu.dir/bench_t7_gpu.cpp.o.d"
+  "bench_t7_gpu"
+  "bench_t7_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/bench_t8_field_drilldown.dir/bench_t8_field_drilldown.cpp.o: \
+ /root/repo/bench/bench_t8_field_drilldown.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/experiment_main.hpp

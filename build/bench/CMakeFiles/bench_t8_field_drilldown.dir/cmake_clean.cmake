@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_field_drilldown.dir/bench_t8_field_drilldown.cpp.o"
+  "CMakeFiles/bench_t8_field_drilldown.dir/bench_t8_field_drilldown.cpp.o.d"
+  "bench_t8_field_drilldown"
+  "bench_t8_field_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_field_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

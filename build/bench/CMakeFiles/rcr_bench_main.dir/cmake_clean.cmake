@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_bench_main.dir/experiment_main.cpp.o"
+  "CMakeFiles/rcr_bench_main.dir/experiment_main.cpp.o.d"
+  "librcr_bench_main.a"
+  "librcr_bench_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_bench_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

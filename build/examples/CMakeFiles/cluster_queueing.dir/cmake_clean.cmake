@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_queueing.dir/cluster_queueing.cpp.o"
+  "CMakeFiles/cluster_queueing.dir/cluster_queueing.cpp.o.d"
+  "cluster_queueing"
+  "cluster_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

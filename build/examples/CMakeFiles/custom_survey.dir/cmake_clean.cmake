@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_survey.dir/custom_survey.cpp.o"
+  "CMakeFiles/custom_survey.dir/custom_survey.cpp.o.d"
+  "custom_survey"
+  "custom_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

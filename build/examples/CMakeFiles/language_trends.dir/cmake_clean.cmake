@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_trends.dir/language_trends.cpp.o"
+  "CMakeFiles/language_trends.dir/language_trends.cpp.o.d"
+  "language_trends"
+  "language_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

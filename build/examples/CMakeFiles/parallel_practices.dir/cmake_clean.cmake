@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_practices.dir/parallel_practices.cpp.o"
+  "CMakeFiles/parallel_practices.dir/parallel_practices.cpp.o.d"
+  "parallel_practices"
+  "parallel_practices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_practices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

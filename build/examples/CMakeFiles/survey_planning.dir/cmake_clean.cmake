@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_planning.dir/survey_planning.cpp.o"
+  "CMakeFiles/survey_planning.dir/survey_planning.cpp.o.d"
+  "survey_planning"
+  "survey_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_core.dir/experiments_figures.cpp.o"
+  "CMakeFiles/rcr_core.dir/experiments_figures.cpp.o.d"
+  "CMakeFiles/rcr_core.dir/experiments_tables.cpp.o"
+  "CMakeFiles/rcr_core.dir/experiments_tables.cpp.o.d"
+  "CMakeFiles/rcr_core.dir/study.cpp.o"
+  "CMakeFiles/rcr_core.dir/study.cpp.o.d"
+  "librcr_core.a"
+  "librcr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/column.cpp" "src/data/CMakeFiles/rcr_data.dir/column.cpp.o" "gcc" "src/data/CMakeFiles/rcr_data.dir/column.cpp.o.d"
+  "/root/repo/src/data/crosstab.cpp" "src/data/CMakeFiles/rcr_data.dir/crosstab.cpp.o" "gcc" "src/data/CMakeFiles/rcr_data.dir/crosstab.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/rcr_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/rcr_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/recode.cpp" "src/data/CMakeFiles/rcr_data.dir/recode.cpp.o" "gcc" "src/data/CMakeFiles/rcr_data.dir/recode.cpp.o.d"
+  "/root/repo/src/data/summary.cpp" "src/data/CMakeFiles/rcr_data.dir/summary.cpp.o" "gcc" "src/data/CMakeFiles/rcr_data.dir/summary.cpp.o.d"
+  "/root/repo/src/data/table.cpp" "src/data/CMakeFiles/rcr_data.dir/table.cpp.o" "gcc" "src/data/CMakeFiles/rcr_data.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rcr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/rcr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rcr_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

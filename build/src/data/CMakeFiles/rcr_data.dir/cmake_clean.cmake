@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_data.dir/column.cpp.o"
+  "CMakeFiles/rcr_data.dir/column.cpp.o.d"
+  "CMakeFiles/rcr_data.dir/crosstab.cpp.o"
+  "CMakeFiles/rcr_data.dir/crosstab.cpp.o.d"
+  "CMakeFiles/rcr_data.dir/csv.cpp.o"
+  "CMakeFiles/rcr_data.dir/csv.cpp.o.d"
+  "CMakeFiles/rcr_data.dir/recode.cpp.o"
+  "CMakeFiles/rcr_data.dir/recode.cpp.o.d"
+  "CMakeFiles/rcr_data.dir/summary.cpp.o"
+  "CMakeFiles/rcr_data.dir/summary.cpp.o.d"
+  "CMakeFiles/rcr_data.dir/table.cpp.o"
+  "CMakeFiles/rcr_data.dir/table.cpp.o.d"
+  "librcr_data.a"
+  "librcr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/matmul.cpp" "src/kernels/CMakeFiles/rcr_kernels.dir/matmul.cpp.o" "gcc" "src/kernels/CMakeFiles/rcr_kernels.dir/matmul.cpp.o.d"
+  "/root/repo/src/kernels/montecarlo.cpp" "src/kernels/CMakeFiles/rcr_kernels.dir/montecarlo.cpp.o" "gcc" "src/kernels/CMakeFiles/rcr_kernels.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/kernels/nbody.cpp" "src/kernels/CMakeFiles/rcr_kernels.dir/nbody.cpp.o" "gcc" "src/kernels/CMakeFiles/rcr_kernels.dir/nbody.cpp.o.d"
+  "/root/repo/src/kernels/reduction.cpp" "src/kernels/CMakeFiles/rcr_kernels.dir/reduction.cpp.o" "gcc" "src/kernels/CMakeFiles/rcr_kernels.dir/reduction.cpp.o.d"
+  "/root/repo/src/kernels/spmv.cpp" "src/kernels/CMakeFiles/rcr_kernels.dir/spmv.cpp.o" "gcc" "src/kernels/CMakeFiles/rcr_kernels.dir/spmv.cpp.o.d"
+  "/root/repo/src/kernels/stencil.cpp" "src/kernels/CMakeFiles/rcr_kernels.dir/stencil.cpp.o" "gcc" "src/kernels/CMakeFiles/rcr_kernels.dir/stencil.cpp.o.d"
+  "/root/repo/src/kernels/suite.cpp" "src/kernels/CMakeFiles/rcr_kernels.dir/suite.cpp.o" "gcc" "src/kernels/CMakeFiles/rcr_kernels.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/rcr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_kernels.dir/matmul.cpp.o"
+  "CMakeFiles/rcr_kernels.dir/matmul.cpp.o.d"
+  "CMakeFiles/rcr_kernels.dir/montecarlo.cpp.o"
+  "CMakeFiles/rcr_kernels.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/rcr_kernels.dir/nbody.cpp.o"
+  "CMakeFiles/rcr_kernels.dir/nbody.cpp.o.d"
+  "CMakeFiles/rcr_kernels.dir/reduction.cpp.o"
+  "CMakeFiles/rcr_kernels.dir/reduction.cpp.o.d"
+  "CMakeFiles/rcr_kernels.dir/spmv.cpp.o"
+  "CMakeFiles/rcr_kernels.dir/spmv.cpp.o.d"
+  "CMakeFiles/rcr_kernels.dir/stencil.cpp.o"
+  "CMakeFiles/rcr_kernels.dir/stencil.cpp.o.d"
+  "CMakeFiles/rcr_kernels.dir/suite.cpp.o"
+  "CMakeFiles/rcr_kernels.dir/suite.cpp.o.d"
+  "librcr_kernels.a"
+  "librcr_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_parallel.dir/algorithms.cpp.o"
+  "CMakeFiles/rcr_parallel.dir/algorithms.cpp.o.d"
+  "CMakeFiles/rcr_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/rcr_parallel.dir/thread_pool.cpp.o.d"
+  "librcr_parallel.a"
+  "librcr_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_report.dir/experiment.cpp.o"
+  "CMakeFiles/rcr_report.dir/experiment.cpp.o.d"
+  "CMakeFiles/rcr_report.dir/series.cpp.o"
+  "CMakeFiles/rcr_report.dir/series.cpp.o.d"
+  "CMakeFiles/rcr_report.dir/table.cpp.o"
+  "CMakeFiles/rcr_report.dir/table.cpp.o.d"
+  "librcr_report.a"
+  "librcr_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/rcr_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/rcr_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/rcr_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/rcr_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/scaling.cpp" "src/sim/CMakeFiles/rcr_sim.dir/scaling.cpp.o" "gcc" "src/sim/CMakeFiles/rcr_sim.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rcr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rcr_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

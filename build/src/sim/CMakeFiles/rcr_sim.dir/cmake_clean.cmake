@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_sim.dir/cluster.cpp.o"
+  "CMakeFiles/rcr_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/rcr_sim.dir/network.cpp.o"
+  "CMakeFiles/rcr_sim.dir/network.cpp.o.d"
+  "CMakeFiles/rcr_sim.dir/scaling.cpp.o"
+  "CMakeFiles/rcr_sim.dir/scaling.cpp.o.d"
+  "librcr_sim.a"
+  "librcr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcr_sim.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/rcr_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/ci.cpp" "src/stats/CMakeFiles/rcr_stats.dir/ci.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/ci.cpp.o.d"
+  "/root/repo/src/stats/contingency.cpp" "src/stats/CMakeFiles/rcr_stats.dir/contingency.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/contingency.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/rcr_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/rcr_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/rcr_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/nonparametric.cpp" "src/stats/CMakeFiles/rcr_stats.dir/nonparametric.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/nonparametric.cpp.o.d"
+  "/root/repo/src/stats/permutation.cpp" "src/stats/CMakeFiles/rcr_stats.dir/permutation.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/permutation.cpp.o.d"
+  "/root/repo/src/stats/power.cpp" "src/stats/CMakeFiles/rcr_stats.dir/power.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/power.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/rcr_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/rcr_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/rcr_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rcr_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

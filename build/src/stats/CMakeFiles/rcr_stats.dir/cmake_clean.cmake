@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/rcr_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/ci.cpp.o"
+  "CMakeFiles/rcr_stats.dir/ci.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/contingency.cpp.o"
+  "CMakeFiles/rcr_stats.dir/contingency.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/rcr_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/histogram.cpp.o"
+  "CMakeFiles/rcr_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/matrix.cpp.o"
+  "CMakeFiles/rcr_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/nonparametric.cpp.o"
+  "CMakeFiles/rcr_stats.dir/nonparametric.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/permutation.cpp.o"
+  "CMakeFiles/rcr_stats.dir/permutation.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/power.cpp.o"
+  "CMakeFiles/rcr_stats.dir/power.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/regression.cpp.o"
+  "CMakeFiles/rcr_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/rcr_stats.dir/special.cpp.o"
+  "CMakeFiles/rcr_stats.dir/special.cpp.o.d"
+  "librcr_stats.a"
+  "librcr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

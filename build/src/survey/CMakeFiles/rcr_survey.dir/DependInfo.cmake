@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survey/allocate.cpp" "src/survey/CMakeFiles/rcr_survey.dir/allocate.cpp.o" "gcc" "src/survey/CMakeFiles/rcr_survey.dir/allocate.cpp.o.d"
+  "/root/repo/src/survey/impute.cpp" "src/survey/CMakeFiles/rcr_survey.dir/impute.cpp.o" "gcc" "src/survey/CMakeFiles/rcr_survey.dir/impute.cpp.o.d"
+  "/root/repo/src/survey/likert.cpp" "src/survey/CMakeFiles/rcr_survey.dir/likert.cpp.o" "gcc" "src/survey/CMakeFiles/rcr_survey.dir/likert.cpp.o.d"
+  "/root/repo/src/survey/schema.cpp" "src/survey/CMakeFiles/rcr_survey.dir/schema.cpp.o" "gcc" "src/survey/CMakeFiles/rcr_survey.dir/schema.cpp.o.d"
+  "/root/repo/src/survey/weighting.cpp" "src/survey/CMakeFiles/rcr_survey.dir/weighting.cpp.o" "gcc" "src/survey/CMakeFiles/rcr_survey.dir/weighting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/rcr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rcr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rcr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/rcr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

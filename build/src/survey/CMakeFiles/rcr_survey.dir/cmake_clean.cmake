@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_survey.dir/allocate.cpp.o"
+  "CMakeFiles/rcr_survey.dir/allocate.cpp.o.d"
+  "CMakeFiles/rcr_survey.dir/impute.cpp.o"
+  "CMakeFiles/rcr_survey.dir/impute.cpp.o.d"
+  "CMakeFiles/rcr_survey.dir/likert.cpp.o"
+  "CMakeFiles/rcr_survey.dir/likert.cpp.o.d"
+  "CMakeFiles/rcr_survey.dir/schema.cpp.o"
+  "CMakeFiles/rcr_survey.dir/schema.cpp.o.d"
+  "CMakeFiles/rcr_survey.dir/weighting.cpp.o"
+  "CMakeFiles/rcr_survey.dir/weighting.cpp.o.d"
+  "librcr_survey.a"
+  "librcr_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

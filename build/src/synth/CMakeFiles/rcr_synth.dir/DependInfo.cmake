@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/calibration.cpp" "src/synth/CMakeFiles/rcr_synth.dir/calibration.cpp.o" "gcc" "src/synth/CMakeFiles/rcr_synth.dir/calibration.cpp.o.d"
+  "/root/repo/src/synth/domain.cpp" "src/synth/CMakeFiles/rcr_synth.dir/domain.cpp.o" "gcc" "src/synth/CMakeFiles/rcr_synth.dir/domain.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/rcr_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/rcr_synth.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/survey/CMakeFiles/rcr_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rcr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rcr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/rcr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rcr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

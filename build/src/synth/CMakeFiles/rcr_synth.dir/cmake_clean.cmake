@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_synth.dir/calibration.cpp.o"
+  "CMakeFiles/rcr_synth.dir/calibration.cpp.o.d"
+  "CMakeFiles/rcr_synth.dir/domain.cpp.o"
+  "CMakeFiles/rcr_synth.dir/domain.cpp.o.d"
+  "CMakeFiles/rcr_synth.dir/generator.cpp.o"
+  "CMakeFiles/rcr_synth.dir/generator.cpp.o.d"
+  "librcr_synth.a"
+  "librcr_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_trend.dir/trend.cpp.o"
+  "CMakeFiles/rcr_trend.dir/trend.cpp.o.d"
+  "librcr_trend.a"
+  "librcr_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcr_util.dir/cli.cpp.o"
+  "CMakeFiles/rcr_util.dir/cli.cpp.o.d"
+  "CMakeFiles/rcr_util.dir/rng.cpp.o"
+  "CMakeFiles/rcr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rcr_util.dir/strings.cpp.o"
+  "CMakeFiles/rcr_util.dir/strings.cpp.o.d"
+  "librcr_util.a"
+  "librcr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_append_test.dir/data_append_test.cpp.o"
+  "CMakeFiles/data_append_test.dir/data_append_test.cpp.o.d"
+  "data_append_test"
+  "data_append_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_append_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

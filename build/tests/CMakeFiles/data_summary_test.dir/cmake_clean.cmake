@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_summary_test.dir/data_summary_test.cpp.o"
+  "CMakeFiles/data_summary_test.dir/data_summary_test.cpp.o.d"
+  "data_summary_test"
+  "data_summary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_policies_test.dir/sim_policies_test.cpp.o"
+  "CMakeFiles/sim_policies_test.dir/sim_policies_test.cpp.o.d"
+  "sim_policies_test"
+  "sim_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

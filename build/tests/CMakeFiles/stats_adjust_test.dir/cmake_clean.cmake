@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_adjust_test.dir/stats_adjust_test.cpp.o"
+  "CMakeFiles/stats_adjust_test.dir/stats_adjust_test.cpp.o.d"
+  "stats_adjust_test"
+  "stats_adjust_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_adjust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

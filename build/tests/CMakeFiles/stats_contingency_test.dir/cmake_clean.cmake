@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_contingency_test.dir/stats_contingency_test.cpp.o"
+  "CMakeFiles/stats_contingency_test.dir/stats_contingency_test.cpp.o.d"
+  "stats_contingency_test"
+  "stats_contingency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_contingency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

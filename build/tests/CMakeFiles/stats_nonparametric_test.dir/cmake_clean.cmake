@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_nonparametric_test.dir/stats_nonparametric_test.cpp.o"
+  "CMakeFiles/stats_nonparametric_test.dir/stats_nonparametric_test.cpp.o.d"
+  "stats_nonparametric_test"
+  "stats_nonparametric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_nonparametric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

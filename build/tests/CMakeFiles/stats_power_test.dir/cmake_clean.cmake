@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_power_test.dir/stats_power_test.cpp.o"
+  "CMakeFiles/stats_power_test.dir/stats_power_test.cpp.o.d"
+  "stats_power_test"
+  "stats_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

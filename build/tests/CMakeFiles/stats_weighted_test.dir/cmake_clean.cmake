@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_weighted_test.dir/stats_weighted_test.cpp.o"
+  "CMakeFiles/stats_weighted_test.dir/stats_weighted_test.cpp.o.d"
+  "stats_weighted_test"
+  "stats_weighted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_weighted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_impute_test.dir/survey_impute_test.cpp.o"
+  "CMakeFiles/survey_impute_test.dir/survey_impute_test.cpp.o.d"
+  "survey_impute_test"
+  "survey_impute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_impute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

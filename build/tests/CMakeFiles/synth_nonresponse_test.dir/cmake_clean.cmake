@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_nonresponse_test.dir/synth_nonresponse_test.cpp.o"
+  "CMakeFiles/synth_nonresponse_test.dir/synth_nonresponse_test.cpp.o.d"
+  "synth_nonresponse_test"
+  "synth_nonresponse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_nonresponse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

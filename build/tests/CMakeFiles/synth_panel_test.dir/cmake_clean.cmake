@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_panel_test.dir/synth_panel_test.cpp.o"
+  "CMakeFiles/synth_panel_test.dir/synth_panel_test.cpp.o.d"
+  "synth_panel_test"
+  "synth_panel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_panel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

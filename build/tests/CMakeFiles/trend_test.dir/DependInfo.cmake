@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trend_test.cpp" "tests/CMakeFiles/trend_test.dir/trend_test.cpp.o" "gcc" "tests/CMakeFiles/trend_test.dir/trend_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rcr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trend/CMakeFiles/rcr_trend.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/rcr_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rcr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/rcr_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rcr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/rcr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rcr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
