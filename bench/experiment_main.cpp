@@ -1,7 +1,9 @@
 #include "bench/experiment_main.hpp"
 
+#include <cstddef>
 #include <exception>
 #include <iostream>
+#include <memory>
 
 #include "core/rcr.hpp"
 
@@ -14,12 +16,33 @@ int run_experiment(const char* id, int argc, char** argv) {
     config.n_2011 = static_cast<std::size_t>(cli.get_int_or("n2011", 120));
     config.n_2024 = static_cast<std::size_t>(cli.get_int_or("n2024", 650));
     config.seed = static_cast<std::uint64_t>(cli.get_int_or("seed", 7));
+    const auto threads = cli.get_int_or("threads", 0);
+    const bool metrics_json = cli.has_switch("metrics-json");
+    const bool metrics_text = cli.has_switch("metrics");
     cli.finish();
+
+    // Metrics runs default to the shared pool so the snapshot carries
+    // thread-pool and resampling activity; results are identical either
+    // way (everything downstream is deterministic under the seed).
+    std::unique_ptr<parallel::ThreadPool> owned_pool;
+    if (threads > 0) {
+      owned_pool =
+          std::make_unique<parallel::ThreadPool>(static_cast<std::size_t>(threads));
+      config.pool = owned_pool.get();
+    } else if (metrics_json || metrics_text) {
+      config.pool = &parallel::default_pool();
+    }
 
     const core::Study study(config);
     report::ExperimentRegistry registry;
     core::register_all_experiments(registry, study);
     std::cout << registry.run(id);
+    if (metrics_text) {
+      std::cout << "\n== metrics ==\n" << obs::snapshot().to_table();
+    }
+    if (metrics_json) {
+      std::cout << "\n" << obs::snapshot().to_json() << "\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -2,9 +2,13 @@
 //
 // Every bench_<id> binary regenerates exactly one artifact of the
 // reconstructed evaluation (see DESIGN.md's experiment index). Common flags:
-//   --n2011 N   respondents in the 2011 wave   (default 120)
-//   --n2024 N   respondents in the 2024 wave   (default 650)
-//   --seed  S   master seed                     (default 7)
+//   --n2011 N        respondents in the 2011 wave   (default 120)
+//   --n2024 N        respondents in the 2024 wave   (default 650)
+//   --seed  S        master seed                     (default 7)
+//   --threads N      run the study on an N-thread pool (0 = serial unless
+//                    a metrics flag is given, then the shared default pool)
+//   --metrics        append an aligned rcr::obs metrics table to the output
+//   --metrics-json   append the metrics snapshot as a JSON object
 #pragma once
 
 namespace rcr::bench {

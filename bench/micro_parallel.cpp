@@ -7,6 +7,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -105,6 +106,44 @@ void BM_ParallelReduce(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ParallelReduce)->Range(1 << 12, 1 << 20);
+
+// --- Observability overhead ---------------------------------------------------
+// The obs primitives sit on the pool's task hot path; these pin their unit
+// cost. Compare a build against -DRCR_OBS_DISABLED=ON for the end-to-end
+// overhead (the acceptance bar is <=2% on the loop benches above).
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  auto& c = rcr::obs::registry().counter("bench.counter");
+  for (auto _ : state) {
+    c.add(1);
+    benchmark::DoNotOptimize(&c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsGaugeSet(benchmark::State& state) {
+  auto& g = rcr::obs::registry().gauge("bench.gauge");
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    g.set(v++ & 0xFF);
+    benchmark::DoNotOptimize(&g);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsGaugeSet);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  auto& h = rcr::obs::registry().histogram("bench.histogram");
+  double v = 0.001;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1e4 ? v * 1.1 : 0.001;
+    benchmark::DoNotOptimize(&h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramRecord);
 
 }  // namespace
 

@@ -296,6 +296,8 @@ std::string run_f7_weighting(const Study& study) {
     stats::BootstrapOptions opts;
     opts.replicates = 1000;
     opts.seed = 17;
+    // Deterministic under any pool: replicate streams are index-derived.
+    opts.pool = study.config().pool;
     const auto boot = stats::bootstrap_proportion(binary, opts);
     t.add_row({lang, format_percent(unweighted_num / unweighted_den),
                format_percent(weighted_num / weighted_den),

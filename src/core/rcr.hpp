@@ -9,6 +9,8 @@
 //
 // Layering (each header is usable on its own):
 //   util     — RNG, errors, strings, CLI, stopwatch
+//   obs      — metrics registry (counters/gauges/histograms/meters),
+//              scoped timers, JSON/table snapshots
 //   stats    — descriptive, tests, CIs, histograms, regression, bootstrap
 //   parallel — thread pool + parallel_for/reduce
 //   data     — columnar tables, CSV, crosstabs
@@ -28,6 +30,8 @@
 #include "data/summary.hpp"
 #include "data/table.hpp"
 #include "kernels/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/experiment.hpp"

@@ -6,6 +6,8 @@
 #include "kernels/reduction.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/stencil.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "util/error.hpp"
 
 namespace rcr::kernels {
@@ -148,6 +150,24 @@ std::vector<KernelCase> standard_suite(std::size_t scale) {
       return reduce_stream_parallel(pool, count, 23).checksum();
     };
     suite.push_back(std::move(k));
+  }
+
+  // Every run reports its wall time into a per-kernel latency histogram
+  // ("kernels.<name>.{serial,parallel}_ms").
+  for (auto& k : suite) {
+    obs::Histogram* serial_ms =
+        &obs::registry().histogram("kernels." + k.name + ".serial_ms");
+    obs::Histogram* parallel_ms =
+        &obs::registry().histogram("kernels." + k.name + ".parallel_ms");
+    k.run_serial = [serial_ms, inner = std::move(k.run_serial)] {
+      obs::ScopedTimer timer(*serial_ms);
+      return inner();
+    };
+    k.run_parallel = [parallel_ms, inner = std::move(k.run_parallel)](
+                         rcr::parallel::ThreadPool& pool) {
+      obs::ScopedTimer timer(*parallel_ms);
+      return inner(pool);
+    };
   }
 
   return suite;

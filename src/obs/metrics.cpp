@@ -1,0 +1,282 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "report/table.hpp"
+
+namespace rcr::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON forbids NaN/Inf; metrics never produce them, but guard anyway.
+std::string json_number(double v) {
+  if (!(v > -1e308 && v < 1e308)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string fixed(double v, int decimals = 3) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
+
+// --- Snapshot rendering (compiled in both modes) ----------------------------
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(c.name) + "\": " + std::to_string(c.value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(g.name) +
+           "\": {\"value\": " + std::to_string(g.value) +
+           ", \"high_water\": " + std::to_string(g.high_water) + "}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(h.name) +
+           "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + json_number(h.sum) +
+           ", \"min\": " + json_number(h.min) +
+           ", \"max\": " + json_number(h.max) +
+           ", \"p50\": " + json_number(h.p50) +
+           ", \"p95\": " + json_number(h.p95) +
+           ", \"p99\": " + json_number(h.p99) + "}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"meters\": {";
+  first = true;
+  for (const auto& m : meters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(m.name) +
+           "\": {\"count\": " + std::to_string(m.count) +
+           ", \"busy_seconds\": " + json_number(m.busy_seconds) +
+           ", \"rate_per_sec\": " + json_number(m.rate_per_sec) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+std::string Snapshot::to_table() const {
+  report::TextTable t({"Metric", "Type", "Summary"});
+  for (const auto& c : counters)
+    t.add_row({c.name, "counter", std::to_string(c.value)});
+  for (const auto& g : gauges)
+    t.add_row({g.name, "gauge",
+               std::to_string(g.value) + " (high-water " +
+                   std::to_string(g.high_water) + ")"});
+  for (const auto& h : histograms)
+    t.add_row({h.name, "histogram",
+               "n=" + std::to_string(h.count) + " p50=" + fixed(h.p50) +
+                   " p95=" + fixed(h.p95) + " p99=" + fixed(h.p99) +
+                   " max=" + fixed(h.max)});
+  for (const auto& m : meters)
+    t.add_row({m.name, "meter",
+               std::to_string(m.count) + " events, " +
+                   fixed(m.rate_per_sec, 1) + "/s over " +
+                   fixed(m.busy_seconds) + "s"});
+  if (t.row_count() == 0) return "(no metrics recorded)\n";
+  return t.render();
+}
+
+#ifndef RCR_OBS_DISABLED
+
+// --- Histogram --------------------------------------------------------------
+
+namespace {
+
+// bound[i] = 1e-3 * 1.5^i; values <= bound[i] land in bucket i, everything
+// beyond the last bound in the overflow bucket.
+constexpr auto kBounds = [] {
+  std::array<double, Histogram::kBuckets - 1> b{};
+  double v = 1e-3;
+  for (auto& x : b) {
+    x = v;
+    v *= 1.5;
+  }
+  return b;
+}();
+
+std::size_t bucket_for(double value) noexcept {
+  const auto it = std::lower_bound(kBounds.begin(), kBounds.end(), value);
+  return static_cast<std::size_t>(it - kBounds.begin());
+}
+
+}  // namespace
+
+void Histogram::record(double value) noexcept {
+  if (!(value >= 0.0)) value = 0.0;  // also normalizes NaN
+  buckets_[bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  detail::lower_to(min_, value);
+  detail::raise_to(max_, value);
+}
+
+double Histogram::min() const noexcept {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+      const double lo = i == 0 ? 0.0 : kBounds[i - 1];
+      const double hi = i < kBounds.size() ? kBounds[i] : max();
+      const double frac = (target - cumulative) / in_bucket;
+      const double est = lo + frac * (hi - lo);
+      return std::clamp(est, min(), max());
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+namespace {
+
+template <typename Map>
+auto& find_or_create(Map& map, const std::string& name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(name, std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+Meter& Registry::meter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_create(meters_, name);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->total()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->value(), g->high_water()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->count(), h->sum(), h->min(), h->max(),
+                               h->percentile(0.50), h->percentile(0.95),
+                               h->percentile(0.99)});
+  }
+  snap.meters.reserve(meters_.size());
+  for (const auto& [name, m] : meters_) {
+    snap.meters.push_back(
+        {name, m->count(), m->busy_seconds(), m->rate_per_sec()});
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, m] : meters_) m->reset();
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: metric
+  return *instance;  // references must outlive static-destruction order
+}
+
+#endif  // RCR_OBS_DISABLED
+
+}  // namespace rcr::obs

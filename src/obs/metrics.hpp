@@ -1,0 +1,334 @@
+// rcr::obs — lock-cheap metrics and instrumentation for the toolkit.
+//
+// The registry hands out four metric kinds, all safe to update from any
+// thread with no lock on the hot path:
+//   * Counter   — monotonic, sharded across cache lines so concurrent
+//                 increments from many workers do not contend.
+//   * Gauge     — last-set value plus a high-water mark (queue depths).
+//   * Histogram — fixed geometric buckets with p50/p95/p99 estimation;
+//                 used for latencies recorded in milliseconds by convention.
+//   * Meter     — event count + busy wall time, reported as events/sec
+//                 (replicates/sec for the resampling engines).
+//
+// Registration (registry().counter("name")) takes a mutex, so call sites
+// resolve their handles once and keep the reference; references stay valid
+// for the life of the process. snapshot() exports everything as JSON or an
+// aligned text table (via the report layer).
+//
+// Compiling with -DRCR_OBS_DISABLED swaps every type for an inline no-op
+// with the same API, so instrumented code builds unchanged at zero cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef RCR_OBS_DISABLED
+#include <array>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace rcr::obs {
+
+// --- Snapshot (shared between the live and disabled builds) -----------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct MeterSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double busy_seconds = 0.0;
+  double rate_per_sec = 0.0;
+};
+
+// Point-in-time export of every registered metric, sorted by name.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<MeterSample> meters;
+
+  // One JSON object with "counters"/"gauges"/"histograms"/"meters" keys;
+  // always valid JSON, even when empty.
+  std::string to_json() const;
+
+  // Aligned ASCII table (report::TextTable), one row per metric.
+  std::string to_table() const;
+};
+
+#ifndef RCR_OBS_DISABLED
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;  // power of two
+
+// Stable small id per thread; distinct threads land on distinct shards
+// until more than kShards threads exist.
+inline std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kShards - 1);
+}
+
+// Lock-free max update for atomics without a fetch_max.
+template <typename T>
+void raise_to(std::atomic<T>& target, T candidate) noexcept {
+  T cur = target.load(std::memory_order_relaxed);
+  while (candidate > cur &&
+         !target.compare_exchange_weak(cur, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+void lower_to(std::atomic<T>& target, T candidate) noexcept {
+  T cur = target.load(std::memory_order_relaxed);
+  while (candidate < cur &&
+         !target.compare_exchange_weak(cur, candidate,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+// Monotonic counter sharded across cache lines. add() is one relaxed
+// fetch_add on the caller's shard; total() folds the shards.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::shard_index()].value.fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, detail::kShards> shards_{};
+};
+
+// Last-set value plus the highest value ever observed.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    detail::raise_to(high_water_, v);
+  }
+
+  void add(std::int64_t delta) noexcept {
+    const std::int64_t now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    detail::raise_to(high_water_, now);
+  }
+
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    high_water_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> high_water_{0};
+};
+
+// Fixed geometric buckets: bound[i] = 1e-3 * 1.5^i, covering one microsecond
+// to ~30 hours when values are milliseconds. Percentiles interpolate inside
+// the bucket the rank falls in, clamped to the exact observed min/max, so
+// the estimate is within one bucket ratio (1.5x) of the true quantile.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(double value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double min() const noexcept;
+  double max() const noexcept;
+
+  // q in [0, 1]; returns 0 when empty.
+  double percentile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Infinity sentinels; the accessors report 0 while count_ == 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+// Throughput: how many events happened and how long the producing code was
+// busy. rate_per_sec() = count / busy_seconds.
+class Meter {
+ public:
+  void add(std::uint64_t events, double busy_seconds) noexcept {
+    events_.add(events);
+    busy_seconds_.fetch_add(busy_seconds, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept { return events_.total(); }
+  double busy_seconds() const noexcept {
+    return busy_seconds_.load(std::memory_order_relaxed);
+  }
+  double rate_per_sec() const noexcept {
+    const double s = busy_seconds();
+    return s > 0.0 ? static_cast<double>(count()) / s : 0.0;
+  }
+
+  void reset() noexcept {
+    events_.reset();
+    busy_seconds_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  Counter events_;
+  std::atomic<double> busy_seconds_{0.0};
+};
+
+// Named metric store. Lookup is mutex-guarded (cache the reference);
+// returned references stay valid forever — metrics are never removed.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Meter& meter(const std::string& name);
+
+  Snapshot snapshot() const;
+
+  // Zeroes every metric but keeps registrations (per-run deltas, tests).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Meter>> meters_;
+};
+
+// Process-wide registry every instrumented subsystem reports into.
+Registry& registry();
+
+// Convenience for exporters: registry().snapshot().
+inline Snapshot snapshot() { return registry().snapshot(); }
+
+#else  // RCR_OBS_DISABLED — identical API, every operation a no-op.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  std::uint64_t total() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  std::int64_t value() const noexcept { return 0; }
+  std::int64_t high_water() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 0;
+  void record(double) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  double sum() const noexcept { return 0.0; }
+  double min() const noexcept { return 0.0; }
+  double max() const noexcept { return 0.0; }
+  double percentile(double) const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Meter {
+ public:
+  void add(std::uint64_t, double) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  double busy_seconds() const noexcept { return 0.0; }
+  double rate_per_sec() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Registry {
+ public:
+  Counter& counter(const std::string&) {
+    static Counter c;
+    return c;
+  }
+  Gauge& gauge(const std::string&) {
+    static Gauge g;
+    return g;
+  }
+  Histogram& histogram(const std::string&) {
+    static Histogram h;
+    return h;
+  }
+  Meter& meter(const std::string&) {
+    static Meter m;
+    return m;
+  }
+  Snapshot snapshot() const { return {}; }
+  void reset() {}
+};
+
+inline Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+inline Snapshot snapshot() { return {}; }
+
+#endif  // RCR_OBS_DISABLED
+
+}  // namespace rcr::obs

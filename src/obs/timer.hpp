@@ -1,0 +1,71 @@
+// RAII instrumentation scopes built on rcr::Stopwatch.
+//
+//   obs::ScopedTimer t(obs::registry().histogram("stage.ms"));
+//       — records the scope's wall time (ms) into a latency histogram.
+//
+//   obs::MeterScope m(obs::registry().meter("engine.replicates"), n);
+//       — on scope exit adds n events plus the scope's wall seconds to a
+//         throughput meter (events/sec).
+//
+// Both compile to empty structs under RCR_OBS_DISABLED.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rcr::obs {
+
+#ifndef RCR_OBS_DISABLED
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) noexcept
+      : histogram_(&histogram) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { histogram_->record(watch_.elapsed_ms()); }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+class MeterScope {
+ public:
+  MeterScope(Meter& meter, std::uint64_t events) noexcept
+      : meter_(&meter), events_(events) {}
+  MeterScope(const MeterScope&) = delete;
+  MeterScope& operator=(const MeterScope&) = delete;
+  ~MeterScope() { meter_->add(events_, watch_.elapsed_seconds()); }
+
+  // Adjust the event count before the scope closes (e.g. early exit).
+  void set_events(std::uint64_t events) noexcept { events_ = events; }
+
+ private:
+  Meter* meter_;
+  std::uint64_t events_;
+  Stopwatch watch_;
+};
+
+#else  // RCR_OBS_DISABLED
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) noexcept {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+class MeterScope {
+ public:
+  MeterScope(Meter&, std::uint64_t) noexcept {}
+  MeterScope(const MeterScope&) = delete;
+  MeterScope& operator=(const MeterScope&) = delete;
+  void set_events(std::uint64_t) noexcept {}
+};
+
+#endif  // RCR_OBS_DISABLED
+
+}  // namespace rcr::obs

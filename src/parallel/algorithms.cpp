@@ -2,9 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace rcr::parallel {
 
 namespace {
+
+// Counters for chunk dispatch, resolved once (registration takes a mutex).
+struct LoopObs {
+  obs::Counter& serial_runs =
+      obs::registry().counter("parallel.for.serial_runs");
+  obs::Counter& static_chunks =
+      obs::registry().counter("parallel.for.chunks.static");
+  obs::Counter& dynamic_chunks =
+      obs::registry().counter("parallel.for.chunks.dynamic");
+};
+
+LoopObs& loop_obs() {
+  static LoopObs o;
+  return o;
+}
 
 std::size_t pick_grain(std::size_t total, std::size_t threads,
                        Schedule schedule, std::size_t requested) {
@@ -17,48 +34,98 @@ std::size_t pick_grain(std::size_t total, std::size_t threads,
   return std::max<std::size_t>(1, total / (8 * threads));
 }
 
-}  // namespace
+// ceil(total/grain) chunks whose sizes differ by at most one iteration:
+// chunk k covers [begin + k*base + min(k, rem), ...) with the first `rem`
+// chunks one iteration longer. Rebalancing means a range that barely
+// exceeds the grain never produces a degenerate 1-iteration tail chunk.
+struct ChunkPlan {
+  std::size_t begin = 0;
+  std::size_t chunks = 0;
+  std::size_t base = 0;
+  std::size_t rem = 0;
 
-void parallel_for_range(
-    ThreadPool& pool, std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body,
-    ForOptions options) {
-  if (begin >= end) return;
+  std::pair<std::size_t, std::size_t> bounds(std::size_t k) const {
+    const std::size_t lo = begin + k * base + std::min(k, rem);
+    return {lo, lo + base + (k < rem ? 1 : 0)};
+  }
+};
+
+ChunkPlan make_plan(std::size_t begin, std::size_t end, std::size_t threads,
+                    ForOptions options) {
   const std::size_t total = end - begin;
-  const std::size_t threads = std::max<std::size_t>(1, pool.thread_count());
   const std::size_t grain =
       pick_grain(total, threads, options.schedule, options.grain);
+  const std::size_t chunks = (total + grain - 1) / grain;
+  return {begin, chunks, total / chunks, total % chunks};
+}
 
-  if (total <= grain) {
-    body(begin, end);
+}  // namespace
+
+std::size_t chunk_count(const ThreadPool& pool, std::size_t begin,
+                        std::size_t end, ForOptions options) {
+  if (begin >= end) return 0;
+  const std::size_t threads = std::max<std::size_t>(1, pool.thread_count());
+  return make_plan(begin, end, threads, options).chunks;
+}
+
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    ForOptions options) {
+  if (begin >= end) return;
+  const std::size_t threads = std::max<std::size_t>(1, pool.thread_count());
+  const ChunkPlan plan = make_plan(begin, end, threads, options);
+
+  if (plan.chunks <= 1) {
+    // Single chunk: skip the pool entirely (no task allocation, no wakeup).
+    loop_obs().serial_runs.add(1);
+    body(0, begin, end);
     return;
   }
 
   if (options.schedule == Schedule::kStatic) {
+    loop_obs().static_chunks.add(plan.chunks);
     std::vector<std::function<void()>> tasks;
-    tasks.reserve((total + grain - 1) / grain);
-    for (std::size_t lo = begin; lo < end; lo += grain) {
-      const std::size_t hi = std::min(end, lo + grain);
-      tasks.push_back([&body, lo, hi] { body(lo, hi); });
+    tasks.reserve(plan.chunks);
+    for (std::size_t k = 0; k < plan.chunks; ++k) {
+      tasks.push_back([&body, plan, k] {
+        const auto [lo, hi] = plan.bounds(k);
+        body(k, lo, hi);
+      });
     }
     pool.run_batch(std::move(tasks));
     return;
   }
 
-  // Dynamic: one task per worker, each claiming chunks from a shared cursor.
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  // Dynamic: at most min(threads, chunks) tasks, each claiming chunk
+  // indices from a shared cursor — near-empty ranges no longer spawn one
+  // task per pool thread.
+  loop_obs().dynamic_chunks.add(plan.chunks);
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t workers = std::min(threads, plan.chunks);
   std::vector<std::function<void()>> tasks;
-  tasks.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    tasks.push_back([&body, cursor, end, grain] {
+  tasks.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    tasks.push_back([&body, plan, cursor] {
       for (;;) {
-        const std::size_t lo = cursor->fetch_add(grain);
-        if (lo >= end) return;
-        body(lo, std::min(end, lo + grain));
+        const std::size_t k = cursor->fetch_add(1);
+        if (k >= plan.chunks) return;
+        const auto [lo, hi] = plan.bounds(k);
+        body(k, lo, hi);
       }
     });
   }
   pool.run_batch(std::move(tasks));
+}
+
+void parallel_for_range(
+    ThreadPool& pool, std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    ForOptions options) {
+  parallel_for_chunks(
+      pool, begin, end,
+      [&body](std::size_t, std::size_t lo, std::size_t hi) { body(lo, hi); },
+      options);
 }
 
 }  // namespace rcr::parallel

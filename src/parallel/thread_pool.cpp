@@ -1,8 +1,51 @@
 #include "parallel/thread_pool.hpp"
 
+#include <optional>
+
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace rcr::parallel {
+
+namespace {
+
+// Pool-wide metrics, resolved once. Per-task cost is one relaxed sharded
+// increment; everything else is per-batch, and the batch wall-time
+// histogram is sampled (1 in kBatchSampleEvery batches per calling
+// thread) so the two steady_clock reads stay off the common path.
+struct PoolObs {
+  obs::Counter& batches = obs::registry().counter("threadpool.batches");
+  obs::Counter& worker_tasks =
+      obs::registry().counter("threadpool.tasks.worker");
+  obs::Counter& caller_tasks =
+      obs::registry().counter("threadpool.tasks.caller");
+  obs::Counter& caller_foreign_tasks =
+      obs::registry().counter("threadpool.tasks.caller_foreign");
+  // Depth right after the latest enqueue; the high-water mark is exact
+  // because the queue is longest immediately after an enqueue.
+  obs::Gauge& queue_depth = obs::registry().gauge("threadpool.queue_depth");
+  obs::Histogram& batch_wait_ms =
+      obs::registry().histogram("threadpool.batch_wait_ms");
+};
+
+PoolObs& pool_obs() {
+  static PoolObs o;
+  return o;
+}
+
+constexpr unsigned kBatchSampleEvery = 16;
+
+bool sample_this_batch() {
+#ifndef RCR_OBS_DISABLED
+  thread_local unsigned batch_no = 0;
+  return (batch_no++ % kBatchSampleEvery) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
 
 // Tracks completion and the first exception of one run_batch call.
 struct ThreadPool::Batch {
@@ -37,6 +80,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  PoolObs& obs = pool_obs();
   for (;;) {
     std::pair<Batch*, std::function<void()>> item;
     {
@@ -53,24 +97,33 @@ void ThreadPool::worker_loop() {
     } catch (...) {
       error = std::current_exception();
     }
+    obs.worker_tasks.add(1);
     item.first->finish_one(error);
   }
 }
 
 void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  PoolObs& obs = pool_obs();
+  obs.batches.add(1);
+  std::optional<Stopwatch> batch_clock;
+  if (sample_this_batch()) batch_clock.emplace();
   Batch batch;
   batch.remaining = tasks.size();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     RCR_CHECK_MSG(!shutting_down_, "run_batch on a destroyed pool");
     for (auto& t : tasks) queue_.emplace_back(&batch, std::move(t));
+    obs.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
   work_available_.notify_all();
 
   // The calling thread helps drain the queue: correct on 1-core hosts and
-  // avoids idle blocking elsewhere. It may execute tasks from other batches;
-  // that is safe because every task is independent.
+  // avoids idle blocking elsewhere. It may execute tasks from other batches
+  // submitted concurrently; that is safe because every task is independent
+  // (each finish_one routes to its own batch), and the caller_foreign
+  // counter makes the cross-batch work visible.
+  std::uint64_t own_drained = 0, foreign_drained = 0;
   for (;;) {
     std::pair<Batch*, std::function<void()>> item;
     {
@@ -85,11 +138,16 @@ void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
     } catch (...) {
       error = std::current_exception();
     }
+    (item.first == &batch ? own_drained : foreign_drained) += 1;
     item.first->finish_one(error);
   }
+  if (own_drained > 0) obs.caller_tasks.add(own_drained);
+  if (foreign_drained > 0) obs.caller_foreign_tasks.add(foreign_drained);
 
   std::unique_lock<std::mutex> lock(batch.mutex);
   batch.done.wait(lock, [&] { return batch.remaining == 0; });
+  lock.unlock();
+  if (batch_clock) obs.batch_wait_ms.record(batch_clock->elapsed_ms());
   if (batch.first_error) std::rethrow_exception(batch.first_error);
 }
 

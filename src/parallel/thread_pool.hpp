@@ -5,6 +5,11 @@
 // range) and blocks until the batch completes. No detached work, no global
 // mutable state; exceptions thrown by tasks are captured and rethrown on
 // the calling thread after the batch drains.
+//
+// The pool reports into rcr::obs: tasks executed by workers vs. the
+// caller-drain loop (including tasks drained from *other* concurrent
+// batches), batches run, queue-depth high-water mark, and a batch
+// wall-time histogram ("threadpool.*" metrics).
 #pragma once
 
 #include <condition_variable>

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
@@ -48,21 +50,26 @@ BootstrapResult bootstrap(std::span<const double> data,
   result.estimate = statistic(data);
   result.replicates.resize(options.replicates);
 
-  if (options.pool != nullptr) {
-    rcr::parallel::parallel_for_range(
-        *options.pool, 0, options.replicates,
-        [&](std::size_t lo, std::size_t hi) {
-          std::vector<double> scratch;
-          for (std::size_t b = lo; b < hi; ++b) {
-            result.replicates[b] = run_one_replicate(
-                data, statistic, replicate_seed(options.seed, b), scratch);
-          }
-        });
-  } else {
-    std::vector<double> scratch;
-    for (std::size_t b = 0; b < options.replicates; ++b) {
-      result.replicates[b] = run_one_replicate(
-          data, statistic, replicate_seed(options.seed, b), scratch);
+  {
+    // Throughput meter: replicates/sec over the resampling phase only.
+    obs::MeterScope meter(obs::registry().meter("stats.bootstrap.replicates"),
+                          options.replicates);
+    if (options.pool != nullptr) {
+      rcr::parallel::parallel_for_range(
+          *options.pool, 0, options.replicates,
+          [&](std::size_t lo, std::size_t hi) {
+            std::vector<double> scratch;
+            for (std::size_t b = lo; b < hi; ++b) {
+              result.replicates[b] = run_one_replicate(
+                  data, statistic, replicate_seed(options.seed, b), scratch);
+            }
+          });
+    } else {
+      std::vector<double> scratch;
+      for (std::size_t b = 0; b < options.replicates; ++b) {
+        result.replicates[b] = run_one_replicate(
+            data, statistic, replicate_seed(options.seed, b), scratch);
+      }
     }
   }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
@@ -59,23 +61,29 @@ PermutationResult permutation_test(std::span<const double> x,
   pooled.insert(pooled.end(), y.begin(), y.end());
 
   std::vector<double> replicates(options.permutations);
-  if (options.pool != nullptr) {
-    rcr::parallel::parallel_for_range(
-        *options.pool, 0, options.permutations,
-        [&](std::size_t lo, std::size_t hi) {
-          std::vector<double> scratch;
-          for (std::size_t b = lo; b < hi; ++b) {
-            replicates[b] =
-                one_replicate(pooled, x.size(), statistic,
-                              permutation_seed(options.seed, b), scratch);
-          }
-        });
-  } else {
-    std::vector<double> scratch;
-    for (std::size_t b = 0; b < options.permutations; ++b) {
-      replicates[b] = one_replicate(pooled, x.size(), statistic,
-                                    permutation_seed(options.seed, b),
-                                    scratch);
+  {
+    // Throughput meter: shuffles/sec over the resampling phase only.
+    obs::MeterScope meter(
+        obs::registry().meter("stats.permutation.replicates"),
+        options.permutations);
+    if (options.pool != nullptr) {
+      rcr::parallel::parallel_for_range(
+          *options.pool, 0, options.permutations,
+          [&](std::size_t lo, std::size_t hi) {
+            std::vector<double> scratch;
+            for (std::size_t b = lo; b < hi; ++b) {
+              replicates[b] =
+                  one_replicate(pooled, x.size(), statistic,
+                                permutation_seed(options.seed, b), scratch);
+            }
+          });
+    } else {
+      std::vector<double> scratch;
+      for (std::size_t b = 0; b < options.permutations; ++b) {
+        replicates[b] = one_replicate(pooled, x.size(), statistic,
+                                      permutation_seed(options.seed, b),
+                                      scratch);
+      }
     }
   }
 

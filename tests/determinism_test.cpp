@@ -1,0 +1,153 @@
+// The reproducibility contract, pinned: a single master seed reproduces
+// every parallel computation byte-for-byte, on any pool size, run after
+// run. These are the assertions the bootstrap/permutation headers promise
+// and the survey's reproducibility discussion depends on (serial/parallel
+// equivalence is the whole point of index-derived replicate streams).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace rcr {
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(v));
+  return b;
+}
+
+std::vector<double> noisy_data(std::size_t n, std::uint64_t seed) {
+  std::vector<double> data(n);
+  Rng rng(seed);
+  // Full-mantissa values so any reassociation of the sum changes bits.
+  for (auto& v : data) v = rng.normal() * 1e3 + rng.next_double();
+  return data;
+}
+
+// Acceptance check from the determinism fix: a 1e6-element floating-point
+// reduction is bitwise identical for 1, 2, and 8 threads across 3 runs.
+TEST(DeterminismTest, MillionElementReduceIsBitwiseStable) {
+  const std::size_t n = 1000000;
+  const std::vector<double> data = noisy_data(n, 2024);
+
+  const auto reduce_sum = [&](parallel::ThreadPool& pool,
+                              parallel::Schedule schedule) {
+    return parallel::parallel_reduce<double>(
+        pool, 0, n, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) s += data[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; }, {schedule, 0});
+  };
+
+  parallel::ThreadPool reference_pool(1);
+  const std::uint64_t reference =
+      bits_of(reduce_sum(reference_pool, parallel::Schedule::kStatic));
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    for (int run = 0; run < 3; ++run) {
+      for (const auto schedule :
+           {parallel::Schedule::kStatic, parallel::Schedule::kDynamic}) {
+        EXPECT_EQ(bits_of(reduce_sum(pool, schedule)), reference)
+            << "threads=" << threads << " run=" << run << " schedule="
+            << (schedule == parallel::Schedule::kStatic ? "static"
+                                                        : "dynamic");
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, BootstrapPooledMatchesSerialByteForByte) {
+  const std::vector<double> data = noisy_data(400, 99);
+  stats::BootstrapOptions serial_opts;
+  serial_opts.replicates = 500;
+  serial_opts.seed = 31;
+  serial_opts.compute_bca = true;
+  const auto serial = stats::bootstrap(
+      data, [](std::span<const double> x) { return stats::mean(x); },
+      serial_opts);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    stats::BootstrapOptions opts = serial_opts;
+    opts.pool = &pool;
+    const auto pooled = stats::bootstrap(
+        data, [](std::span<const double> x) { return stats::mean(x); }, opts);
+
+    ASSERT_EQ(pooled.replicates.size(), serial.replicates.size());
+    for (std::size_t i = 0; i < serial.replicates.size(); ++i) {
+      ASSERT_EQ(bits_of(pooled.replicates[i]), bits_of(serial.replicates[i]))
+          << "threads=" << threads << " replicate " << i;
+    }
+    EXPECT_EQ(bits_of(pooled.estimate), bits_of(serial.estimate));
+    EXPECT_EQ(bits_of(pooled.std_error), bits_of(serial.std_error));
+    EXPECT_EQ(bits_of(pooled.percentile_ci.lo),
+              bits_of(serial.percentile_ci.lo));
+    EXPECT_EQ(bits_of(pooled.percentile_ci.hi),
+              bits_of(serial.percentile_ci.hi));
+    EXPECT_EQ(bits_of(pooled.bca_ci.lo), bits_of(serial.bca_ci.lo));
+    EXPECT_EQ(bits_of(pooled.bca_ci.hi), bits_of(serial.bca_ci.hi));
+  }
+}
+
+TEST(DeterminismTest, PermutationPooledMatchesSerialByteForByte) {
+  const std::vector<double> x = noisy_data(120, 5);
+  std::vector<double> y = noisy_data(150, 6);
+  for (auto& v : y) v += 25.0;  // real shift so p-values are interesting
+
+  stats::PermutationOptions serial_opts;
+  serial_opts.permutations = 600;
+  serial_opts.seed = 77;
+  const auto serial =
+      stats::permutation_test_mean_diff(x, y, serial_opts);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    stats::PermutationOptions opts = serial_opts;
+    opts.pool = &pool;
+    const auto pooled = stats::permutation_test_mean_diff(x, y, opts);
+    EXPECT_EQ(bits_of(pooled.observed), bits_of(serial.observed))
+        << "threads=" << threads;
+    EXPECT_EQ(bits_of(pooled.p_value), bits_of(serial.p_value))
+        << "threads=" << threads;
+    EXPECT_EQ(bits_of(pooled.p_greater), bits_of(serial.p_greater))
+        << "threads=" << threads;
+    EXPECT_EQ(bits_of(pooled.p_less), bits_of(serial.p_less))
+        << "threads=" << threads;
+  }
+}
+
+// Repeated pooled runs are stable too (no hidden global state).
+TEST(DeterminismTest, RepeatedPooledBootstrapRunsAreIdentical) {
+  const std::vector<double> data = noisy_data(200, 404);
+  parallel::ThreadPool pool(4);
+  stats::BootstrapOptions opts;
+  opts.replicates = 300;
+  opts.seed = 9;
+  opts.pool = &pool;
+
+  const auto first = stats::bootstrap(
+      data, [](std::span<const double> x) { return stats::mean(x); }, opts);
+  for (int run = 0; run < 2; ++run) {
+    const auto again = stats::bootstrap(
+        data, [](std::span<const double> x) { return stats::mean(x); }, opts);
+    ASSERT_EQ(again.replicates.size(), first.replicates.size());
+    for (std::size_t i = 0; i < first.replicates.size(); ++i)
+      ASSERT_EQ(bits_of(again.replicates[i]), bits_of(first.replicates[i]));
+  }
+}
+
+}  // namespace
+}  // namespace rcr

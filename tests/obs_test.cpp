@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
+namespace rcr::obs {
+namespace {
+
+// Minimal structural JSON check: quotes balanced outside strings, every
+// brace/bracket closed in order, no trailing junk.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty() && !s.empty() && s.front() == '{';
+}
+
+TEST(ObsSnapshotTest, EmptySnapshotIsValidJsonAndTable) {
+  Snapshot empty;
+  EXPECT_TRUE(json_well_formed(empty.to_json()));
+  EXPECT_NE(empty.to_json().find("\"counters\""), std::string::npos);
+  EXPECT_FALSE(empty.to_table().empty());
+}
+
+#ifndef RCR_OBS_DISABLED
+
+TEST(ObsCounterTest, ShardedCountsSumExactlyAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.total(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(ObsGaugeTest, TracksValueAndHighWater) {
+  Gauge g;
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.high_water(), 12);
+  g.add(20);
+  EXPECT_EQ(g.value(), 23);
+  EXPECT_EQ(g.high_water(), 23);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.high_water(), 0);
+}
+
+TEST(ObsHistogramTest, CountSumMinMaxAreExact) {
+  Histogram h;
+  h.record(1.0);
+  h.record(2.5);
+  h.record(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(ObsHistogramTest, PercentilesWithinOneBucketRatio) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  // Buckets grow by 1.5x, so any quantile estimate is within that factor
+  // of the true value (and clamped to the observed min/max).
+  const double p50 = h.percentile(0.50);
+  EXPECT_GE(p50, 500.0 / 1.5);
+  EXPECT_LE(p50, 500.0 * 1.5);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p99, 990.0 / 1.5);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_LE(h.percentile(0.50), h.percentile(0.95));
+  EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(ObsMeterTest, RateIsCountOverBusyTime) {
+  Meter m;
+  m.add(100, 2.0);
+  m.add(50, 0.5);
+  EXPECT_EQ(m.count(), 150u);
+  EXPECT_DOUBLE_EQ(m.busy_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(m.rate_per_sec(), 60.0);
+}
+
+TEST(ObsRegistryTest, SameNameReturnsSameMetric) {
+  auto& a = registry().counter("obs_test.same");
+  auto& b = registry().counter("obs_test.same");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&registry().counter("obs_test.same"),
+            &registry().counter("obs_test.other"));
+}
+
+TEST(ObsRegistryTest, SnapshotExportsAllKindsAsJsonAndTable) {
+  registry().counter("obs_test.snapshot.counter").add(7);
+  registry().gauge("obs_test.snapshot.gauge").set(4);
+  registry().histogram("obs_test.snapshot.hist").record(1.25);
+  registry().meter("obs_test.snapshot.meter").add(10, 0.1);
+
+  const Snapshot snap = snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_TRUE(json_well_formed(json));
+  for (const char* needle :
+       {"\"obs_test.snapshot.counter\"", "\"obs_test.snapshot.gauge\"",
+        "\"obs_test.snapshot.hist\"", "\"obs_test.snapshot.meter\"", "\"p50\"",
+        "\"p95\"", "\"p99\"", "\"high_water\"", "\"rate_per_sec\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  const std::string table = snap.to_table();
+  EXPECT_NE(table.find("obs_test.snapshot.counter"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+}
+
+TEST(ObsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  auto& c = registry().counter("obs_test.reset.counter");
+  c.add(41);
+  registry().reset();
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(&registry().counter("obs_test.reset.counter"), &c);
+}
+
+TEST(ObsTimerTest, ScopedTimerRecordsOneSample) {
+  auto& h = registry().histogram("obs_test.timer.hist");
+  const auto before = h.count();
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+TEST(ObsTimerTest, MeterScopeRecordsEventsAndTime) {
+  auto& m = registry().meter("obs_test.timer.meter");
+  const auto before = m.count();
+  {
+    MeterScope scope(m, 5);
+    scope.set_events(25);
+  }
+  EXPECT_EQ(m.count(), before + 25);
+  EXPECT_GE(m.busy_seconds(), 0.0);
+}
+
+#else  // RCR_OBS_DISABLED
+
+TEST(ObsDisabledTest, ApiCompilesToNoops) {
+  registry().counter("x").add(5);
+  registry().gauge("x").set(3);
+  registry().histogram("x").record(1.0);
+  registry().meter("x").add(1, 1.0);
+  EXPECT_EQ(registry().counter("x").total(), 0u);
+  const Snapshot snap = snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(json_well_formed(snap.to_json()));
+}
+
+#endif  // RCR_OBS_DISABLED
+
+}  // namespace
+}  // namespace rcr::obs

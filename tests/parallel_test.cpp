@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace rcr::parallel {
 namespace {
@@ -83,6 +87,72 @@ TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
   EXPECT_GE(default_pool().thread_count(), 1u);
 }
 
+// Regression for the caller-drain loop: two callers race batches on one
+// pool, so each caller may execute tasks belonging to the *other* batch.
+// The invariant under test: every batch completes (its remaining reaches
+// zero), every task runs exactly once, and an error is rethrown to the
+// caller that submitted the failing batch — never to the other one.
+TEST(ThreadPoolTest, ConcurrentBatchesKeepSeparateAccounting) {
+  ThreadPool pool(2);
+#ifndef RCR_OBS_DISABLED
+  const auto executed_before =
+      rcr::obs::registry().counter("threadpool.tasks.worker").total() +
+      rcr::obs::registry().counter("threadpool.tasks.caller").total() +
+      rcr::obs::registry().counter("threadpool.tasks.caller_foreign").total();
+#endif
+  static constexpr int kRounds = 20;
+  static constexpr int kTasksPerBatch = 64;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> bad_count{0};
+  std::atomic<int> ok_caller_throws{0};
+  std::atomic<int> bad_caller_throws{0};
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::thread ok_caller([&] {
+      std::vector<std::function<void()>> tasks;
+      for (int i = 0; i < kTasksPerBatch; ++i)
+        tasks.push_back([&ok_count] { ok_count.fetch_add(1); });
+      try {
+        pool.run_batch(std::move(tasks));
+      } catch (...) {
+        ok_caller_throws.fetch_add(1);
+      }
+    });
+    std::thread bad_caller([&] {
+      std::vector<std::function<void()>> tasks;
+      for (int i = 0; i < kTasksPerBatch; ++i) {
+        tasks.push_back([&bad_count, i] {
+          bad_count.fetch_add(1);
+          if (i == kTasksPerBatch / 2) throw std::runtime_error("bad batch");
+        });
+      }
+      try {
+        pool.run_batch(std::move(tasks));
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "bad batch");
+        bad_caller_throws.fetch_add(1);
+      }
+    });
+    ok_caller.join();
+    bad_caller.join();
+  }
+
+  EXPECT_EQ(ok_count.load(), kRounds * kTasksPerBatch);
+  EXPECT_EQ(bad_count.load(), kRounds * kTasksPerBatch);
+  EXPECT_EQ(ok_caller_throws.load(), 0);
+  EXPECT_EQ(bad_caller_throws.load(), kRounds);
+#ifndef RCR_OBS_DISABLED
+  // Every task is executed (and counted) exactly once, whether a worker,
+  // its own caller, or the other batch's caller drained it.
+  const auto executed_after =
+      rcr::obs::registry().counter("threadpool.tasks.worker").total() +
+      rcr::obs::registry().counter("threadpool.tasks.caller").total() +
+      rcr::obs::registry().counter("threadpool.tasks.caller_foreign").total();
+  EXPECT_EQ(executed_after - executed_before,
+            static_cast<std::uint64_t>(2 * kRounds * kTasksPerBatch));
+#endif
+}
+
 // --- parallel_for -------------------------------------------------------------
 
 struct ForCase {
@@ -146,6 +216,85 @@ TEST(ParallelForTest, RangeBodySeesDisjointCover) {
   EXPECT_EQ(expected, 1003u);
 }
 
+// --- parallel_for_chunks ------------------------------------------------------
+
+TEST(ParallelForChunksTest, ChunkIndicesAreStableAcrossSchedules) {
+  ThreadPool pool(4);
+  const ForOptions base{Schedule::kStatic, 37};
+  for (const Schedule schedule : {Schedule::kStatic, Schedule::kDynamic}) {
+    ForOptions options = base;
+    options.schedule = schedule;
+    const std::size_t n_chunks = chunk_count(pool, 0, 1003, options);
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> by_chunk(n_chunks,
+                                                              {0, 0});
+    std::vector<int> seen(n_chunks, 0);
+    parallel_for_chunks(
+        pool, 0, 1003,
+        [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          std::lock_guard<std::mutex> lock(m);
+          ASSERT_LT(chunk, n_chunks);
+          by_chunk[chunk] = {lo, hi};
+          ++seen[chunk];
+        },
+        options);
+    // Every chunk index fires exactly once, bounds tile the range in index
+    // order, and sizes are balanced to within one iteration.
+    std::size_t expected_lo = 0;
+    std::size_t min_size = 1003, max_size = 0;
+    for (std::size_t k = 0; k < n_chunks; ++k) {
+      EXPECT_EQ(seen[k], 1) << "chunk " << k;
+      EXPECT_EQ(by_chunk[k].first, expected_lo) << "chunk " << k;
+      const std::size_t size = by_chunk[k].second - by_chunk[k].first;
+      min_size = std::min(min_size, size);
+      max_size = std::max(max_size, size);
+      expected_lo = by_chunk[k].second;
+    }
+    EXPECT_EQ(expected_lo, 1003u);
+    EXPECT_LE(max_size - min_size, 1u);
+  }
+}
+
+TEST(ParallelForChunksTest, NearEmptyRangeNeverEmitsDegenerateTail) {
+  // total = grain + 1 used to produce chunks of [grain, 1]; rebalancing
+  // must split it near-evenly instead.
+  ThreadPool pool(4);
+  for (const Schedule schedule : {Schedule::kStatic, Schedule::kDynamic}) {
+    std::mutex m;
+    std::vector<std::size_t> sizes;
+    parallel_for_range(
+        pool, 0, 101,
+        [&](std::size_t lo, std::size_t hi) {
+          std::lock_guard<std::mutex> lock(m);
+          sizes.push_back(hi - lo);
+        },
+        {schedule, 100});
+    ASSERT_EQ(sizes.size(), 2u);
+    EXPECT_LE(*std::max_element(sizes.begin(), sizes.end()) -
+                  *std::min_element(sizes.begin(), sizes.end()),
+              1u);
+  }
+}
+
+TEST(ParallelForChunksTest, SingleChunkSkipsThePool) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id executed_on;
+  std::size_t calls = 0;
+  parallel_for_chunks(
+      pool, 0, 10,
+      [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        EXPECT_EQ(chunk, 0u);
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 10u);
+        executed_on = std::this_thread::get_id();
+        ++calls;
+      },
+      {Schedule::kDynamic, 100});
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(executed_on, caller);
+}
+
 TEST(ParallelReduceTest, SumsCorrectly) {
   ThreadPool pool(4);
   const std::size_t n = 100000;
@@ -158,6 +307,44 @@ TEST(ParallelReduceTest, SumsCorrectly) {
       },
       [](double a, double b) { return a + b; });
   EXPECT_DOUBLE_EQ(total, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+// The reproducibility contract (DESIGN.md): floating-point reductions are
+// bitwise identical run-to-run and across pool sizes. The pre-fix code
+// folded partials in completion order, which fails this under any real
+// scheduling jitter.
+TEST(ParallelReduceTest, BitwiseDeterministicAcrossRunsAndPoolSizes) {
+  const std::size_t n = 200000;
+  std::vector<double> data(n);
+  rcr::Rng rng(123);
+  for (auto& v : data) v = rng.next_double() * 2.0 - 1.0;
+
+  const auto sum_with = [&](ThreadPool& pool) {
+    return parallel_reduce<double>(
+        pool, 0, n, 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+          double s = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) s += data[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+
+  ThreadPool pool1(1);
+  const double reference = sum_with(pool1);
+  std::uint64_t reference_bits = 0;
+  std::memcpy(&reference_bits, &reference, sizeof(reference));
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    for (int run = 0; run < 3; ++run) {
+      const double sum = sum_with(pool);
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &sum, sizeof(sum));
+      EXPECT_EQ(bits, reference_bits)
+          << "threads=" << threads << " run=" << run;
+    }
+  }
 }
 
 TEST(ParallelReduceTest, EmptyRangeReturnsInit) {
