@@ -25,22 +25,62 @@ std::uint64_t replicate_seed(std::uint64_t master, std::size_t index) {
   return z ^ (z >> 31);
 }
 
-double run_one_replicate(std::span<const double> data,
+// Reusable per-worker buffers; which ones a replicate touches depends on
+// the path (the fast paths never materialize `values`).
+struct Workspace {
+  std::vector<std::uint64_t> indices;
+  std::vector<double> values;
+};
+
+// Generic path: resample indices in one batch (identical stream to the
+// former one-draw-per-element loop), materialize the resample, and hand it
+// to the arbitrary statistic.
+double generic_replicate(std::span<const double> data,
                          const Statistic& statistic, std::uint64_t seed,
-                         std::vector<double>& scratch) {
+                         Workspace& ws) {
   Rng rng(seed);
   const std::size_t n = data.size();
-  scratch.resize(n);
+  ws.indices.resize(n);
+  rng.fill_below(n, ws.indices);
+  ws.values.resize(n);
   for (std::size_t i = 0; i < n; ++i)
-    scratch[i] = data[rng.next_below(n)];
-  return statistic(scratch);
+    ws.values[i] = data[ws.indices[i]];
+  return statistic(ws.values);
 }
 
-}  // namespace
+// Fast path for the mean (and therefore proportions): accumulate straight
+// from the index batch. The accumulation replays stats::mean exactly —
+// Neumaier compensated summation over the resample in index order, then one
+// divide — so the replicate value is bit-identical to the generic path's
+// statistic(resample) without ever materializing the resample.
+double mean_replicate(std::span<const double> data, std::uint64_t seed,
+                      Workspace& ws) {
+  Rng rng(seed);
+  const std::size_t n = data.size();
+  ws.indices.resize(n);
+  rng.fill_below(n, ws.indices);
+  double s = 0.0, c = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = data[ws.indices[i]];
+    const double t = s + v;
+    if (std::fabs(s) >= std::fabs(v)) {
+      c += (s - t) + v;
+    } else {
+      c += (v - t) + s;
+    }
+    s = t;
+  }
+  return (s + c) / static_cast<double>(n);
+}
 
-BootstrapResult bootstrap(std::span<const double> data,
-                          const Statistic& statistic,
-                          const BootstrapOptions& options) {
+// Shared engine: replicate generation is pluggable (generic vs. fast
+// accumulators); estimate, CIs, and the BCa jackknife always go through
+// `statistic` so every interval is computed identically on both paths.
+template <typename ReplicateFn>
+BootstrapResult bootstrap_core(std::span<const double> data,
+                               const Statistic& statistic,
+                               const BootstrapOptions& options,
+                               ReplicateFn&& replicate) {
   RCR_CHECK_MSG(!data.empty(), "bootstrap of empty data");
   RCR_CHECK_MSG(options.replicates >= 2, "bootstrap needs >= 2 replicates");
   RCR_CHECK_MSG(options.confidence > 0.0 && options.confidence < 1.0,
@@ -58,17 +98,16 @@ BootstrapResult bootstrap(std::span<const double> data,
       rcr::parallel::parallel_for_range(
           *options.pool, 0, options.replicates,
           [&](std::size_t lo, std::size_t hi) {
-            std::vector<double> scratch;
+            Workspace ws;
             for (std::size_t b = lo; b < hi; ++b) {
-              result.replicates[b] = run_one_replicate(
-                  data, statistic, replicate_seed(options.seed, b), scratch);
+              result.replicates[b] =
+                  replicate(replicate_seed(options.seed, b), ws);
             }
           });
     } else {
-      std::vector<double> scratch;
+      Workspace ws;
       for (std::size_t b = 0; b < options.replicates; ++b) {
-        result.replicates[b] = run_one_replicate(
-            data, statistic, replicate_seed(options.seed, b), scratch);
+        result.replicates[b] = replicate(replicate_seed(options.seed, b), ws);
       }
     }
   }
@@ -107,15 +146,16 @@ BootstrapResult bootstrap(std::span<const double> data,
     const double z0 = normal_quantile(frac);
     result.bca_bias_z0 = z0;
 
-    // Jackknife acceleration.
+    // Jackknife acceleration over one scratch buffer, updated incrementally:
+    // after evaluating leave-one-out sample i, writing data[i] into slot i
+    // turns it into leave-one-out sample i+1 (same element order the old
+    // per-iteration rebuild produced, at O(1) instead of O(n) per step).
     const std::size_t n = data.size();
     std::vector<double> jack(n);
-    std::vector<double> loo(n - 1);
+    std::vector<double> loo(data.begin() + 1, data.end());
     for (std::size_t i = 0; i < n; ++i) {
-      std::size_t k = 0;
-      for (std::size_t j = 0; j < n; ++j)
-        if (j != i) loo[k++] = data[j];
       jack[i] = n > 1 ? statistic(loo) : result.estimate;
+      if (i + 1 < n) loo[i] = data[i];
     }
     const double jack_mean = mean(jack);
     double num = 0.0, den = 0.0;
@@ -144,14 +184,32 @@ BootstrapResult bootstrap(std::span<const double> data,
   return result;
 }
 
+}  // namespace
+
+BootstrapResult bootstrap(std::span<const double> data,
+                          const Statistic& statistic,
+                          const BootstrapOptions& options) {
+  return bootstrap_core(data, statistic, options,
+                        [&](std::uint64_t seed, Workspace& ws) {
+                          return generic_replicate(data, statistic, seed, ws);
+                        });
+}
+
+BootstrapResult bootstrap_mean(std::span<const double> data,
+                               const BootstrapOptions& options) {
+  return bootstrap_core(
+      data, [](std::span<const double> x) { return mean(x); }, options,
+      [&](std::uint64_t seed, Workspace& ws) {
+        return mean_replicate(data, seed, ws);
+      });
+}
+
 BootstrapResult bootstrap_proportion(std::span<const double> binary_data,
                                      const BootstrapOptions& options) {
   for (double v : binary_data)
     RCR_CHECK_MSG(v == 0.0 || v == 1.0,
                   "bootstrap_proportion expects 0/1 data");
-  return bootstrap(
-      binary_data, [](std::span<const double> x) { return mean(x); },
-      options);
+  return bootstrap_mean(binary_data, options);
 }
 
 }  // namespace rcr::stats

@@ -52,7 +52,17 @@ BootstrapResult bootstrap(std::span<const double> data,
                           const Statistic& statistic,
                           const BootstrapOptions& options = {});
 
-// Convenience: bootstrap CI for a proportion given binary 0/1 data.
+// Bootstrap of the sample mean through the allocation-free fast path: each
+// replicate draws its resample indices in one batch and accumulates the
+// mean directly from them, never materializing the resample or dispatching
+// through a std::function. Bit-identical to
+// bootstrap(data, mean-lambda, options) — same replicate streams, same
+// compensated summation order — just faster.
+BootstrapResult bootstrap_mean(std::span<const double> data,
+                               const BootstrapOptions& options = {});
+
+// Convenience: bootstrap CI for a proportion given binary 0/1 data (runs
+// the bootstrap_mean fast path after validating the input).
 BootstrapResult bootstrap_proportion(std::span<const double> binary_data,
                                      const BootstrapOptions& options = {});
 

@@ -22,37 +22,76 @@ std::uint64_t permutation_seed(std::uint64_t master, std::size_t index) {
   return z ^ (z >> 31);
 }
 
+// k-of-n split via partial Fisher–Yates: only the first nx slots need to be
+// a uniform sample of the pool, the remainder is the complement, so the
+// shuffle stops after nx swaps instead of walking the whole array. The
+// swap randomness is prefetched in one batch (BufferedDraws consumes the
+// same underlying stream as per-swap next_below calls, so the permutation
+// — and every statistic computed from it — is unchanged bitwise).
+void partial_split_shuffle(std::vector<double>& values, std::size_t nx,
+                           Rng& rng) {
+  BufferedDraws draws(rng, nx);
+  const std::size_t n = values.size();
+  for (std::size_t i = 0; i < nx; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(draws.take_below(n - i));
+    std::swap(values[i], values[j]);
+  }
+}
+
 // One shuffled replicate: pooled data partitioned into |x| and |y|.
 double one_replicate(std::span<const double> pooled, std::size_t nx,
                      const TwoSampleStatistic& statistic, std::uint64_t seed,
                      std::vector<double>& scratch) {
   Rng rng(seed);
   scratch.assign(pooled.begin(), pooled.end());
-  // Partial Fisher–Yates: only the first nx slots need to be a uniform
-  // sample of the pool; the remainder is the complement.
-  for (std::size_t i = 0; i < nx; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.next_below(scratch.size() - i));
-    std::swap(scratch[i], scratch[j]);
-  }
+  partial_split_shuffle(scratch, nx, rng);
   return statistic(std::span<const double>(scratch.data(), nx),
                    std::span<const double>(scratch.data() + nx,
                                            scratch.size() - nx));
 }
 
-}  // namespace
+// Neumaier sum over a contiguous run — stats::mean's exact arithmetic,
+// inlined so the fast path below reproduces mean(a) - mean(b) bitwise.
+double neumaier_mean(const double* v, std::size_t n) {
+  double s = 0.0, c = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = s + v[i];
+    if (std::fabs(s) >= std::fabs(v[i])) {
+      c += (s - t) + v[i];
+    } else {
+      c += (v[i] - t) + s;
+    }
+    s = t;
+  }
+  return (s + c) / static_cast<double>(n);
+}
 
-PermutationResult permutation_test(std::span<const double> x,
+// Fast path for the mean/proportion difference: same shuffle, but the
+// group means accumulate straight off the scratch buffer with no
+// std::function dispatch and no span plumbing per replicate.
+double mean_diff_replicate(std::span<const double> pooled, std::size_t nx,
+                           std::uint64_t seed, std::vector<double>& scratch) {
+  Rng rng(seed);
+  scratch.assign(pooled.begin(), pooled.end());
+  partial_split_shuffle(scratch, nx, rng);
+  return neumaier_mean(scratch.data(), nx) -
+         neumaier_mean(scratch.data() + nx, scratch.size() - nx);
+}
+
+template <typename ReplicateFn>
+PermutationResult permutation_core(std::span<const double> x,
                                    std::span<const double> y,
-                                   const TwoSampleStatistic& statistic,
-                                   const PermutationOptions& options) {
+                                   double observed,
+                                   const PermutationOptions& options,
+                                   ReplicateFn&& replicate) {
   RCR_CHECK_MSG(!x.empty() && !y.empty(),
                 "permutation test needs both samples");
   RCR_CHECK_MSG(options.permutations >= 10,
                 "permutation test needs >= 10 permutations");
 
   PermutationResult result;
-  result.observed = statistic(x, y);
+  result.observed = observed;
   result.permutations = options.permutations;
 
   std::vector<double> pooled;
@@ -72,17 +111,15 @@ PermutationResult permutation_test(std::span<const double> x,
           [&](std::size_t lo, std::size_t hi) {
             std::vector<double> scratch;
             for (std::size_t b = lo; b < hi; ++b) {
-              replicates[b] =
-                  one_replicate(pooled, x.size(), statistic,
-                                permutation_seed(options.seed, b), scratch);
+              replicates[b] = replicate(
+                  pooled, permutation_seed(options.seed, b), scratch);
             }
           });
     } else {
       std::vector<double> scratch;
       for (std::size_t b = 0; b < options.permutations; ++b) {
-        replicates[b] = one_replicate(pooled, x.size(), statistic,
-                                      permutation_seed(options.seed, b),
-                                      scratch);
+        replicates[b] =
+            replicate(pooled, permutation_seed(options.seed, b), scratch);
       }
     }
   }
@@ -102,15 +139,35 @@ PermutationResult permutation_test(std::span<const double> x,
   return result;
 }
 
+}  // namespace
+
+PermutationResult permutation_test(std::span<const double> x,
+                                   std::span<const double> y,
+                                   const TwoSampleStatistic& statistic,
+                                   const PermutationOptions& options) {
+  RCR_CHECK_MSG(!x.empty() && !y.empty(),
+                "permutation test needs both samples");
+  const std::size_t nx = x.size();
+  return permutation_core(
+      x, y, statistic(x, y), options,
+      [&](std::span<const double> pooled, std::uint64_t seed,
+          std::vector<double>& scratch) {
+        return one_replicate(pooled, nx, statistic, seed, scratch);
+      });
+}
+
 PermutationResult permutation_test_mean_diff(
     std::span<const double> x, std::span<const double> y,
     const PermutationOptions& options) {
-  return permutation_test(
-      x, y,
-      [](std::span<const double> a, std::span<const double> b) {
-        return mean(a) - mean(b);
-      },
-      options);
+  RCR_CHECK_MSG(!x.empty() && !y.empty(),
+                "permutation test needs both samples");
+  const std::size_t nx = x.size();
+  return permutation_core(
+      x, y, mean(x) - mean(y), options,
+      [nx](std::span<const double> pooled, std::uint64_t seed,
+           std::vector<double>& scratch) {
+        return mean_diff_replicate(pooled, nx, seed, scratch);
+      });
 }
 
 PermutationResult permutation_test_proportion_diff(

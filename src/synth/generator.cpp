@@ -1,8 +1,10 @@
 #include "synth/generator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "parallel/algorithms.hpp"
@@ -77,14 +79,20 @@ Raw generate_one(const WaveParams& p, std::uint64_t seed) {
   const double se_maturity =
       clamp01(0.55 * rng.beta(2.0, 2.0) + 0.45 * intensity + wave_boost);
 
+  // Per-item probabilities for the mask-valued questions are staged here and
+  // drawn in one bernoulli_mask call per question (index order and draw
+  // consumption identical to a per-item bernoulli loop, so the output is
+  // unchanged bitwise).
+  std::array<double, 64> probs;
+
   // Languages: Bernoulli per language with field- and trait-modulated odds.
   const std::size_t n_lang = languages().size();
   std::vector<double> lang_p(n_lang);
   for (std::size_t l = 0; l < n_lang; ++l) {
     lang_p[l] = clamp01(p.language_base[l] * field_language_multiplier(f, l) *
                         (0.55 + 0.9 * intensity));
-    if (rng.bernoulli(lang_p[l])) r.languages |= std::uint64_t{1} << l;
   }
+  r.languages = rng.bernoulli_mask(std::span<const double>(lang_p));
   if (r.languages == 0) {
     // Everyone in this study programs something: fall back to the single
     // most likely language for this respondent (MATLAB if all zero).
@@ -109,23 +117,27 @@ Raw generate_one(const WaveParams& p, std::uint64_t seed) {
   // Parallel resources.
   const std::size_t n_res = parallel_resources().size();
   for (std::size_t res = 0; res < n_res; ++res) {
-    const double prob = clamp01(p.resource_base[res] *
-                                field_resource_multiplier(f, res) *
-                                (0.40 + 1.2 * hpc));
-    if (rng.bernoulli(prob)) r.resources |= std::uint64_t{1} << res;
+    probs[res] = clamp01(p.resource_base[res] *
+                         field_resource_multiplier(f, res) *
+                         (0.40 + 1.2 * hpc));
   }
+  r.resources = rng.bernoulli_mask(std::span<const double>(probs.data(), n_res));
 
-  // Parallel models, gated on resources.
+  // Parallel models, gated on resources. Gated-out models get probability
+  // 0.0, which bernoulli_mask answers without a draw — exactly what the
+  // former `continue` did.
   const bool any_parallel = r.resources != 0;
   const bool has_cluster = (r.resources >> kResCluster) & 1u;
   const bool has_gpu = (r.resources >> kResGpu) & 1u;
   if (any_parallel) {
-    for (std::size_t m = 0; m < parallel_models().size(); ++m) {
-      if (m == kModelMpi && !has_cluster) continue;
-      if (m == kModelCuda && !has_gpu) continue;
-      const double prob = clamp01(p.model_base[m] * (0.5 + intensity));
-      if (rng.bernoulli(prob)) r.models |= std::uint64_t{1} << m;
+    const std::size_t n_models = parallel_models().size();
+    for (std::size_t m = 0; m < n_models; ++m) {
+      const bool gated = (m == kModelMpi && !has_cluster) ||
+                         (m == kModelCuda && !has_gpu);
+      probs[m] = gated ? 0.0 : clamp01(p.model_base[m] * (0.5 + intensity));
     }
+    r.models =
+        rng.bernoulli_mask(std::span<const double>(probs.data(), n_models));
   }
   r.models_missing = any_parallel && rng.bernoulli(p.missing_rate);
 
@@ -136,7 +148,7 @@ Raw generate_one(const WaveParams& p, std::uint64_t seed) {
     const double log2_cores = rng.normal(p.cores_log2_mu, p.cores_log2_sd);
     r.cores = std::pow(2.0, std::clamp(std::round(log2_cores), 0.0, 12.0));
   } else if ((r.resources >> kResMulticore) & 1u || has_gpu) {
-    r.cores = std::pow(2.0, static_cast<double>(rng.uniform_int(1, 5)));
+    r.cores = static_cast<double>(std::uint64_t{1} << rng.uniform_int(1, 5));
   } else {
     r.cores = 1.0;
   }
@@ -152,14 +164,17 @@ Raw generate_one(const WaveParams& p, std::uint64_t seed) {
   }
 
   // Software-engineering practices.
-  for (std::size_t s = 0; s < se_practices().size(); ++s) {
-    const double prob =
+  const std::size_t n_se = se_practices().size();
+  for (std::size_t s = 0; s < n_se; ++s) {
+    probs[s] =
         clamp01(p.se_base[s] * (0.45 + 0.75 * se_maturity + 0.35 * intensity));
-    if (rng.bernoulli(prob)) r.se |= std::uint64_t{1} << s;
   }
+  r.se = rng.bernoulli_mask(std::span<const double>(probs.data(), n_se));
   r.se_missing = rng.bernoulli(p.missing_rate);
 
-  // Tools: used ⊆ aware by construction.
+  // Tools: used ⊆ aware by construction. Stays a scalar loop — the `used`
+  // coin for tool t is drawn between the aware coins for t and t+1, so the
+  // draws cannot be batched per question without reordering the stream.
   for (std::size_t t = 0; t < dev_tools().size(); ++t) {
     const double aware =
         clamp01(p.tool_aware_base[t] * (0.55 + 0.7 * intensity));

@@ -129,6 +129,32 @@ TEST(DeterminismTest, PermutationPooledMatchesSerialByteForByte) {
   }
 }
 
+// The batched fast path honors the same contract: bootstrap_mean pooled at
+// any width reproduces the serial run byte for byte (the per-replicate
+// index batches derive from the replicate seed alone, so thread assignment
+// cannot leak into the draws).
+TEST(DeterminismTest, BootstrapMeanFastPathPooledMatchesSerial) {
+  const std::vector<double> data = noisy_data(350, 123);
+  stats::BootstrapOptions serial_opts;
+  serial_opts.replicates = 400;
+  serial_opts.seed = 51;
+  serial_opts.compute_bca = true;
+  const auto serial = stats::bootstrap_mean(data, serial_opts);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    stats::BootstrapOptions opts = serial_opts;
+    opts.pool = &pool;
+    const auto pooled = stats::bootstrap_mean(data, opts);
+    ASSERT_EQ(pooled.replicates.size(), serial.replicates.size());
+    for (std::size_t i = 0; i < serial.replicates.size(); ++i)
+      ASSERT_EQ(bits_of(pooled.replicates[i]), bits_of(serial.replicates[i]))
+          << "threads=" << threads << " replicate " << i;
+    EXPECT_EQ(bits_of(pooled.bca_ci.lo), bits_of(serial.bca_ci.lo));
+    EXPECT_EQ(bits_of(pooled.bca_ci.hi), bits_of(serial.bca_ci.hi));
+  }
+}
+
 // Repeated pooled runs are stable too (no hidden global state).
 TEST(DeterminismTest, RepeatedPooledBootstrapRunsAreIdentical) {
   const std::vector<double> data = noisy_data(200, 404);
