@@ -35,6 +35,7 @@ int main(int argc, char** argv) try {
             << "bandwidth ceiling, 'no-barrier' the synchronization term.\n\n";
 
   rcr::parallel::ThreadPool pool;
+  std::cerr << "bench[a1]: seed=n/a threads=" << pool.thread_count() << "\n";
   for (const auto& k : rcr::kernels::standard_suite(scale)) {
     rcr::Stopwatch sw;
     (void)k.run_serial();

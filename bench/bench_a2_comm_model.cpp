@@ -12,6 +12,7 @@ int main(int argc, char** argv) try {
   rcr::CliParser cli(argc, argv);
   const double work_tflops = cli.get_double_or("work-tflops", 1.0);
   cli.finish();
+  std::cerr << "bench[a2]: seed=n/a threads=1\n";
 
   rcr::sim::DistributedWorkload w;
   w.work_ops_total = work_tflops * 1e12;

@@ -33,6 +33,13 @@ int run_experiment(const char* id, int argc, char** argv) {
       config.pool = &parallel::default_pool();
     }
 
+    // Reproducibility echo: the resolved seed and thread count, on stderr
+    // so piped/table output stays clean.
+    const std::size_t resolved_threads =
+        config.pool != nullptr ? config.pool->thread_count() : 1;
+    std::cerr << "bench[" << id << "]: seed=" << config.seed
+              << " threads=" << resolved_threads << "\n";
+
     const core::Study study(config);
     report::ExperimentRegistry registry;
     core::register_all_experiments(registry, study);

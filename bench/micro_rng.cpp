@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
   }
+  std::fprintf(stderr, "bench_micro_rng: seed=42 threads=1\n");
 
   std::vector<std::uint64_t> u64_buf(kBufU64);
   std::vector<double> f64_buf(kBufU64);

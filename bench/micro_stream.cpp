@@ -1,0 +1,180 @@
+// Microbenchmark of the sketch ingest paths: per-observation cost of each
+// rcr::stream accumulator plus the cost of a shard merge. Emits a JSON
+// report (stdout, or --out FILE); BENCH_stream.json pins the reference
+// numbers for the committed baseline machine.
+//
+// Inputs are pre-drawn into L1/L2-resident buffers so the numbers measure
+// sketch update cost, not RNG or memory throughput.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stream/sketch.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+constexpr std::size_t kBuf = 4096;  // 32 KiB of doubles per pass
+
+std::uint64_t g_sink = 0;
+
+struct Result {
+  std::string name;
+  double ns_per_op = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+// Same calibration scheme as micro_rng: target ~100 ms per timed run,
+// report the best of three.
+template <typename Pass>
+Result run_bench(const std::string& name, std::size_t ops_per_pass,
+                 Pass&& pass) {
+  std::size_t reps = 1;
+  for (;;) {
+    rcr::Stopwatch w;
+    for (std::size_t r = 0; r < reps; ++r) pass();
+    const double s = w.elapsed_seconds();
+    if (s >= 0.01 || reps >= (std::size_t{1} << 30)) {
+      reps = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(reps) * 0.1 /
+                                      std::max(s, 1e-9)));
+      break;
+    }
+    reps *= 4;
+  }
+
+  double best = 1e300;
+  for (int run = 0; run < 3; ++run) {
+    rcr::Stopwatch w;
+    for (std::size_t r = 0; r < reps; ++r) pass();
+    best = std::min(best, w.elapsed_seconds());
+  }
+  const double total =
+      static_cast<double>(reps) * static_cast<double>(ops_per_pass);
+  Result res;
+  res.name = name;
+  res.ns_per_op = best * 1e9 / total;
+  res.ops_per_sec = total / best;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+  std::fprintf(stderr, "bench_micro_stream: seed=42 threads=1\n");
+
+  rcr::Rng rng(42);
+  std::vector<double> values(kBuf);
+  std::vector<std::uint64_t> keys(kBuf);
+  for (double& v : values) v = rng.uniform(0.0, 1000.0);
+  // ~256 distinct keys: the label-cell cardinality the survey pipeline sees.
+  for (std::uint64_t& k : keys) k = rcr::stream::mix64(rng.next_below(256));
+
+  std::vector<Result> results;
+
+  {
+    rcr::stream::Moments m;
+    results.push_back(run_bench("moments.add", kBuf, [&] {
+      for (double v : values) m.add(v);
+      g_sink += m.count();
+    }));
+  }
+  {
+    rcr::stream::GKQuantile q(0.005);
+    results.push_back(run_bench("gk.add", kBuf, [&] {
+      for (double v : values) q.add(v);
+      g_sink += q.tuple_count();
+    }));
+  }
+  {
+    rcr::stream::CountMinSketch cms(4, 2048, 42);
+    results.push_back(run_bench("cms.add", kBuf, [&] {
+      for (std::uint64_t k : keys) cms.add(k);
+      g_sink += static_cast<std::uint64_t>(cms.total_weight());
+    }));
+    results.push_back(run_bench("cms.estimate", kBuf, [&] {
+      double acc = 0.0;
+      for (std::uint64_t k : keys) acc += cms.estimate(k);
+      g_sink += static_cast<std::uint64_t>(acc);
+    }));
+  }
+  {
+    rcr::stream::HyperLogLog hll(12, 42);
+    std::uint64_t salt = 0;
+    results.push_back(run_bench("hll.add", kBuf, [&] {
+      // Fresh keys each pass so register updates stay realistic.
+      ++salt;
+      for (std::uint64_t k : keys)
+        hll.add(rcr::stream::mix64(k ^ salt));
+      g_sink += static_cast<std::uint64_t>(hll.estimate());
+    }));
+  }
+  {
+    rcr::stream::SpaceSaving ss(64);
+    std::vector<std::string> labels(256);
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      labels[i] = "label_" + std::to_string(i);
+    results.push_back(run_bench("space_saving.add", kBuf, [&] {
+      for (std::uint64_t k : keys) ss.add(labels[k & 255]);
+      g_sink += ss.tracked();
+    }));
+  }
+  {
+    rcr::stream::WeightedReservoir res(64, 42);
+    std::uint64_t index = 0;
+    results.push_back(run_bench("reservoir.offer", kBuf, [&] {
+      for (double v : values) res.offer(index++, v);
+      g_sink += res.items().size();
+    }));
+  }
+  {
+    // One shard merge: two 64k-row GK summaries folded together.
+    rcr::stream::GKQuantile base(0.005);
+    for (std::size_t i = 0; i < 65536; ++i)
+      base.add(values[i & (kBuf - 1)] + static_cast<double>(i) * 1e-7);
+    results.push_back(run_bench("gk.merge_64k", 1, [&] {
+      rcr::stream::GKQuantile a = base;
+      a.merge(base);
+      g_sink += a.tuple_count();
+    }));
+  }
+
+  std::string json =
+      "{\n  \"benchmark\": \"micro_stream\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"name\": \"%s\", \"ns_per_op\": %.4f, "
+                  "\"ops_per_sec\": %.3e}%s\n",
+                  results[i].name.c_str(), results[i].ns_per_op,
+                  results[i].ops_per_sec,
+                  i + 1 < results.size() ? "," : "");
+    json += line;
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof tail,
+                "  ],\n  \"checksum\": %llu\n}\n",
+                static_cast<unsigned long long>(g_sink % 1000000007ULL));
+  json += tail;
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "micro_stream: cannot open %s\n", out_path);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}

@@ -14,6 +14,8 @@
 //   stats    — descriptive, tests, CIs, histograms, regression, bootstrap
 //   parallel — thread pool + parallel_for/reduce
 //   data     — columnar tables, CSV, crosstabs
+//   stream   — mergeable one-pass sketches (moments, quantiles, heavy
+//              hitters, distinct counts, reservoir, streaming crosstabs)
 //   survey   — questionnaire schema, validation, raking, Likert
 //   synth    — calibrated synthetic respondent generator
 //   trend    — two-wave share trends, adoption curves
@@ -23,6 +25,7 @@
 #pragma once
 
 #include "core/experiments.hpp"
+#include "core/stream_study.hpp"
 #include "core/study.hpp"
 #include "data/crosstab.hpp"
 #include "data/csv.hpp"
@@ -49,6 +52,9 @@
 #include "stats/permutation.hpp"
 #include "stats/power.hpp"
 #include "stats/regression.hpp"
+#include "stream/crosstab_stream.hpp"
+#include "stream/sketch.hpp"
+#include "stream/table_sketch.hpp"
 #include "survey/allocate.hpp"
 #include "survey/impute.hpp"
 #include "survey/likert.hpp"

@@ -1,0 +1,54 @@
+// Streaming study mode: the T2/T4-style analyses computed sketch-side over
+// a synthetic population that is never resident in memory.
+//
+// The population [0, n) is split by parallel::chunk_layout(0, n, block_rows)
+// — a pure function of (n, block_rows), independent of pool size — and each
+// chunk is generated with synth::generate_range, ingested into its own
+// stream::TableSketch shard, and merged in chunk-index order. The serial
+// (pool == nullptr) path walks the *same* layout and merge order, so the
+// final sketch is bitwise identical for any thread count, including none.
+// Peak memory is O(block_rows * threads) table rows plus the sketch state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stream/table_sketch.hpp"
+#include "synth/generator.hpp"
+
+namespace rcr::parallel {
+class ThreadPool;
+}
+
+namespace rcr::core {
+
+struct StreamStudyConfig {
+  synth::Wave wave = synth::Wave::k2024;
+  std::size_t respondents = 100000;
+  std::uint64_t seed = 7;
+  // Rows generated and ingested per shard; also the chunk grain, so it —
+  // not the pool — fixes the shard partition.
+  std::size_t block_rows = 8192;
+  rcr::parallel::ThreadPool* pool = nullptr;
+  // Nonresponse bias > 0 forces the generator's sequential rejection walk:
+  // still deterministic, but single-shard (no parallel speedup).
+  double nonresponse_strength = 0.0;
+  stream::TableSketchOptions sketch = default_stream_options();
+
+  // The analyses run sketch-side by default: the T2 crosstab
+  // (field x languages), the T4 crosstab (field x se_practices), a
+  // distinct-respondent HLL over all columns, and a reservoir sample of
+  // dataset sizes.
+  static stream::TableSketchOptions default_stream_options();
+};
+
+// Streams the configured population through a TableSketch and returns it.
+stream::TableSketch run_stream_study(const StreamStudyConfig& config);
+
+// Renders the T2/T4-style report purely from sketch state: language and
+// VCS adoption by field, SE-practice shares with Wilson intervals, numeric
+// summaries (mean/sd + GK quantiles), distinct count, heavy hitters, and
+// the reservoir sample.
+std::string render_stream_report(const stream::TableSketch& sketch);
+
+}  // namespace rcr::core

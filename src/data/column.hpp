@@ -28,6 +28,10 @@ class NumericColumn {
   void push(double v) { values_.push_back(v); }
   void push_missing() { values_.push_back(missing()); }
 
+  // Drops all rows (schema-less for this kind). Capacity is kept so a
+  // reused scratch column does not reallocate per row batch.
+  void clear() { values_.clear(); }
+
   // Overwrites an existing cell (imputation / recoding).
   void set(std::size_t i, double v) {
     RCR_DCHECK(i < values_.size());
@@ -57,6 +61,9 @@ class CategoricalColumn {
   void push(const std::string& label);
   void push_code(std::int32_t code);
   void push_missing() { codes_.push_back(kMissingCode); }
+
+  // Drops all rows but keeps the category set (and frozen state).
+  void clear() { codes_.clear(); }
 
   // Overwrites an existing cell with a valid code (imputation / recoding).
   void set_code(std::size_t i, std::int32_t code);
@@ -96,6 +103,12 @@ class MultiSelectColumn {
   void push_mask(std::uint64_t mask);
   void push_labels(const std::vector<std::string>& labels);
   void push_missing();  // recorded as an all-zero mask with a missing flag
+
+  // Drops all rows but keeps the option set.
+  void clear() {
+    masks_.clear();
+    missing_.clear();
+  }
 
   // Overwrites an existing cell and clears its missing flag.
   void set_mask(std::size_t i, std::uint64_t mask);

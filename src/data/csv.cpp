@@ -49,6 +49,105 @@ std::vector<std::string> split_record(const std::string& record,
   return fields;
 }
 
+// Validates the header row against the schema and returns the trimmed
+// column names in file order.
+std::vector<std::string> read_header(std::istream& in, const Table& schema,
+                                     char delimiter, std::size_t& line_no) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw rcr::InvalidInputError("CSV input is empty (no header row)");
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  auto header = split_record(line, delimiter, line_no);
+  if (header.size() != schema.column_count())
+    parse_fail(line_no, "header has " + std::to_string(header.size()) +
+                            " columns, schema expects " +
+                            std::to_string(schema.column_count()));
+  for (auto& name : header) {
+    name = std::string(trim(name));
+    if (!schema.has_column(name))
+      parse_fail(line_no, "unknown column '" + name + "'");
+  }
+  return header;
+}
+
+// Parses one cell into its typed column — the single point both the
+// materializing reader and the streaming visitor push values through.
+void append_cell(Table& out, const std::string& name, const std::string& cell,
+                 const CsvOptions& options, std::size_t line_no) {
+  switch (out.kind(name)) {
+    case ColumnKind::kNumeric: {
+      if (cell.empty()) {
+        out.numeric(name).push_missing();
+      } else {
+        const auto v = parse_double(cell);
+        if (!v)
+          parse_fail(line_no,
+                     "column '" + name + "': not a number: '" + cell + "'");
+        out.numeric(name).push(*v);
+      }
+      break;
+    }
+    case ColumnKind::kCategorical: {
+      auto& col = out.categorical(name);
+      if (cell.empty()) {
+        col.push_missing();
+      } else {
+        if (col.frozen() && col.find_code(cell) == kMissingCode)
+          parse_fail(line_no,
+                     "column '" + name + "': unknown category '" + cell + "'");
+        col.push(cell);
+      }
+      break;
+    }
+    case ColumnKind::kMultiSelect: {
+      auto& col = out.multiselect(name);
+      if (cell.empty()) {
+        col.push_missing();
+        break;
+      }
+      if (cell == "-") {  // answered, nothing selected
+        col.push_mask(0);
+        break;
+      }
+      std::vector<std::string> labels;
+      for (auto& part : split(cell, options.multiselect_separator)) {
+        const std::string label{trim(part)};
+        if (label.empty()) continue;
+        if (col.find_option(label) < 0)
+          parse_fail(line_no,
+                     "column '" + name + "': unknown option '" + label + "'");
+        labels.push_back(label);
+      }
+      col.push_labels(labels);
+      break;
+    }
+  }
+}
+
+// Shared record loop: parses every data row, pushing cells into `out` and
+// calling `on_row` after each completed row. `on_row` may clear `out`
+// (streaming mode) or do nothing (materializing mode).
+void parse_rows(std::istream& in, const std::vector<std::string>& header,
+                Table& out, const CsvOptions& options, std::size_t& line_no,
+                const std::function<void()>& on_row) {
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (trim(line).empty()) continue;
+    const auto fields = split_record(line, options.delimiter, line_no);
+    if (fields.size() != header.size())
+      parse_fail(line_no, "expected " + std::to_string(header.size()) +
+                              " fields, got " + std::to_string(fields.size()));
+    for (std::size_t f = 0; f < fields.size(); ++f)
+      append_cell(out, header[f], std::string(trim(fields[f])), options,
+                  line_no);
+    if (on_row) on_row();
+  }
+}
+
 std::string escape_field(const std::string& field, char delimiter) {
   const bool needs_quotes =
       field.find(delimiter) != std::string::npos ||
@@ -69,102 +168,37 @@ std::string escape_field(const std::string& field, char delimiter) {
 
 Table read_csv(std::istream& in, const Table& schema,
                const CsvOptions& options) {
-  std::string line;
   std::size_t line_no = 0;
-  if (!std::getline(in, line))
-    throw rcr::InvalidInputError("CSV input is empty (no header row)");
-  ++line_no;
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-
-  const auto header = split_record(line, options.delimiter, line_no);
-  if (header.size() != schema.column_count())
-    parse_fail(line_no, "header has " + std::to_string(header.size()) +
-                            " columns, schema expects " +
-                            std::to_string(schema.column_count()));
-  for (const auto& name : header) {
-    if (!schema.has_column(std::string(trim(name))))
-      parse_fail(line_no, "unknown column '" + name + "'");
-  }
-
-  // Clone the schema (columns, categories, options) into an empty table.
-  Table out;
-  for (const auto& name : schema.column_names()) {
-    switch (schema.kind(name)) {
-      case ColumnKind::kNumeric:
-        out.add_numeric(name);
-        break;
-      case ColumnKind::kCategorical:
-        out.add_categorical(name, schema.categorical(name).categories());
-        break;
-      case ColumnKind::kMultiSelect:
-        out.add_multiselect(name, schema.multiselect(name).options());
-        break;
-    }
-  }
-
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (trim(line).empty()) continue;
-    const auto fields = split_record(line, options.delimiter, line_no);
-    if (fields.size() != header.size())
-      parse_fail(line_no, "expected " + std::to_string(header.size()) +
-                              " fields, got " + std::to_string(fields.size()));
-    for (std::size_t f = 0; f < fields.size(); ++f) {
-      const std::string name{trim(header[f])};
-      const std::string cell{trim(fields[f])};
-      switch (out.kind(name)) {
-        case ColumnKind::kNumeric: {
-          if (cell.empty()) {
-            out.numeric(name).push_missing();
-          } else {
-            const auto v = parse_double(cell);
-            if (!v)
-              parse_fail(line_no, "column '" + name +
-                                      "': not a number: '" + cell + "'");
-            out.numeric(name).push(*v);
-          }
-          break;
-        }
-        case ColumnKind::kCategorical: {
-          auto& col = out.categorical(name);
-          if (cell.empty()) {
-            col.push_missing();
-          } else {
-            if (col.frozen() && col.find_code(cell) == kMissingCode)
-              parse_fail(line_no, "column '" + name +
-                                      "': unknown category '" + cell + "'");
-            col.push(cell);
-          }
-          break;
-        }
-        case ColumnKind::kMultiSelect: {
-          auto& col = out.multiselect(name);
-          if (cell.empty()) {
-            col.push_missing();
-            break;
-          }
-          if (cell == "-") {  // answered, nothing selected
-            col.push_mask(0);
-            break;
-          }
-          std::vector<std::string> labels;
-          for (auto& part : split(cell, options.multiselect_separator)) {
-            const std::string label{trim(part)};
-            if (label.empty()) continue;
-            if (col.find_option(label) < 0)
-              parse_fail(line_no, "column '" + name +
-                                      "': unknown option '" + label + "'");
-            labels.push_back(label);
-          }
-          col.push_labels(labels);
-          break;
-        }
-      }
-    }
-  }
+  const auto header = read_header(in, schema, options.delimiter, line_no);
+  Table out = schema.clone_empty();
+  parse_rows(in, header, out, options, line_no, nullptr);
   out.validate_rectangular();
   return out;
+}
+
+std::size_t for_each_csv_row(
+    std::istream& in, const Table& schema,
+    const std::function<void(const Table& row, std::size_t index)>& visit,
+    const CsvOptions& options) {
+  std::size_t line_no = 0;
+  const auto header = read_header(in, schema, options.delimiter, line_no);
+  Table row = schema.clone_empty();
+  std::size_t index = 0;
+  parse_rows(in, header, row, options, line_no, [&] {
+    visit(row, index);
+    ++index;
+    row.clear_rows();
+  });
+  return index;
+}
+
+std::size_t for_each_csv_row_file(
+    const std::string& path, const Table& schema,
+    const std::function<void(const Table& row, std::size_t index)>& visit,
+    const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw rcr::InvalidInputError("cannot open CSV file: " + path);
+  return for_each_csv_row(in, schema, visit, options);
 }
 
 Table read_csv_file(const std::string& path, const Table& schema,

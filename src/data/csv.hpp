@@ -8,6 +8,7 @@
 //   * Empty cells are missing values in every column kind.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -29,6 +30,23 @@ Table read_csv(std::istream& in, const Table& schema,
                const CsvOptions& options = {});
 Table read_csv_file(const std::string& path, const Table& schema,
                     const CsvOptions& options = {});
+
+// Streaming row visitor over CSV input. Parses with exactly the same
+// header/record/cell machinery as read_csv — identical acceptance,
+// identical errors, identical values — but never materializes more than a
+// single row, so ingest memory is O(1) in the file size. `visit` is called
+// once per data row, in file order, with a one-row table (schema cloned
+// from `schema`) and the 0-based data-row index. The row table is *reused*
+// between calls; visitors must copy anything they keep. Returns the number
+// of rows visited.
+std::size_t for_each_csv_row(
+    std::istream& in, const Table& schema,
+    const std::function<void(const Table& row, std::size_t index)>& visit,
+    const CsvOptions& options = {});
+std::size_t for_each_csv_row_file(
+    const std::string& path, const Table& schema,
+    const std::function<void(const Table& row, std::size_t index)>& visit,
+    const CsvOptions& options = {});
 
 // Serializes a table; header row first.
 void write_csv(std::ostream& out, const Table& table,

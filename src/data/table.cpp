@@ -168,22 +168,37 @@ void Table::append_rows(const Table& other) {
   }
 }
 
-Table Table::filter(const std::function<bool(std::size_t)>& pred) const {
-  validate_rectangular();
+Table Table::clone_empty() const {
   Table out;
-  // Recreate the schema first so category codes stay aligned.
+  // Recreate the schema so category codes stay aligned with this table.
   for (const auto& cp : columns_) {
     const auto& c = *cp;
-    if (const auto* num = std::get_if<NumericColumn>(&c.column)) {
-      (void)num;
+    if (std::holds_alternative<NumericColumn>(c.column)) {
       out.add_numeric(c.name);
     } else if (const auto* cat = std::get_if<CategoricalColumn>(&c.column)) {
-      out.add_categorical(c.name, cat->categories());
+      auto& col = out.add_categorical(c.name, cat->categories());
+      if (!cat->frozen() && !cat->categories().empty()) {
+        // add_categorical freezes any non-empty set; mirror the source.
+        col = CategoricalColumn{};
+        for (const auto& label : cat->categories()) col.push(label);
+        col.clear();
+      }
     } else {
       const auto& ms = std::get<MultiSelectColumn>(c.column);
       out.add_multiselect(c.name, ms.options());
     }
   }
+  return out;
+}
+
+void Table::clear_rows() {
+  for (auto& cp : columns_)
+    std::visit([](auto& col) { col.clear(); }, cp->column);
+}
+
+Table Table::filter(const std::function<bool(std::size_t)>& pred) const {
+  validate_rectangular();
+  Table out = clone_empty();
   const std::size_t n = row_count();
   for (std::size_t i = 0; i < n; ++i) {
     if (!pred(i)) continue;

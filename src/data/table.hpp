@@ -49,6 +49,15 @@ class Table {
   // Checks that every column has the same number of rows.
   void validate_rectangular() const;
 
+  // A table with the same schema (column names, kinds, category/option
+  // sets, frozen state) and zero rows — the starting point for CSV ingest,
+  // filtered copies, and block-reassembly in the streaming engine.
+  Table clone_empty() const;
+
+  // Drops every row but keeps the full schema. Reused scratch tables (the
+  // streaming CSV reader's row buffer) keep their column capacity.
+  void clear_rows();
+
   // Appends all rows of `other`, whose schema (column names, kinds, and
   // category/option sets) must match exactly. Used to pool waves or merge
   // partial CSV ingests.

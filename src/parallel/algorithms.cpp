@@ -34,32 +34,27 @@ std::size_t pick_grain(std::size_t total, std::size_t threads,
   return std::max<std::size_t>(1, total / (8 * threads));
 }
 
+ChunkLayout make_plan(std::size_t begin, std::size_t end, std::size_t threads,
+                      ForOptions options) {
+  return chunk_layout(begin, end, pick_grain(end - begin, threads,
+                                             options.schedule,
+                                             options.grain));
+}
+
+}  // namespace
+
 // ceil(total/grain) chunks whose sizes differ by at most one iteration:
 // chunk k covers [begin + k*base + min(k, rem), ...) with the first `rem`
 // chunks one iteration longer. Rebalancing means a range that barely
 // exceeds the grain never produces a degenerate 1-iteration tail chunk.
-struct ChunkPlan {
-  std::size_t begin = 0;
-  std::size_t chunks = 0;
-  std::size_t base = 0;
-  std::size_t rem = 0;
-
-  std::pair<std::size_t, std::size_t> bounds(std::size_t k) const {
-    const std::size_t lo = begin + k * base + std::min(k, rem);
-    return {lo, lo + base + (k < rem ? 1 : 0)};
-  }
-};
-
-ChunkPlan make_plan(std::size_t begin, std::size_t end, std::size_t threads,
-                    ForOptions options) {
+ChunkLayout chunk_layout(std::size_t begin, std::size_t end,
+                         std::size_t grain) {
+  if (begin >= end) return {begin, 0, 0, 0};
   const std::size_t total = end - begin;
-  const std::size_t grain =
-      pick_grain(total, threads, options.schedule, options.grain);
-  const std::size_t chunks = (total + grain - 1) / grain;
+  const std::size_t g = std::max<std::size_t>(1, grain);
+  const std::size_t chunks = (total + g - 1) / g;
   return {begin, chunks, total / chunks, total % chunks};
 }
-
-}  // namespace
 
 std::size_t chunk_count(const ThreadPool& pool, std::size_t begin,
                         std::size_t end, ForOptions options) {
@@ -74,7 +69,7 @@ void parallel_for_chunks(
     ForOptions options) {
   if (begin >= end) return;
   const std::size_t threads = std::max<std::size_t>(1, pool.thread_count());
-  const ChunkPlan plan = make_plan(begin, end, threads, options);
+  const ChunkLayout plan = make_plan(begin, end, threads, options);
 
   if (plan.chunks <= 1) {
     // Single chunk: skip the pool entirely (no task allocation, no wakeup).

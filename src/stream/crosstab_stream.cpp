@@ -1,0 +1,103 @@
+#include "stream/crosstab_stream.hpp"
+
+#include "util/error.hpp"
+
+namespace rcr::stream {
+
+namespace {
+
+// Same contract as the materialized builders: 1.0 unweighted, the weight
+// cell otherwise, negative = drop the row (missing weight).
+double row_weight(const data::Table& block,
+                  const std::optional<std::string>& weight_column,
+                  std::size_t row) {
+  if (!weight_column) return 1.0;
+  const double w = block.numeric(*weight_column).at(row);
+  if (data::NumericColumn::is_missing(w)) return -1.0;
+  RCR_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+  return w;
+}
+
+}  // namespace
+
+StreamingCrosstab::StreamingCrosstab(const data::Table& schema,
+                                     std::string row_column,
+                                     std::string col_column,
+                                     std::optional<std::string> weight_column)
+    : row_column_(std::move(row_column)),
+      col_column_(std::move(col_column)),
+      weight_column_(std::move(weight_column)) {
+  row_labels_ = schema.categorical(row_column_).categories();
+  if (schema.kind(col_column_) == data::ColumnKind::kMultiSelect) {
+    multiselect_ = true;
+    col_labels_ = schema.multiselect(col_column_).options();
+  } else {
+    col_labels_ = schema.categorical(col_column_).categories();
+  }
+  RCR_CHECK_MSG(!row_labels_.empty() && !col_labels_.empty(),
+                "crosstab needs non-empty category sets");
+  cells_.assign(row_labels_.size() * col_labels_.size(), 0.0);
+}
+
+void StreamingCrosstab::ingest(const data::Table& block) {
+  block.validate_rectangular();
+  const auto& rows = block.categorical(row_column_);
+  RCR_CHECK_MSG(rows.categories() == row_labels_,
+                "block row categories diverge from the crosstab schema");
+  const std::size_t cols_n = col_labels_.size();
+
+  if (multiselect_) {
+    const auto& opts = block.multiselect(col_column_);
+    RCR_CHECK_MSG(opts.options() == col_labels_,
+                  "block options diverge from the crosstab schema");
+    for (std::size_t i = 0; i < block.row_count(); ++i) {
+      if (rows.is_missing(i) || opts.is_missing(i)) continue;
+      const double w = row_weight(block, weight_column_, i);
+      if (w < 0.0) continue;
+      const std::size_t r = static_cast<std::size_t>(rows.code_at(i));
+      for (std::size_t o = 0; o < cols_n; ++o) {
+        if (opts.has(i, o)) cells_[r * cols_n + o] += w;
+      }
+    }
+  } else {
+    const auto& cols = block.categorical(col_column_);
+    RCR_CHECK_MSG(cols.categories() == col_labels_,
+                  "block col categories diverge from the crosstab schema");
+    for (std::size_t i = 0; i < block.row_count(); ++i) {
+      if (rows.is_missing(i) || cols.is_missing(i)) continue;
+      const double w = row_weight(block, weight_column_, i);
+      if (w < 0.0) continue;
+      cells_[static_cast<std::size_t>(rows.code_at(i)) * cols_n +
+             static_cast<std::size_t>(cols.code_at(i))] += w;
+    }
+  }
+  rows_ingested_ += block.row_count();
+}
+
+void StreamingCrosstab::merge(const StreamingCrosstab& other) {
+  RCR_CHECK_MSG(row_labels_ == other.row_labels_ &&
+                    col_labels_ == other.col_labels_ &&
+                    multiselect_ == other.multiselect_,
+                "StreamingCrosstab merge requires identical shape");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  rows_ingested_ += other.rows_ingested_;
+}
+
+data::LabeledCrosstab StreamingCrosstab::to_labeled() const {
+  data::LabeledCrosstab out;
+  out.row_labels = row_labels_;
+  out.col_labels = col_labels_;
+  out.counts = stats::Contingency(row_labels_.size(), col_labels_.size());
+  for (std::size_t r = 0; r < row_labels_.size(); ++r) {
+    for (std::size_t c = 0; c < col_labels_.size(); ++c) {
+      out.counts.add(r, c, at(r, c));
+    }
+  }
+  return out;
+}
+
+std::size_t StreamingCrosstab::approx_bytes() const {
+  return cells_.capacity() * sizeof(double);
+}
+
+}  // namespace rcr::stream

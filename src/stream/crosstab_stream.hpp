@@ -1,0 +1,63 @@
+// StreamingCrosstab — data::crosstab / data::crosstab_multiselect computed
+// one block at a time.
+//
+// Semantics mirror the materialized builders cell for cell: labels come
+// from the schema's category/option order, a row missing either variable
+// is dropped, and an optional non-negative weight column contributes w per
+// observation (missing weight drops the row). With unit weights every cell
+// is an integer count, so shard-and-merge equals the materialized crosstab
+// *exactly* (integer addition in double is associative below 2^53); with
+// fractional weights the per-cell sums agree up to floating-point
+// reassociation across block boundaries.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/crosstab.hpp"
+#include "data/table.hpp"
+
+namespace rcr::stream {
+
+class StreamingCrosstab {
+ public:
+  // `schema` fixes the label sets (its category/option order is the output
+  // order, exactly as the materialized builders use). col_column may name a
+  // categorical column (classic crosstab) or a multi-select column
+  // (crosstab_multiselect).
+  StreamingCrosstab(const data::Table& schema, std::string row_column,
+                    std::string col_column,
+                    std::optional<std::string> weight_column = {});
+
+  // Folds every row of `block` in. Blocks must share the schema's category
+  // sets (checked); rows are processed in order, so ingesting the blocks of
+  // a stream in sequence reproduces the materialized builder's walk.
+  void ingest(const data::Table& block);
+
+  void merge(const StreamingCrosstab& other);
+
+  double at(std::size_t r, std::size_t c) const {
+    return cells_[r * col_labels_.size() + c];
+  }
+  const std::vector<std::string>& row_labels() const { return row_labels_; }
+  const std::vector<std::string>& col_labels() const { return col_labels_; }
+  std::uint64_t rows_ingested() const { return rows_ingested_; }
+
+  // Materializes the same struct data::crosstab would have returned.
+  data::LabeledCrosstab to_labeled() const;
+
+  std::size_t approx_bytes() const;
+
+ private:
+  std::string row_column_;
+  std::string col_column_;
+  std::optional<std::string> weight_column_;
+  bool multiselect_ = false;
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<double> cells_;  // row-major, row_labels x col_labels
+  std::uint64_t rows_ingested_ = 0;
+};
+
+}  // namespace rcr::stream

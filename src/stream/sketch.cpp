@@ -1,0 +1,498 @@
+#include "stream/sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace rcr::stream {
+
+std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return mix64(h ^ mix64(seed));
+}
+
+// --- Moments ----------------------------------------------------------------
+
+void Moments::add(double x, double w) {
+  if (w <= 0.0) return;
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  weight_ += w;
+  const double delta = x - mean_;
+  mean_ += (w / weight_) * delta;
+  m2_ += w * delta * (x - mean_);
+}
+
+void Moments::merge(const Moments& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  const double w = weight_ + other.weight_;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (other.weight_ / w);
+  m2_ += other.m2_ + delta * delta * (weight_ * other.weight_ / w);
+  weight_ = w;
+  count_ += other.count_;
+}
+
+double Moments::variance() const {
+  if (weight_ <= 1.0) return 0.0;
+  return m2_ / (weight_ - 1.0);
+}
+
+double Moments::stddev() const { return std::sqrt(variance()); }
+
+double Moments::min() const {
+  return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Moments::max() const {
+  return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+// --- GKQuantile -------------------------------------------------------------
+
+namespace {
+// Buffered inserts amortize the linear merge pass: one flush folds up to
+// kGkBufferCap sorted values into the summary in a single sweep.
+constexpr std::size_t kGkBufferCap = 512;
+}  // namespace
+
+GKQuantile::GKQuantile(double eps) : eps_(eps) {
+  RCR_CHECK_MSG(eps > 0.0 && eps < 0.5, "GKQuantile eps must be in (0, 0.5)");
+  buffer_.reserve(kGkBufferCap);
+}
+
+void GKQuantile::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  buffer_.push_back(x);
+  if (buffer_.size() >= kGkBufferCap) {
+    flush();
+    compress();
+  }
+}
+
+// Folds the buffer into the summary with one linear merge pass. Inserted
+// tuples get g = 1 and delta = floor(2*eps*n) - 1 (0 at the extremes and
+// while the summary is still in its exact phase), which preserves the GK
+// invariant g + delta <= floor(2*eps*n) + 1 for the current count.
+void GKQuantile::flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+
+  const std::uint64_t cap = static_cast<std::uint64_t>(2.0 * eps_ * count_);
+  const std::uint64_t delta_new = cap > 0 ? cap - 1 : 0;
+
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  std::size_t ti = 0;
+  for (std::size_t bi = 0; bi < buffer_.size(); ++bi) {
+    const double v = buffer_[bi];
+    while (ti < tuples_.size() && tuples_[ti].value <= v) {
+      merged.push_back(tuples_[ti++]);
+    }
+    // Values landing before the first or after the last summary tuple carry
+    // exact rank information (delta = 0) so min/max quantiles stay sharp.
+    const bool extreme = merged.empty() || ti >= tuples_.size();
+    merged.push_back({v, 1, extreme ? 0 : delta_new});
+  }
+  while (ti < tuples_.size()) merged.push_back(tuples_[ti++]);
+  tuples_ = std::move(merged);
+  buffer_.clear();
+}
+
+// Standard GK compress: absorb tuple i into its successor whenever the
+// combined g + delta stays within the 2*eps*n budget. The first and last
+// tuples are never absorbed, keeping the extremes exact.
+void GKQuantile::compress() const {
+  if (tuples_.size() < 3) return;
+  const std::uint64_t cap = static_cast<std::uint64_t>(2.0 * eps_ * count_);
+  if (cap < 2) return;
+  std::size_t w = tuples_.size() - 1;  // write cursor, moving left
+  for (std::size_t i = tuples_.size() - 1; i-- > 1;) {
+    Tuple& succ = tuples_[w];
+    const Tuple& cur = tuples_[i];
+    if (cur.g + succ.g + succ.delta < cap) {
+      succ.g += cur.g;
+    } else {
+      tuples_[--w] = cur;
+    }
+  }
+  tuples_[--w] = tuples_.front();
+  tuples_.erase(tuples_.begin(), tuples_.begin() + static_cast<std::ptrdiff_t>(w));
+}
+
+void GKQuantile::merge(const GKQuantile& other) {
+  RCR_CHECK_MSG(eps_ == other.eps_, "GKQuantile merge requires matching eps");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  flush();
+  other.flush();
+  // Merge-sort the two summaries. Prefix g-sums already account for the
+  // other summary's predecessors, but each tuple's upper rank bound in the
+  // combined stream is rmax_self + rmax_other(successor) - 1, so its delta
+  // must widen by the successor-in-the-other-summary's g + delta - 1.
+  // Widened deltas stay within the combined floor(2*eps*n) budget, which
+  // keeps the rank bounds honest under any merge tree and bounds query
+  // error by the documented 2*eps*n.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  const std::vector<Tuple>& a = tuples_;
+  const std::vector<Tuple>& b = other.tuples_;
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    const bool take_a =
+        ib >= b.size() || (ia < a.size() && a[ia].value <= b[ib].value);
+    Tuple t = take_a ? a[ia] : b[ib];
+    const std::vector<Tuple>& o = take_a ? b : a;
+    const std::size_t succ = take_a ? ib : ia;
+    if (succ < o.size()) t.delta += o[succ].g + o[succ].delta - 1;
+    merged.push_back(t);
+    ++(take_a ? ia : ib);
+  }
+  tuples_ = std::move(merged);
+  count_ += other.count_;
+  compress();
+}
+
+double GKQuantile::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  flush();
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  // Return the tuple whose certain rank interval [rmin, rmax] deviates
+  // least from the target. Single-stream, the GK invariant guarantees a
+  // tuple within eps*n; after merges the minimum stays within 2*eps*n.
+  std::uint64_t rmin = 0;
+  std::uint64_t best_err = std::numeric_limits<std::uint64_t>::max();
+  double best = tuples_.front().value;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const std::uint64_t rmax = rmin + t.delta;
+    const std::uint64_t err =
+        std::max(target > rmin ? target - rmin : 0,
+                 rmax > target ? rmax - target : 0);
+    if (err < best_err) {
+      best_err = err;
+      best = t.value;
+    }
+  }
+  return std::clamp(best, min_, max_);
+}
+
+double GKQuantile::min() const {
+  return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double GKQuantile::max() const {
+  return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::size_t GKQuantile::tuple_count() const {
+  flush();
+  return tuples_.size();
+}
+
+std::size_t GKQuantile::approx_bytes() const {
+  return tuples_.capacity() * sizeof(Tuple) +
+         buffer_.capacity() * sizeof(double);
+}
+
+// --- CountMinSketch ---------------------------------------------------------
+
+CountMinSketch::CountMinSketch(std::size_t depth, std::size_t width,
+                               std::uint64_t seed)
+    : depth_(depth), width_(std::bit_ceil(std::max<std::size_t>(2, width))),
+      seed_(seed) {
+  RCR_CHECK_MSG(depth > 0, "CountMinSketch depth must be positive");
+  cells_.assign(depth_ * width_, 0.0);
+}
+
+std::size_t CountMinSketch::row_index(std::size_t d,
+                                      std::uint64_t key_hash) const {
+  // Each row gets an independent permutation of the key hash; width_ is a
+  // power of two so the mask keeps all mixed bits in play.
+  return static_cast<std::size_t>(mix64(key_hash ^ mix64(seed_ + d + 1))) &
+         (width_ - 1);
+}
+
+void CountMinSketch::add(std::uint64_t key_hash, double w) {
+  if (w <= 0.0) return;
+  total_ += w;
+  for (std::size_t d = 0; d < depth_; ++d) {
+    cells_[d * width_ + row_index(d, key_hash)] += w;
+  }
+}
+
+double CountMinSketch::estimate(std::uint64_t key_hash) const {
+  double est = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d < depth_; ++d) {
+    est = std::min(est, cells_[d * width_ + row_index(d, key_hash)]);
+  }
+  return est == std::numeric_limits<double>::infinity() ? 0.0 : est;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  RCR_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
+                seed_ == other.seed_,
+            "CountMinSketch merge requires matching dims and seed");
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+double CountMinSketch::error_bound() const {
+  return std::exp(1.0) / static_cast<double>(width_) * total_;
+}
+
+std::size_t CountMinSketch::approx_bytes() const {
+  return cells_.capacity() * sizeof(double);
+}
+
+// --- SpaceSaving ------------------------------------------------------------
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  RCR_CHECK_MSG(capacity > 0, "SpaceSaving capacity must be positive");
+  entries_.reserve(capacity);
+}
+
+double SpaceSaving::min_count() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const Entry& e : entries_) m = std::min(m, e.count);
+  return entries_.empty() ? 0.0 : m;
+}
+
+void SpaceSaving::add(std::string_view key, double w) {
+  if (w <= 0.0) return;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) {
+    it->count += w;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.insert(it, {std::string(key), w, 0.0});
+    return;
+  }
+  // Evict the minimum-count entry; among ties the smallest key goes (the
+  // scan order is the key order, so the rule is deterministic).
+  auto victim = entries_.begin();
+  for (auto e = entries_.begin() + 1; e != entries_.end(); ++e) {
+    if (e->count < victim->count) victim = e;
+  }
+  const double floor_count = victim->count;
+  entries_.erase(victim);
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.key < k; });
+  entries_.insert(pos, {std::string(key), floor_count + w, floor_count});
+  exact_ = false;
+}
+
+void SpaceSaving::merge(const SpaceSaving& other) {
+  RCR_CHECK_MSG(capacity_ == other.capacity_,
+                "SpaceSaving merge requires matching capacity");
+  // Union by key (both sides are key-sorted). A key absent from one side
+  // could have been evicted there, so when that side is inexact its
+  // minimum count is added as additional error (standard mergeable-summary
+  // treatment); when both sides are exact the merge is exact addition.
+  const double my_floor = exact_ ? 0.0 : min_count();
+  const double other_floor = other.exact_ ? 0.0 : other.min_count();
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  std::size_t i = 0, j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].key < other.entries_[j].key)) {
+      Entry e = entries_[i++];
+      e.count += other_floor;
+      e.error += other_floor;
+      merged.push_back(std::move(e));
+    } else if (i >= entries_.size() ||
+               other.entries_[j].key < entries_[i].key) {
+      Entry e = other.entries_[j++];
+      e.count += my_floor;
+      e.error += my_floor;
+      merged.push_back(std::move(e));
+    } else {
+      Entry e = entries_[i++];
+      const Entry& o = other.entries_[j++];
+      e.count += o.count;
+      e.error += o.error;
+      merged.push_back(std::move(e));
+    }
+  }
+  exact_ = exact_ && other.exact_ && merged.size() <= capacity_;
+  if (merged.size() > capacity_) {
+    // Keep the top-capacity counts (ties: smaller key wins a slot).
+    std::vector<Entry> by_count = merged;
+    std::nth_element(by_count.begin(),
+                     by_count.begin() + static_cast<std::ptrdiff_t>(capacity_ - 1),
+                     by_count.end(), [](const Entry& a, const Entry& b) {
+                       if (a.count != b.count) return a.count > b.count;
+                       return a.key < b.key;
+                     });
+    const Entry& cut = by_count[capacity_ - 1];
+    std::vector<Entry> kept;
+    kept.reserve(capacity_);
+    for (Entry& e : merged) {
+      const bool keep = e.count > cut.count ||
+                        (e.count == cut.count && e.key <= cut.key);
+      if (keep && kept.size() < capacity_) kept.push_back(std::move(e));
+    }
+    merged = std::move(kept);
+  }
+  entries_ = std::move(merged);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t k) const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::size_t SpaceSaving::approx_bytes() const {
+  std::size_t bytes = entries_.capacity() * sizeof(Entry);
+  for (const Entry& e : entries_) bytes += e.key.capacity();
+  return bytes;
+}
+
+// --- HyperLogLog ------------------------------------------------------------
+
+HyperLogLog::HyperLogLog(std::uint8_t precision, std::uint64_t seed)
+    : precision_(precision), seed_(seed) {
+  RCR_CHECK_MSG(precision >= 4 && precision <= 16,
+                "HyperLogLog precision must be in [4, 16]");
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::add(std::uint64_t key_hash) {
+  const std::uint64_t h = mix64(key_hash ^ mix64(seed_));
+  const std::size_t reg = static_cast<std::size_t>(h >> (64 - precision_));
+  const std::uint64_t rest = h << precision_;
+  // Rank of the leading one in the remaining bits, 1-based; all-zero rest
+  // (probability 2^-(64-p)) saturates at 64 - precision + 1.
+  const std::uint8_t rank = static_cast<std::uint8_t>(
+      rest == 0 ? 64 - precision_ + 1 : std::countl_zero(rest) + 1);
+  registers_[reg] = std::max(registers_[reg], rank);
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  // Bias-correction constant alpha_m for m >= 128 (we only allow p >= 4,
+  // and p in {4,5,6} uses the tabulated constants).
+  double alpha;
+  if (registers_.size() == 16) alpha = 0.673;
+  else if (registers_.size() == 32) alpha = 0.697;
+  else if (registers_.size() == 64) alpha = 0.709;
+  else alpha = 0.7213 / (1.0 + 1.079 / m);
+
+  double inv_sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Small-range correction: linear counting on the empty registers.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  RCR_CHECK_MSG(precision_ == other.precision_ && seed_ == other.seed_,
+                "HyperLogLog merge requires matching precision and seed");
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+// --- WeightedReservoir ------------------------------------------------------
+
+WeightedReservoir::WeightedReservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), seed_(seed) {
+  RCR_CHECK_MSG(capacity > 0, "WeightedReservoir capacity must be positive");
+  items_.reserve(capacity);
+}
+
+void WeightedReservoir::offer(std::uint64_t index, double value, double w) {
+  ++offered_;
+  if (w <= 0.0) return;
+  // u in (0, 1], a pure function of (seed, index): the +1 keeps log finite.
+  const std::uint64_t h = mix64(seed_ ^ mix64(index + 1));
+  const double u = static_cast<double>((h >> 11) + 1) * 0x1.0p-53;
+  const double priority = std::log(u) / w;
+  if (items_.size() == capacity_ && priority <= items_.back().priority) {
+    return;  // common case: rejected in O(1)
+  }
+  insert({priority, index, value, w});
+}
+
+void WeightedReservoir::insert(const Item& item) {
+  const auto pos = std::lower_bound(
+      items_.begin(), items_.end(), item, [](const Item& a, const Item& b) {
+        if (a.priority != b.priority) return a.priority > b.priority;
+        return a.index < b.index;
+      });
+  if (pos != items_.end() && pos->index == item.index) return;  // merge dup
+  items_.insert(pos, item);
+  if (items_.size() > capacity_) items_.pop_back();
+}
+
+void WeightedReservoir::merge(const WeightedReservoir& other) {
+  RCR_CHECK_MSG(capacity_ == other.capacity_ && seed_ == other.seed_,
+                "WeightedReservoir merge requires matching capacity and seed");
+  offered_ += other.offered_;
+  for (const Item& item : other.items_) {
+    if (items_.size() == capacity_ &&
+        item.priority <= items_.back().priority &&
+        !(item.priority == items_.back().priority &&
+          item.index < items_.back().index)) {
+      continue;
+    }
+    insert(item);
+  }
+}
+
+std::size_t WeightedReservoir::approx_bytes() const {
+  return items_.capacity() * sizeof(Item);
+}
+
+}  // namespace rcr::stream

@@ -1,0 +1,269 @@
+#include "stream/table_sketch.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "util/error.hpp"
+
+namespace rcr::stream {
+
+namespace {
+
+// Handles resolved once; registration takes the registry mutex.
+struct StreamObs {
+  obs::Counter& rows = obs::registry().counter("stream.rows");
+  obs::Counter& blocks = obs::registry().counter("stream.blocks");
+  obs::Counter& merges = obs::registry().counter("stream.merges");
+  obs::Histogram& merge_ms = obs::registry().histogram("stream.merge.ms");
+  obs::Gauge& sketch_bytes = obs::registry().gauge("stream.sketch.bytes");
+  obs::Gauge& quantile_tuples =
+      obs::registry().gauge("stream.quantile.tuples");
+};
+
+StreamObs& stream_obs() {
+  static StreamObs o;
+  return o;
+}
+
+std::uint64_t hash_double(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::string TableSketch::label_key(const std::string& column,
+                                   const std::string& label) {
+  return column + '\x1F' + label;
+}
+
+TableSketch::TableSketch(const data::Table& schema, TableSketchOptions options)
+    : options_(std::move(options)),
+      schema_(schema.clone_empty()),
+      label_cms_(options_.cms_depth, options_.cms_width, options_.seed),
+      heavy_hitters_(options_.heavy_hitter_capacity),
+      distinct_(options_.hll_precision, options_.seed),
+      reservoir_(options_.reservoir_capacity, options_.seed) {
+  for (const std::string& name : schema_.column_names()) {
+    switch (schema_.kind(name)) {
+      case data::ColumnKind::kNumeric:
+        numeric_.emplace(name, NumericState(options_.quantile_eps));
+        break;
+      case data::ColumnKind::kCategorical: {
+        CountState s;
+        s.counts.assign(schema_.categorical(name).category_count(), 0.0);
+        categorical_.emplace(name, std::move(s));
+        break;
+      }
+      case data::ColumnKind::kMultiSelect: {
+        CountState s;
+        s.counts.assign(schema_.multiselect(name).option_count(), 0.0);
+        multiselect_.emplace(name, std::move(s));
+        break;
+      }
+    }
+  }
+  if (options_.distinct_columns.empty()) {
+    options_.distinct_columns = schema_.column_names();
+  }
+  for (const std::string& name : options_.distinct_columns) {
+    RCR_CHECK_MSG(schema_.has_column(name),
+                  "distinct column '" + name + "' not in schema");
+  }
+  if (!options_.reservoir_column.empty()) {
+    RCR_CHECK_MSG(numeric_.count(options_.reservoir_column) > 0,
+                  "reservoir column must be numeric");
+  }
+  for (const auto& [row_col, col_col] : options_.crosstabs) {
+    crosstabs_.emplace(std::make_pair(row_col, col_col),
+                       StreamingCrosstab(schema_, row_col, col_col));
+  }
+}
+
+// Composite hash of one row over the distinct-key columns. Missing cells
+// hash a per-kind sentinel, so "missing" is a distinct value, not a skip.
+std::uint64_t TableSketch::row_key(const data::Table& block,
+                                   std::size_t row) const {
+  std::uint64_t h = mix64(options_.seed);
+  for (const std::string& name : options_.distinct_columns) {
+    std::uint64_t cell = 0;
+    switch (schema_.kind(name)) {
+      case data::ColumnKind::kNumeric: {
+        const double v = block.numeric(name).at(row);
+        cell = data::NumericColumn::is_missing(v) ? 0x4D495353ULL
+                                                  : hash_double(v);
+        break;
+      }
+      case data::ColumnKind::kCategorical: {
+        const auto& col = block.categorical(name);
+        cell = col.is_missing(row)
+                   ? 0x4D495353ULL
+                   : static_cast<std::uint64_t>(col.code_at(row)) + 1;
+        break;
+      }
+      case data::ColumnKind::kMultiSelect: {
+        const auto& col = block.multiselect(name);
+        cell = col.is_missing(row) ? 0x4D495353ULL : col.mask_at(row) + 1;
+        break;
+      }
+    }
+    h = mix64(h ^ cell);
+  }
+  return h;
+}
+
+void TableSketch::ingest(const data::Table& block, std::size_t first_row) {
+  block.validate_rectangular();
+  const std::size_t n = block.row_count();
+
+  // Column-major passes keep the inner loops tight.
+  for (auto& [name, state] : numeric_) {
+    const auto& col = block.numeric(name);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = col.at(i);
+      if (data::NumericColumn::is_missing(v)) continue;
+      state.moments.add(v);
+      state.quantile.add(v);
+    }
+  }
+  for (auto& [name, state] : categorical_) {
+    const auto& col = block.categorical(name);
+    RCR_CHECK_MSG(col.category_count() == state.counts.size(),
+                  "block categories diverge from the sketch schema");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (col.is_missing(i)) continue;
+      const std::size_t code = static_cast<std::size_t>(col.code_at(i));
+      state.counts[code] += 1.0;
+      state.answered += 1.0;
+      const std::string key = label_key(name, col.category(code));
+      label_cms_.add(key);
+      heavy_hitters_.add(key);
+    }
+  }
+  for (auto& [name, state] : multiselect_) {
+    const auto& col = block.multiselect(name);
+    RCR_CHECK_MSG(col.option_count() == state.counts.size(),
+                  "block options diverge from the sketch schema");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (col.is_missing(i)) continue;
+      state.answered += 1.0;
+      for (std::size_t o = 0; o < state.counts.size(); ++o) {
+        if (!col.has(i, o)) continue;
+        state.counts[o] += 1.0;
+        const std::string key = label_key(name, col.option(o));
+        label_cms_.add(key);
+        heavy_hitters_.add(key);
+      }
+    }
+  }
+
+  for (auto& [pair, xtab] : crosstabs_) xtab.ingest(block);
+
+  for (std::size_t i = 0; i < n; ++i) distinct_.add(row_key(block, i));
+
+  if (!options_.reservoir_column.empty()) {
+    const auto& col = block.numeric(options_.reservoir_column);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = col.at(i);
+      if (data::NumericColumn::is_missing(v)) continue;
+      reservoir_.offer(first_row + i, v);
+    }
+  }
+
+  rows_ += n;
+  ++blocks_;
+  stream_obs().rows.add(n);
+  stream_obs().blocks.add(1);
+}
+
+void TableSketch::merge(const TableSketch& other) {
+  obs::ScopedTimer timer(stream_obs().merge_ms);
+  RCR_CHECK_MSG(schema_.column_names() == other.schema_.column_names(),
+                "TableSketch merge requires identical schemas");
+  for (auto& [name, state] : numeric_) {
+    const NumericState& o = other.numeric_.at(name);
+    state.moments.merge(o.moments);
+    state.quantile.merge(o.quantile);
+  }
+  for (auto& [name, state] : categorical_) {
+    const CountState& o = other.categorical_.at(name);
+    for (std::size_t c = 0; c < state.counts.size(); ++c)
+      state.counts[c] += o.counts[c];
+    state.answered += o.answered;
+  }
+  for (auto& [name, state] : multiselect_) {
+    const CountState& o = other.multiselect_.at(name);
+    for (std::size_t c = 0; c < state.counts.size(); ++c)
+      state.counts[c] += o.counts[c];
+    state.answered += o.answered;
+  }
+  for (auto& [pair, xtab] : crosstabs_) xtab.merge(other.crosstabs_.at(pair));
+  label_cms_.merge(other.label_cms_);
+  heavy_hitters_.merge(other.heavy_hitters_);
+  distinct_.merge(other.distinct_);
+  reservoir_.merge(other.reservoir_);
+  rows_ += other.rows_;
+  blocks_ += other.blocks_;
+  stream_obs().merges.add(1);
+}
+
+const Moments& TableSketch::moments(const std::string& column) const {
+  return numeric_.at(column).moments;
+}
+
+const GKQuantile& TableSketch::quantile_sketch(
+    const std::string& column) const {
+  return numeric_.at(column).quantile;
+}
+
+const std::vector<double>& TableSketch::category_counts(
+    const std::string& column) const {
+  return categorical_.at(column).counts;
+}
+
+const std::vector<double>& TableSketch::option_counts(
+    const std::string& column) const {
+  return multiselect_.at(column).counts;
+}
+
+double TableSketch::answered(const std::string& column) const {
+  if (const auto it = categorical_.find(column); it != categorical_.end())
+    return it->second.answered;
+  return multiselect_.at(column).answered;
+}
+
+const StreamingCrosstab& TableSketch::crosstab(
+    const std::string& row_column, const std::string& col_column) const {
+  return crosstabs_.at(std::make_pair(row_column, col_column));
+}
+
+const WeightedReservoir& TableSketch::reservoir() const {
+  RCR_CHECK_MSG(!options_.reservoir_column.empty(),
+                "reservoir was not configured");
+  return reservoir_;
+}
+
+std::size_t TableSketch::approx_bytes() const {
+  std::size_t bytes = label_cms_.approx_bytes() +
+                      heavy_hitters_.approx_bytes() +
+                      distinct_.approx_bytes() + reservoir_.approx_bytes();
+  for (const auto& [name, state] : numeric_)
+    bytes += sizeof(Moments) + state.quantile.approx_bytes();
+  for (const auto& [name, state] : categorical_)
+    bytes += state.counts.capacity() * sizeof(double);
+  for (const auto& [name, state] : multiselect_)
+    bytes += state.counts.capacity() * sizeof(double);
+  for (const auto& [pair, xtab] : crosstabs_) bytes += xtab.approx_bytes();
+  return bytes;
+}
+
+void TableSketch::publish_metrics() const {
+  stream_obs().sketch_bytes.set(static_cast<std::int64_t>(approx_bytes()));
+  std::size_t tuples = 0;
+  for (const auto& [name, state] : numeric_)
+    tuples += state.quantile.tuple_count();
+  stream_obs().quantile_tuples.set(static_cast<std::int64_t>(tuples));
+}
+
+}  // namespace rcr::stream

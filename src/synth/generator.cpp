@@ -263,26 +263,40 @@ data::Table table_from_raws(const std::vector<Raw>& raws) {
   return table;
 }
 
-}  // namespace
+// Respondents [first, first + count) of the unbiased sequence, optionally
+// in parallel. Respondent i depends only on hash(seed, i), never on the
+// range bounds, so shards concatenate into the one-shot sequence.
+std::vector<Raw> fill_raws(const WaveParams& p, std::uint64_t seed,
+                           std::size_t first, std::size_t count,
+                           rcr::parallel::ThreadPool* pool) {
+  std::vector<Raw> raws(count);
+  const auto fill = [&](std::size_t i) {
+    raws[i] = generate_one(p, respondent_seed(seed, first + i));
+  };
+  if (pool != nullptr) {
+    rcr::parallel::parallel_for(*pool, 0, raws.size(), fill);
+  } else {
+    for (std::size_t i = 0; i < raws.size(); ++i) fill(i);
+  }
+  return raws;
+}
 
-data::Table generate_wave(const GeneratorConfig& config) {
+void check_config(const GeneratorConfig& config) {
   RCR_CHECK_MSG(config.respondents > 0, "cannot generate an empty wave");
   RCR_CHECK_MSG(config.nonresponse_strength >= 0.0 &&
                     config.nonresponse_strength < 1.0,
                 "nonresponse_strength must lie in [0, 1)");
+}
+
+}  // namespace
+
+data::Table generate_wave(const GeneratorConfig& config) {
+  check_config(config);
   const WaveParams& p = params_for(config.wave);
 
   std::vector<Raw> raws;
   if (config.nonresponse_strength == 0.0) {
-    raws.resize(config.respondents);
-    const auto fill = [&](std::size_t i) {
-      raws[i] = generate_one(p, respondent_seed(config.seed, i));
-    };
-    if (config.pool != nullptr) {
-      rcr::parallel::parallel_for(*config.pool, 0, raws.size(), fill);
-    } else {
-      for (std::size_t i = 0; i < raws.size(); ++i) fill(i);
-    }
+    raws = fill_raws(p, config.seed, 0, config.respondents, config.pool);
   } else {
     // Draw candidates from the population and keep each with a propensity
     // that rises with programming intensity. Deterministic: candidate c's
@@ -301,6 +315,59 @@ data::Table generate_wave(const GeneratorConfig& config) {
   }
 
   return table_from_raws(raws);
+}
+
+data::Table generate_range(const GeneratorConfig& config, std::size_t first,
+                           std::size_t count) {
+  check_config(config);
+  RCR_CHECK_MSG(config.nonresponse_strength == 0.0,
+                "generate_range requires the unbiased (nonresponse == 0) "
+                "sequence; use generate_blocks for biased sampling");
+  RCR_CHECK_MSG(first + count <= config.respondents,
+                "generate_range beyond the configured population");
+  const WaveParams& p = params_for(config.wave);
+  return table_from_raws(
+      fill_raws(p, config.seed, first, count, config.pool));
+}
+
+void generate_blocks(
+    const GeneratorConfig& config, std::size_t block_rows,
+    const std::function<void(data::Table block, std::size_t first_row)>&
+        emit) {
+  check_config(config);
+  RCR_CHECK_MSG(block_rows > 0, "generate_blocks needs a positive block size");
+
+  if (config.nonresponse_strength == 0.0) {
+    for (std::size_t first = 0; first < config.respondents;
+         first += block_rows) {
+      const std::size_t count =
+          std::min(block_rows, config.respondents - first);
+      emit(generate_range(config, first, count), first);
+    }
+    return;
+  }
+
+  // Biased sampling: the same sequential rejection walk generate_wave runs
+  // (same candidate order, same cap), emitting every block_rows acceptances.
+  const WaveParams& p = params_for(config.wave);
+  std::vector<Raw> raws;
+  raws.reserve(std::min(block_rows, config.respondents));
+  const std::size_t cap = 200 * config.respondents + 1000;
+  std::size_t accepted = 0;
+  for (std::size_t c = 0; accepted < config.respondents; ++c) {
+    RCR_CHECK_MSG(c < cap, "nonresponse rejection loop did not terminate");
+    Raw candidate = generate_one(p, respondent_seed(config.seed, c));
+    const double propensity = clamp01(
+        0.6 + config.nonresponse_strength * 1.6 * (candidate.intensity - 0.5));
+    Rng coin(respondent_seed(config.seed ^ 0xC0FFEEULL, c));
+    if (!coin.bernoulli(propensity)) continue;
+    raws.push_back(std::move(candidate));
+    ++accepted;
+    if (raws.size() == block_rows || accepted == config.respondents) {
+      emit(table_from_raws(raws), accepted - raws.size());
+      raws.clear();
+    }
+  }
 }
 
 namespace {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "data/table.hpp"
 #include "synth/calibration.hpp"
@@ -50,6 +51,28 @@ struct GeneratorConfig {
 // Generates one wave. The returned table validates cleanly against
 // synth::instrument().
 data::Table generate_wave(const GeneratorConfig& config);
+
+// --- Chunked emission (streaming-scale populations) -------------------------
+//
+// generate_blocks emits the *same* row sequence generate_wave would build —
+// byte-identical, pinned by tests — as a series of tables of at most
+// `block_rows` rows, so a population of millions is analyzed without ever
+// being resident. `emit(block, first_row)` receives each block in order
+// together with the global index of its first row; the block is a fresh
+// table the callback may keep or move from. config.pool parallelizes
+// generation *within* each zero-nonresponse block.
+void generate_blocks(
+    const GeneratorConfig& config, std::size_t block_rows,
+    const std::function<void(data::Table block, std::size_t first_row)>& emit);
+
+// Rows [first, first + count) of the unbiased respondent sequence for this
+// config — the random-access form generate_blocks and the streaming engine
+// shard on. Respondent i draws from hash(seed, i) regardless of the range
+// it is generated in, so any partition of [0, n) concatenates to exactly
+// generate_wave's table. Requires config.nonresponse_strength == 0 (the
+// rejection-sampled sequence is inherently serial; use generate_blocks).
+data::Table generate_range(const GeneratorConfig& config, std::size_t first,
+                           std::size_t count);
 
 // Convenience for the common two-wave study: wave-specific default sizes
 // (the 2024 revisit reached a larger population than the 2011 study).

@@ -1,0 +1,129 @@
+// for_each_csv_row: the streaming reader must accept exactly what read_csv
+// accepts and yield the identical row sequence, one O(1) scratch row at a
+// time.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.hpp"
+#include "data/table.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+rcr::data::Table make_schema() {
+  rcr::data::Table t;
+  t.add_numeric("score");
+  auto& field = t.add_categorical("field", {"Physics", "Biology", "CS"});
+  field.freeze();
+  t.add_multiselect("langs", {"Python", "C++", "R"});
+  return t;
+}
+
+const char* kCsv =
+    "score,field,langs\n"
+    "1.5,Physics,Python|C++\n"
+    ",Biology,R\n"          // missing numeric
+    "3.25,,Python\n"        // missing categorical
+    "4,CS,\n"               // missing multiselect
+    "5.5,\"Physics\",-\n"   // quoted cell; '-' = answered-none
+    "6,Biology,Python|C++|R\n";
+
+TEST(CsvStream, RowsIdenticalToReadCsv) {
+  const auto schema = make_schema();
+  std::istringstream whole_in(kCsv);
+  const auto whole = rcr::data::read_csv(whole_in, schema);
+
+  auto assembled = schema.clone_empty();
+  std::size_t visits = 0;
+  std::istringstream stream_in(kCsv);
+  const std::size_t n = rcr::data::for_each_csv_row(
+      stream_in, schema,
+      [&](const rcr::data::Table& row, std::size_t index) {
+        EXPECT_EQ(index, visits);
+        EXPECT_EQ(row.row_count(), 1u);  // scratch holds exactly one row
+        assembled.append_rows(row);
+        ++visits;
+      });
+  EXPECT_EQ(n, whole.row_count());
+  EXPECT_EQ(visits, whole.row_count());
+
+  std::ostringstream a, b;
+  rcr::data::write_csv(a, assembled);
+  rcr::data::write_csv(b, whole);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CsvStream, ReorderedHeaderAndCustomDelimiter) {
+  const auto schema = make_schema();
+  const char* csv =
+      "langs;score;field\n"
+      "Python!C++;2.5;CS\n"
+      ";;\n";
+  rcr::data::CsvOptions options;
+  options.delimiter = ';';
+  options.multiselect_separator = '!';
+
+  std::istringstream whole_in(csv);
+  const auto whole = rcr::data::read_csv(whole_in, schema, options);
+
+  auto assembled = schema.clone_empty();
+  std::istringstream stream_in(csv);
+  rcr::data::for_each_csv_row(
+      stream_in, schema,
+      [&](const rcr::data::Table& row, std::size_t) {
+        assembled.append_rows(row);
+      },
+      options);
+
+  std::ostringstream a, b;
+  rcr::data::write_csv(a, assembled);
+  rcr::data::write_csv(b, whole);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CsvStream, EmptyInputVisitsNothing) {
+  const auto schema = make_schema();
+  std::istringstream in("score,field,langs\n");
+  std::size_t visits = 0;
+  const std::size_t n = rcr::data::for_each_csv_row(
+      in, schema,
+      [&](const rcr::data::Table&, std::size_t) { ++visits; });
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST(CsvStream, RejectsMalformedInputLikeReadCsv) {
+  const auto schema = make_schema();
+  // Unknown frozen category; read_csv rejects, so must the streaming path.
+  const char* bad =
+      "score,field,langs\n"
+      "1,Chemistry,Python\n";
+  {
+    std::istringstream in(bad);
+    EXPECT_THROW(rcr::data::read_csv(in, schema), rcr::Error);
+  }
+  {
+    std::istringstream in(bad);
+    EXPECT_THROW(rcr::data::for_each_csv_row(
+                     in, schema,
+                     [](const rcr::data::Table&, std::size_t) {}),
+                 rcr::Error);
+  }
+  // Wrong field count mid-file: rows before the error are still visited.
+  const char* truncated =
+      "score,field,langs\n"
+      "1,CS,Python\n"
+      "2,Biology\n";
+  std::istringstream in(truncated);
+  std::size_t visits = 0;
+  EXPECT_THROW(rcr::data::for_each_csv_row(
+                   in, schema,
+                   [&](const rcr::data::Table&, std::size_t) { ++visits; }),
+               rcr::Error);
+  EXPECT_EQ(visits, 1u);
+}
+
+}  // namespace

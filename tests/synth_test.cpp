@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "data/crosstab.hpp"
+#include "data/csv.hpp"
 #include "parallel/thread_pool.hpp"
 #include "survey/schema.hpp"
 #include "synth/calibration.hpp"
@@ -193,6 +195,54 @@ TEST(GeneratorCalibrationTest, FieldLeansAreVisible) {
 
 TEST(GeneratorTest, RejectsEmptyWave) {
   EXPECT_THROW(generate_wave({Wave::k2011, 0, 1, nullptr}), rcr::Error);
+}
+
+std::string to_csv(const data::Table& t) {
+  std::ostringstream out;
+  data::write_csv(out, t);
+  return out.str();
+}
+
+// The chunked-emission contract: generate_blocks reassembles to a table
+// byte-identical (via CSV serialization) to the one-shot generate_wave, for
+// any block size, with and without nonresponse bias.
+TEST(GeneratorBlocksTest, BlocksConcatenateByteIdenticalToWave) {
+  for (double nonresponse : {0.0, 0.4}) {
+    GeneratorConfig config{Wave::k2024, 503, 23, nullptr, nonresponse};
+    const auto whole = generate_wave(config);
+    for (std::size_t block_rows : {64u, 100u, 503u, 1000u}) {
+      auto assembled = whole.clone_empty();
+      std::size_t expected_first = 0;
+      generate_blocks(config, block_rows,
+                      [&](data::Table block, std::size_t first_row) {
+                        EXPECT_EQ(first_row, expected_first);
+                        EXPECT_LE(block.row_count(), block_rows);
+                        expected_first += block.row_count();
+                        assembled.append_rows(block);
+                      });
+      EXPECT_EQ(assembled.row_count(), whole.row_count());
+      EXPECT_EQ(to_csv(assembled), to_csv(whole))
+          << "block_rows=" << block_rows << " nonresponse=" << nonresponse;
+    }
+  }
+}
+
+// Any partition of [0, n) via generate_range concatenates to generate_wave.
+TEST(GeneratorBlocksTest, RangeShardsConcatenateToWave) {
+  GeneratorConfig config{Wave::k2011, 257, 31, nullptr};
+  const auto whole = generate_wave(config);
+  const std::size_t cuts[] = {0, 1, 63, 64, 200, 257};
+  auto assembled = whole.clone_empty();
+  for (std::size_t i = 0; i + 1 < std::size(cuts); ++i)
+    assembled.append_rows(
+        generate_range(config, cuts[i], cuts[i + 1] - cuts[i]));
+  EXPECT_EQ(to_csv(assembled), to_csv(whole));
+}
+
+TEST(GeneratorBlocksTest, RangeRejectsNonresponse) {
+  GeneratorConfig config;
+  config.nonresponse_strength = 0.2;
+  EXPECT_THROW(generate_range(config, 0, 10), rcr::Error);
 }
 
 TEST(GeneratorTest, ConvenienceWrappersUseDistinctStreams) {
