@@ -4,6 +4,7 @@
 #include "core/experiments.hpp"
 #include "data/crosstab.hpp"
 #include "kernels/suite.hpp"
+#include "query/engine.hpp"
 #include "report/series.hpp"
 #include "report/table.hpp"
 #include "sim/cluster.hpp"
@@ -26,8 +27,9 @@ using rcr::format_percent;
 }  // namespace
 
 std::string run_f1_language_trend(const Study& study) {
-  const auto battery = trend::option_battery(
-      study.wave2011(), study.wave2024(), synth::col::kLanguages);
+  // Per-option counts from the cached fused scans; one battery, no rescans.
+  const auto battery = trend::option_battery_from_shares(
+      study.aggregates2011().languages, study.aggregates2024().languages);
   std::string out = "Language usage share by wave (respondents may use "
                     "several languages)\n\n";
   std::vector<report::Bar> bars2011, bars2024;
@@ -382,20 +384,44 @@ std::string run_f9_nonresponse(const Study& study) {
       {synth::col::kParallelResources, "GPU"},
       {synth::col::kParallelResources, "Cluster"},
   };
+  // One fused scan per table answers all 6 indicators: option shares for
+  // the three multi-select columns on each table, plus the six weighted
+  // shares on the observed one (weighted variants ride the same pass).
+  const char* const share_columns[] = {synth::col::kLanguages,
+                                       synth::col::kSePractices,
+                                       synth::col::kParallelResources};
+  query::QueryEngine truth_engine(truth), observed_engine(observed);
+  std::vector<query::QueryId> truth_ids, observed_ids;
+  for (const char* column : share_columns) {
+    truth_ids.push_back(truth_engine.add_option_shares(column));
+    observed_ids.push_back(observed_engine.add_option_shares(column));
+  }
+  std::vector<query::QueryId> raked_ids;
+  for (const auto& ind : indicators)
+    raked_ids.push_back(observed_engine.add_weighted_option_share(
+        ind.column, ind.option, raking.weights));
+  truth_engine.run(study.config().pool);
+  observed_engine.run(study.config().pool);
+
+  const auto find_share = [&](const query::QueryEngine& engine,
+                              const std::vector<query::QueryId>& ids,
+                              const Indicator& ind) {
+    for (std::size_t c = 0; c < std::size(share_columns); ++c) {
+      if (std::string(share_columns[c]) != ind.column) continue;
+      for (const auto& s : engine.shares(ids[c]))
+        if (s.label == ind.option) return s.share.estimate;
+    }
+    throw Error("indicator option missing");
+  };
+
   report::TextTable t({"Indicator", "Truth", "Naive sample", "Raked",
                        "Naive bias (pp)", "Residual bias (pp)"});
-  for (const auto& ind : indicators) {
-    const auto find_share = [&](const data::Table& table) {
-      for (const auto& s : data::option_shares(table, ind.column))
-        if (s.label == ind.option) return s.share.estimate;
-      throw Error("indicator option missing");
-    };
-    const double truth_share = find_share(truth);
-    const double naive = find_share(observed);
+  for (std::size_t i = 0; i < std::size(indicators); ++i) {
+    const auto& ind = indicators[i];
+    const double truth_share = find_share(truth_engine, truth_ids, ind);
+    const double naive = find_share(observed_engine, observed_ids, ind);
     const double raked =
-        data::weighted_option_share(observed, ind.column, ind.option,
-                                    raking.weights)
-            .share.estimate;
+        observed_engine.weighted_share(raked_ids[i]).share.estimate;
     t.add_row({std::string(ind.option), format_percent(truth_share, 1),
                format_percent(naive, 1), format_percent(raked, 1),
                format_double(100.0 * (naive - truth_share), 1),

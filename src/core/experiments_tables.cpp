@@ -3,11 +3,13 @@
 
 #include "core/experiments.hpp"
 #include "data/crosstab.hpp"
+#include "query/engine.hpp"
 #include "report/series.hpp"
 #include "report/table.hpp"
 #include "stats/contingency.hpp"
 #include "synth/domain.hpp"
 #include "trend/trend.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace rcr::core {
@@ -48,8 +50,7 @@ std::string run_t1_demographics(const Study& study) {
     const bool is_2011 = wave == &study.wave2011();
     out += std::string("\nWave ") + (is_2011 ? "2011" : "2024") +
            " — respondents by field and career stage\n";
-    const auto ct =
-        data::crosstab(*wave, synth::col::kField, synth::col::kCareerStage);
+    const auto& ct = study.aggregates_for(*wave).field_by_career;
     std::vector<std::string> headers = {"Field"};
     for (const auto& c : ct.col_labels) headers.push_back(c);
     headers.push_back("Total");
@@ -73,19 +74,16 @@ std::string run_t2_languages_by_field(const Study& study) {
   std::string out = wave_header(study);
   out += "\nShare of respondents in each field using each language "
          "(2024 wave; 2011 overall row for contrast)\n";
-  const auto ct = data::crosstab_multiselect(
-      study.wave2024(), synth::col::kField, synth::col::kLanguages);
-  // Row denominators: respondents per field who answered the question.
-  const auto groups = study.wave2024().group_rows(synth::col::kField);
-  const auto& langs = study.wave2024().multiselect(synth::col::kLanguages);
+  // Crosstab and its per-field answered-row denominators come from the same
+  // fused scan.
+  const auto& agg2024 = study.aggregates2024();
+  const auto& ct = agg2024.field_by_languages;
 
   std::vector<std::string> headers = {"Field"};
   for (const auto& l : ct.col_labels) headers.push_back(l);
   report::TextTable t(headers);
   for (std::size_t f = 0; f < ct.row_labels.size(); ++f) {
-    double denom = 0.0;
-    for (std::size_t row : groups[f])
-      if (!langs.is_missing(row)) denom += 1.0;
+    const double denom = agg2024.field_answered_languages[f];
     std::vector<std::string> row = {ct.row_labels[f]};
     for (std::size_t l = 0; l < ct.col_labels.size(); ++l)
       row.push_back(denom > 0.0
@@ -95,7 +93,7 @@ std::string run_t2_languages_by_field(const Study& study) {
   }
   // Overall rows for both waves.
   for (const auto* wave : {&study.wave2011(), &study.wave2024()}) {
-    const auto shares = data::option_shares(*wave, synth::col::kLanguages);
+    const auto& shares = study.aggregates_for(*wave).languages;
     std::vector<std::string> row = {
         wave == &study.wave2011() ? "(all, 2011)" : "(all, 2024)"};
     for (const auto& s : shares)
@@ -122,8 +120,14 @@ std::string run_t3_parallel_models(const Study& study) {
          format_percent(static_cast<double>(p2024.row_count()) /
                         study.wave2024().row_count()) +
          ")\n";
-  const auto battery =
-      trend::option_battery(p2011, p2024, synth::col::kParallelModels);
+  // One fused scan per filtered wave, then the battery from the counts.
+  query::QueryEngine e2011(p2011), e2024(p2024);
+  const auto id2011 = e2011.add_option_shares(synth::col::kParallelModels);
+  const auto id2024 = e2024.add_option_shares(synth::col::kParallelModels);
+  e2011.run(study.config().pool);
+  e2024.run(study.config().pool);
+  const auto battery = trend::option_battery_from_shares(
+      e2011.shares(id2011), e2024.shares(id2024));
   out += render_battery(battery);
   return out;
 }
@@ -131,22 +135,19 @@ std::string run_t3_parallel_models(const Study& study) {
 std::string run_t4_se_practices(const Study& study) {
   std::string out = wave_header(study);
   out += "\nSoftware-engineering practice adoption, 2011 vs 2024\n";
-  const auto battery = trend::option_battery(
-      study.wave2011(), study.wave2024(), synth::col::kSePractices);
+  const auto battery = trend::option_battery_from_shares(
+      study.aggregates2011().se_practices, study.aggregates2024().se_practices);
   out += render_battery(battery);
 
   out += "\nVersion-control adoption by field (2024)\n";
-  const auto ct = data::crosstab_multiselect(
-      study.wave2024(), synth::col::kField, synth::col::kSePractices);
-  const auto groups = study.wave2024().group_rows(synth::col::kField);
+  const auto& agg2024 = study.aggregates2024();
+  const auto& ct = agg2024.field_by_se;
   const auto& se = study.wave2024().multiselect(synth::col::kSePractices);
   const std::size_t vcs =
       static_cast<std::size_t>(se.find_option("Version control"));
   report::TextTable t({"Field", "n", "VCS share [95% CI]"});
   for (std::size_t f = 0; f < ct.row_labels.size(); ++f) {
-    double denom = 0.0;
-    for (std::size_t row : groups[f])
-      if (!se.is_missing(row)) denom += 1.0;
+    const double denom = agg2024.field_answered_se[f];
     if (denom == 0.0) continue;
     const auto ci = stats::wilson_ci(ct.counts.at(f, vcs), denom);
     t.add_row({ct.row_labels[f], format_double(denom, 0),
@@ -162,8 +163,8 @@ std::string run_t5_tool_gap(const Study& study) {
     const bool is_2011 = wave == &study.wave2011();
     out += std::string("\nWave ") + (is_2011 ? "2011" : "2024") +
            " — tool awareness vs use\n";
-    const auto aware = data::option_shares(*wave, synth::col::kToolsAware);
-    const auto used = data::option_shares(*wave, synth::col::kToolsUsed);
+    const auto& aware = study.aggregates_for(*wave).tools_aware;
+    const auto& used = study.aggregates_for(*wave).tools_used;
     report::TextTable t(
         {"Tool", "Aware", "Use", "Gap (pp)", "Use|Aware"});
     for (std::size_t i = 0; i < aware.size(); ++i) {
@@ -184,18 +185,32 @@ std::string run_t5_tool_gap(const Study& study) {
 std::string run_t6_significance(const Study& study) {
   std::string out = wave_header(study);
   out += "\nAll 2011→2024 shifts, Holm-adjusted within one family\n";
+  // Every per-option count below comes from the two cached fused scans —
+  // the direct compare_option path would have re-scanned both waves once
+  // per indicator (29 scans each).
   std::vector<trend::ShareTrend> all;
-  const auto collect = [&](const std::string& column) {
-    const auto& col = study.wave2011().multiselect(column);
-    for (std::size_t o = 0; o < col.option_count(); ++o)
-      all.push_back(trend::compare_option(study.wave2011(), study.wave2024(),
-                                          column, col.option(o)));
+  const auto collect = [&](const std::vector<data::OptionShare>& s2011,
+                           const std::vector<data::OptionShare>& s2024) {
+    for (std::size_t o = 0; o < s2011.size(); ++o)
+      all.push_back(trend::trend_from_counts(
+          s2011[o].label, s2011[o].count, s2011[o].total, s2024[o].count,
+          s2024[o].total));
   };
-  collect(synth::col::kLanguages);
-  collect(synth::col::kParallelResources);
-  collect(synth::col::kSePractices);
-  all.push_back(trend::compare_category(study.wave2011(), study.wave2024(),
-                                        synth::col::kGpuUsage, "Regularly"));
+  const auto& a2011 = study.aggregates2011();
+  const auto& a2024 = study.aggregates2024();
+  collect(a2011.languages, a2024.languages);
+  collect(a2011.parallel_resources, a2024.parallel_resources);
+  collect(a2011.se_practices, a2024.se_practices);
+  const auto gpu_of = [](const std::vector<data::OptionShare>& shares) {
+    for (const auto& s : shares)
+      if (s.label == "Regularly") return s;
+    throw Error("gpu_usage category 'Regularly' missing");
+  };
+  const auto g2011 = gpu_of(a2011.gpu_usage);
+  const auto g2024 = gpu_of(a2024.gpu_usage);
+  all.push_back(trend::trend_from_counts("Regularly", g2011.count,
+                                         g2011.total, g2024.count,
+                                         g2024.total));
   // Prefix indicators with their family for readability.
   trend::adjust_and_classify(all);
   std::stable_sort(all.begin(), all.end(),

@@ -14,6 +14,7 @@
 //   stats    — descriptive, tests, CIs, histograms, regression, bootstrap
 //   parallel — thread pool + parallel_for/reduce
 //   data     — columnar tables, CSV, crosstabs
+//   query    — fused aggregation engine (one sharded scan per query batch)
 //   stream   — mergeable one-pass sketches (moments, quantiles, heavy
 //              hitters, distinct counts, reservoir, streaming crosstabs)
 //   survey   — questionnaire schema, validation, raking, Likert
@@ -37,6 +38,7 @@
 #include "obs/timer.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
+#include "query/engine.hpp"
 #include "report/experiment.hpp"
 #include "report/series.hpp"
 #include "report/table.hpp"

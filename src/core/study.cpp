@@ -1,10 +1,55 @@
 #include "core/study.hpp"
 
+#include "query/engine.hpp"
 #include "synth/calibration.hpp"
 #include "synth/domain.hpp"
 #include "util/error.hpp"
 
 namespace rcr::core {
+
+namespace {
+
+// One fused scan computes the whole wave's standard aggregates: eleven
+// queries, one sharded pass (the direct data:: calls would have scanned the
+// wave eleven times).
+WaveAggregates fused_aggregates(const data::Table& wave,
+                                parallel::ThreadPool* pool) {
+  query::QueryEngine engine(wave);
+  const auto ct_career =
+      engine.add_crosstab(synth::col::kField, synth::col::kCareerStage);
+  const auto ct_langs = engine.add_crosstab_multiselect(
+      synth::col::kField, synth::col::kLanguages);
+  const auto ct_se = engine.add_crosstab_multiselect(synth::col::kField,
+                                                     synth::col::kSePractices);
+  const auto sh_langs = engine.add_option_shares(synth::col::kLanguages);
+  const auto sh_se = engine.add_option_shares(synth::col::kSePractices);
+  const auto sh_res =
+      engine.add_option_shares(synth::col::kParallelResources);
+  const auto sh_aware = engine.add_option_shares(synth::col::kToolsAware);
+  const auto sh_used = engine.add_option_shares(synth::col::kToolsUsed);
+  const auto sh_gpu = engine.add_category_shares(synth::col::kGpuUsage);
+  const auto ans_langs =
+      engine.add_group_answered(synth::col::kField, synth::col::kLanguages);
+  const auto ans_se =
+      engine.add_group_answered(synth::col::kField, synth::col::kSePractices);
+  engine.run(pool);
+
+  WaveAggregates a;
+  a.field_by_career = engine.crosstab(ct_career);
+  a.field_by_languages = engine.crosstab(ct_langs);
+  a.field_by_se = engine.crosstab(ct_se);
+  a.languages = engine.shares(sh_langs);
+  a.se_practices = engine.shares(sh_se);
+  a.parallel_resources = engine.shares(sh_res);
+  a.tools_aware = engine.shares(sh_aware);
+  a.tools_used = engine.shares(sh_used);
+  a.gpu_usage = engine.shares(sh_gpu);
+  a.field_answered_languages = engine.group_answered(ans_langs);
+  a.field_answered_se = engine.group_answered(ans_se);
+  return a;
+}
+
+}  // namespace
 
 Study::Study(const StudyConfig& config)
     : config_(config),
@@ -29,6 +74,26 @@ const survey::RakingResult& Study::weights2024() const {
         survey::rake_weights(wave2024_, {field_target, career_target}));
   }
   return *weights2024_;
+}
+
+const WaveAggregates& Study::aggregates2011() const {
+  if (!aggregates2011_)
+    aggregates2011_ = std::make_unique<WaveAggregates>(
+        fused_aggregates(wave2011_, config_.pool));
+  return *aggregates2011_;
+}
+
+const WaveAggregates& Study::aggregates2024() const {
+  if (!aggregates2024_)
+    aggregates2024_ = std::make_unique<WaveAggregates>(
+        fused_aggregates(wave2024_, config_.pool));
+  return *aggregates2024_;
+}
+
+const WaveAggregates& Study::aggregates_for(const data::Table& wave) const {
+  RCR_CHECK_MSG(&wave == &wave2011_ || &wave == &wave2024_,
+                "aggregates_for: not one of the study's waves");
+  return &wave == &wave2011_ ? aggregates2011() : aggregates2024();
 }
 
 const char* rung_label(ParallelRung r) {

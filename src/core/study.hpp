@@ -5,7 +5,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "data/crosstab.hpp"
 #include "data/table.hpp"
 #include "parallel/thread_pool.hpp"
 #include "survey/weighting.hpp"
@@ -20,6 +22,27 @@ struct StudyConfig {
   rcr::parallel::ThreadPool* pool = nullptr;
 };
 
+// Every standard aggregate of one wave that the reproduced tables/figures
+// consume, produced by a single fused query::QueryEngine scan of that wave
+// (DESIGN.md "query"): the experiments read from here instead of issuing
+// one full-table scan per crosstab/share. Numbers are bitwise identical to
+// the direct data:: calls they replace.
+struct WaveAggregates {
+  data::LabeledCrosstab field_by_career;           // T1
+  data::LabeledCrosstab field_by_languages;        // T2
+  data::LabeledCrosstab field_by_se;               // T4
+  std::vector<data::OptionShare> languages;        // T2, T6, F1
+  std::vector<data::OptionShare> se_practices;     // T4, T6
+  std::vector<data::OptionShare> parallel_resources;  // T6
+  std::vector<data::OptionShare> tools_aware;      // T5
+  std::vector<data::OptionShare> tools_used;       // T5
+  std::vector<data::OptionShare> gpu_usage;        // T6 (category shares)
+  // Per-field counts of rows answering the multi-select — the row
+  // denominators T2/T4 previously rebuilt with group_rows() walks.
+  std::vector<double> field_answered_languages;
+  std::vector<double> field_answered_se;
+};
+
 class Study {
  public:
   explicit Study(const StudyConfig& config = {});
@@ -32,11 +55,20 @@ class Study {
   // field/career mix (computed on first use).
   const survey::RakingResult& weights2024() const;
 
+  // Fused per-wave aggregates, computed on first use by one engine scan on
+  // the configured pool (results are pool-size invariant).
+  const WaveAggregates& aggregates2011() const;
+  const WaveAggregates& aggregates2024() const;
+  // The cache for whichever of the two waves `wave` is (by identity).
+  const WaveAggregates& aggregates_for(const data::Table& wave) const;
+
  private:
   StudyConfig config_;
   data::Table wave2011_;
   data::Table wave2024_;
   mutable std::unique_ptr<survey::RakingResult> weights2024_;
+  mutable std::unique_ptr<WaveAggregates> aggregates2011_;
+  mutable std::unique_ptr<WaveAggregates> aggregates2024_;
 };
 
 // --- Derived indicators shared by several experiments ----------------------

@@ -74,6 +74,9 @@ class CategoricalColumn {
   std::size_t size() const { return codes_.size(); }
   std::int32_t code_at(std::size_t i) const { return codes_[i]; }
   bool is_missing(std::size_t i) const { return codes_[i] == kMissingCode; }
+  // Raw code array (kMissingCode marks missing rows) for kernels that hoist
+  // the per-row accessor out of their hot loop.
+  const std::vector<std::int32_t>& codes() const { return codes_; }
   const std::string& label_at(std::size_t i) const;
 
   std::size_t category_count() const { return categories_.size(); }
@@ -117,6 +120,10 @@ class MultiSelectColumn {
   std::uint64_t mask_at(std::size_t i) const { return masks_[i]; }
   bool is_missing(std::size_t i) const { return missing_[i] != 0; }
   bool has(std::size_t row, std::size_t option) const;
+  // Raw bitmask / missing-flag arrays (a missing row is an all-zero mask
+  // with its flag set) for kernels that iterate selections by set bit.
+  const std::vector<std::uint64_t>& masks() const { return masks_; }
+  const std::vector<std::uint8_t>& missing_flags() const { return missing_; }
 
   std::size_t option_count() const { return options_.size(); }
   const std::string& option(std::size_t o) const { return options_[o]; }

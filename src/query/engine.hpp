@@ -1,0 +1,152 @@
+// Fused aggregation engine: one sharded scan answers a whole batch of
+// table queries.
+//
+// Every reproduced table/figure asks the same shapes of question — crosstab
+// two columns, share of each multi-select option, weighted share of one
+// option, summarize a numeric column — and the direct data:: builders each
+// answer with their own serial full-table scan. QueryEngine instead lets a
+// caller register the whole batch up front and executes it in ONE pass:
+//
+//   query::QueryEngine engine(table);
+//   const auto ct = engine.add_crosstab("field", "career_stage");
+//   const auto ls = engine.add_option_shares("languages");
+//   engine.run(pool);                     // one sharded scan, all queries
+//   engine.crosstab(ct); engine.shares(ls);
+//
+// Execution model. The row range splits via parallel::chunk_layout with a
+// grain that is a pure function of the row count (never the pool), and each
+// shard accumulates every query's cells into one flat partial vector while
+// the shard's rows are cache-resident. Partials merge cell-wise in shard
+// index order, so results are bitwise identical run-to-run and across
+// thread counts — the serial (pool == nullptr) path walks the exact same
+// layout. Tables at or below kMinShardRows run as a single shard, which
+// makes every query — including arbitrarily-weighted sums — carry exactly
+// the serial builders' left-to-right association; above that, count-style
+// accumulators stay exact (integer counts are associative in double below
+// 2^53) while fractional weighted sums reassociate at shard boundaries,
+// deterministically (same caveat StreamingCrosstab documents).
+//
+// Per-query kernels read hoisted raw spans (codes/masks/values): no per-row
+// name lookup, no per-row virtual dispatch. Multi-select cells tally with
+// fixed-trip branchless per-option loops over the raw bitmasks (missing
+// rows are all-zero masks, so no per-row flag branch is needed) instead of
+// the builders' per-option has() probing; integer tallies and w·bit adds
+// keep the results bit-identical to per-selection accumulation. Queries
+// naming the same weight column share one name→span resolution.
+//
+// Instrumented through rcr::obs: query.runs / query.queries / query.rows,
+// query.run.ms / query.merge.ms, and the fused-vs-naive scan counters
+// query.scan.fused (sharded passes actually executed) vs
+// query.scan.naive_equivalent (full-table scans the per-query builders
+// would have made for the same batch).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/crosstab.hpp"
+#include "data/table.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace rcr::query {
+
+// Tables at or below this row count run as one shard: every result then
+// reproduces the serial builders' association bit-for-bit, weights included.
+inline constexpr std::size_t kMinShardRows = 4096;
+
+// One-pass summary of a numeric column (missing = NaN rows are skipped).
+struct NumericSummary {
+  double count = 0.0;  // non-missing rows (integer-valued)
+  double sum = 0.0;
+  double min = 0.0;    // NaN when count == 0
+  double max = 0.0;    // NaN when count == 0
+
+  double mean() const { return count > 0.0 ? sum / count : 0.0; }
+};
+
+using QueryId = std::size_t;
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const data::Table& table);
+
+  // --- Registration (validates columns; same errors, same messages, as the
+  // --- direct data:: builders). Returns the id to fetch the result with.
+  QueryId add_crosstab(const std::string& row_column,
+                       const std::string& col_column,
+                       const std::optional<std::string>& weight_column = {});
+  QueryId add_crosstab_multiselect(
+      const std::string& row_column, const std::string& option_column,
+      const std::optional<std::string>& weight_column = {});
+  QueryId add_category_shares(const std::string& column,
+                              double confidence = 0.95);
+  QueryId add_option_shares(const std::string& option_column,
+                            double confidence = 0.95);
+  // `weights` must outlive run(); one entry per table row.
+  QueryId add_weighted_option_share(const std::string& option_column,
+                                    const std::string& option_label,
+                                    std::span<const double> weights,
+                                    double confidence = 0.95);
+  QueryId add_numeric_summary(const std::string& column);
+  // Rows per category of `group_column` that answered `answered_column`
+  // (any column kind) — the denominator the per-field share tables need.
+  QueryId add_group_answered(const std::string& group_column,
+                             const std::string& answered_column);
+
+  // Executes every registered query in one sharded pass. pool == nullptr
+  // walks the same shard layout serially (bitwise-identical results).
+  // May be called again after registering more queries; recomputes all.
+  void run(parallel::ThreadPool* pool = nullptr);
+
+  bool ran() const { return ran_; }
+  std::size_t query_count() const { return specs_.size(); }
+
+  // --- Results (valid after run(); checked against the query's kind).
+  const data::LabeledCrosstab& crosstab(QueryId id) const;
+  const std::vector<data::OptionShare>& shares(QueryId id) const;
+  const data::OptionShare& weighted_share(QueryId id) const;
+  const NumericSummary& numeric(QueryId id) const;
+  const std::vector<double>& group_answered(QueryId id) const;
+
+ private:
+  enum class Kind {
+    kCrosstab,
+    kCrosstabMultiselect,
+    kCategoryShares,
+    kOptionShares,
+    kWeightedOptionShare,
+    kNumericSummary,
+    kGroupAnswered,
+  };
+
+  struct Spec {
+    Kind kind;
+    std::string a;                      // primary column
+    std::string b;                      // secondary column (crosstabs, denominators)
+    std::optional<std::string> weight;  // weight column (crosstabs)
+    std::string option_label;           // weighted option share
+    std::span<const double> ext_weights;
+    double confidence = 0.95;
+  };
+
+  struct Result {
+    data::LabeledCrosstab crosstab;
+    std::vector<data::OptionShare> shares;
+    data::OptionShare weighted;
+    NumericSummary numeric;
+    std::vector<double> group_counts;
+  };
+
+  QueryId push_spec(Spec spec);
+  const Result& result_of(QueryId id, Kind kind) const;
+
+  const data::Table& table_;
+  std::vector<Spec> specs_;
+  std::vector<Result> results_;
+  bool ran_ = false;
+};
+
+}  // namespace rcr::query

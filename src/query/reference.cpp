@@ -1,37 +1,37 @@
-#include "data/crosstab.hpp"
+#include "query/reference.hpp"
 
-namespace rcr::data {
+#include "stats/ci.hpp"
+#include "util/error.hpp"
+
+namespace rcr::query::reference {
 
 namespace {
 
 // Weight of one row: 1.0 unweighted, else the weight cell (missing -> skip,
-// signalled by returning a negative value).
-double row_weight(const Table& table,
+// signalled by returning a negative value). Note the per-row name lookup —
+// this is exactly the cost the engine's hoisted spans remove.
+double row_weight(const data::Table& table,
                   const std::optional<std::string>& weight_column,
                   std::size_t row) {
   if (!weight_column) return 1.0;
   const double w = table.numeric(*weight_column).at(row);
-  if (NumericColumn::is_missing(w)) return -1.0;
+  if (data::NumericColumn::is_missing(w)) return -1.0;
   RCR_CHECK_MSG(w >= 0.0, "weights must be non-negative");
   return w;
 }
 
 }  // namespace
 
-double LabeledCrosstab::row_share(std::size_t r, std::size_t c) const {
-  const double total = counts.row_total(r);
-  return total > 0.0 ? counts.at(r, c) / total : 0.0;
-}
-
-LabeledCrosstab crosstab(const Table& table, const std::string& row_column,
-                         const std::string& col_column,
-                         const std::optional<std::string>& weight_column) {
+data::LabeledCrosstab crosstab(
+    const data::Table& table, const std::string& row_column,
+    const std::string& col_column,
+    const std::optional<std::string>& weight_column) {
   const auto& rows = table.categorical(row_column);
   const auto& cols = table.categorical(col_column);
   RCR_CHECK_MSG(rows.category_count() > 0 && cols.category_count() > 0,
                 "crosstab needs non-empty category sets");
 
-  LabeledCrosstab out;
+  data::LabeledCrosstab out;
   out.row_labels = rows.categories();
   out.col_labels = cols.categories();
   out.counts = stats::Contingency(rows.category_count(), cols.category_count());
@@ -47,8 +47,8 @@ LabeledCrosstab crosstab(const Table& table, const std::string& row_column,
   return out;
 }
 
-LabeledCrosstab crosstab_multiselect(
-    const Table& table, const std::string& row_column,
+data::LabeledCrosstab crosstab_multiselect(
+    const data::Table& table, const std::string& row_column,
     const std::string& option_column,
     const std::optional<std::string>& weight_column) {
   const auto& rows = table.categorical(row_column);
@@ -56,7 +56,7 @@ LabeledCrosstab crosstab_multiselect(
   RCR_CHECK_MSG(rows.category_count() > 0 && opts.option_count() > 0,
                 "crosstab needs non-empty category/option sets");
 
-  LabeledCrosstab out;
+  data::LabeledCrosstab out;
   out.row_labels = rows.categories();
   out.col_labels = opts.options();
   out.counts = stats::Contingency(rows.category_count(), opts.option_count());
@@ -74,20 +74,20 @@ LabeledCrosstab crosstab_multiselect(
   return out;
 }
 
-std::vector<OptionShare> option_shares(const Table& table,
-                                       const std::string& option_column,
-                                       double confidence) {
+std::vector<data::OptionShare> option_shares(const data::Table& table,
+                                             const std::string& option_column,
+                                             double confidence) {
   const auto& col = table.multiselect(option_column);
   double total = 0.0;
   for (std::size_t i = 0; i < col.size(); ++i)
     if (!col.is_missing(i)) total += 1.0;
   RCR_CHECK_MSG(total > 0.0, "option_shares: no answered rows");
 
-  std::vector<OptionShare> out;
+  std::vector<data::OptionShare> out;
   const auto counts = col.option_counts();
   out.reserve(counts.size());
   for (std::size_t o = 0; o < counts.size(); ++o) {
-    OptionShare share;
+    data::OptionShare share;
     share.label = col.option(o);
     share.count = counts[o];
     share.total = total;
@@ -97,11 +97,11 @@ std::vector<OptionShare> option_shares(const Table& table,
   return out;
 }
 
-OptionShare weighted_option_share(const Table& table,
-                                  const std::string& option_column,
-                                  const std::string& option_label,
-                                  std::span<const double> weights,
-                                  double confidence) {
+data::OptionShare weighted_option_share(const data::Table& table,
+                                        const std::string& option_column,
+                                        const std::string& option_label,
+                                        std::span<const double> weights,
+                                        double confidence) {
   const auto& col = table.multiselect(option_column);
   RCR_CHECK_MSG(weights.size() == col.size(),
                 "weight vector does not match table rows");
@@ -116,7 +116,7 @@ OptionShare weighted_option_share(const Table& table,
     if (col.has(i, static_cast<std::size_t>(o))) wnum += weights[i];
   }
   RCR_CHECK_MSG(wden > 0.0, "no answered rows with positive weight");
-  OptionShare share;
+  data::OptionShare share;
   share.label = option_label;
   share.count = wnum;
   share.total = wden;
@@ -126,20 +126,20 @@ OptionShare weighted_option_share(const Table& table,
   return share;
 }
 
-std::vector<OptionShare> category_shares(const Table& table,
-                                         const std::string& column,
-                                         double confidence) {
+std::vector<data::OptionShare> category_shares(const data::Table& table,
+                                               const std::string& column,
+                                               double confidence) {
   const auto& col = table.categorical(column);
   double total = 0.0;
   for (std::size_t i = 0; i < col.size(); ++i)
     if (!col.is_missing(i)) total += 1.0;
   RCR_CHECK_MSG(total > 0.0, "category_shares: no answered rows");
 
-  std::vector<OptionShare> out;
+  std::vector<data::OptionShare> out;
   const auto counts = col.counts();
   out.reserve(counts.size());
   for (std::size_t c = 0; c < counts.size(); ++c) {
-    OptionShare share;
+    data::OptionShare share;
     share.label = col.category(c);
     share.count = counts[c];
     share.total = total;
@@ -149,4 +149,4 @@ std::vector<OptionShare> category_shares(const Table& table,
   return out;
 }
 
-}  // namespace rcr::data
+}  // namespace rcr::query::reference

@@ -1,0 +1,72 @@
+// Definitions of the data/crosstab.hpp API as thin single-query shims over
+// the fused engine. The declarations stay in data/ so every existing caller
+// keeps compiling unchanged, but the hot loops now run through the engine's
+// hoisted-span kernels (weight column resolved once per scan instead of per
+// row; multi-select cells by set-bit iteration instead of option probing).
+// Results are bitwise identical to the old serial builders — single-call
+// tables are at most one shard deep in practice, and unweighted counts are
+// exact at any shard count (see query/engine.hpp).
+#include "data/crosstab.hpp"
+
+#include "query/engine.hpp"
+
+namespace rcr::data {
+
+double LabeledCrosstab::row_share(std::size_t r, std::size_t c) const {
+  const double total = counts.row_total(r);
+  return total > 0.0 ? counts.at(r, c) / total : 0.0;
+}
+
+LabeledCrosstab crosstab(const Table& table, const std::string& row_column,
+                         const std::string& col_column,
+                         const std::optional<std::string>& weight_column) {
+  query::QueryEngine engine(table);
+  const auto id = engine.add_crosstab(row_column, col_column, weight_column);
+  engine.run();
+  return engine.crosstab(id);
+}
+
+LabeledCrosstab crosstab_multiselect(
+    const Table& table, const std::string& row_column,
+    const std::string& option_column,
+    const std::optional<std::string>& weight_column) {
+  query::QueryEngine engine(table);
+  const auto id =
+      engine.add_crosstab_multiselect(row_column, option_column,
+                                      weight_column);
+  engine.run();
+  return engine.crosstab(id);
+}
+
+std::vector<OptionShare> option_shares(const Table& table,
+                                       const std::string& option_column,
+                                       double confidence) {
+  query::QueryEngine engine(table);
+  const auto id = engine.add_option_shares(option_column, confidence);
+  engine.run();
+  return engine.shares(id);
+}
+
+OptionShare weighted_option_share(const Table& table,
+                                  const std::string& option_column,
+                                  const std::string& option_label,
+                                  std::span<const double> weights,
+                                  double confidence) {
+  query::QueryEngine engine(table);
+  const auto id = engine.add_weighted_option_share(option_column,
+                                                   option_label, weights,
+                                                   confidence);
+  engine.run();
+  return engine.weighted_share(id);
+}
+
+std::vector<OptionShare> category_shares(const Table& table,
+                                         const std::string& column,
+                                         double confidence) {
+  query::QueryEngine engine(table);
+  const auto id = engine.add_category_shares(column, confidence);
+  engine.run();
+  return engine.shares(id);
+}
+
+}  // namespace rcr::data

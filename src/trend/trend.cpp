@@ -69,6 +69,31 @@ std::pair<double, double> category_counts(const data::Table& table,
 
 }  // namespace
 
+ShareTrend trend_from_counts(const std::string& indicator, double count1,
+                             double n1, double count2, double n2,
+                             double confidence) {
+  return build_trend(indicator, count1, n1, count2, n2, confidence);
+}
+
+std::vector<ShareTrend> option_battery_from_shares(
+    const std::vector<data::OptionShare>& wave1,
+    const std::vector<data::OptionShare>& wave2, double alpha,
+    double confidence) {
+  RCR_CHECK_MSG(wave1.size() == wave2.size(),
+                "waves disagree on the option set");
+  std::vector<ShareTrend> trends;
+  trends.reserve(wave1.size());
+  for (std::size_t o = 0; o < wave1.size(); ++o) {
+    RCR_CHECK_MSG(wave1[o].label == wave2[o].label,
+                  "waves disagree on the option set");
+    trends.push_back(trend_from_counts(wave1[o].label, wave1[o].count,
+                                       wave1[o].total, wave2[o].count,
+                                       wave2[o].total, confidence));
+  }
+  adjust_and_classify(trends, alpha);
+  return trends;
+}
+
 ShareTrend compare_option(const data::Table& wave1, const data::Table& wave2,
                           const std::string& column, const std::string& option,
                           double confidence) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "data/crosstab.hpp"
 #include "data/table.hpp"
 #include "stats/ci.hpp"
 #include "stats/contingency.hpp"
@@ -71,6 +72,23 @@ std::vector<ShareTrend> option_battery(const data::Table& wave1,
                                        const std::string& column,
                                        double alpha = 0.05,
                                        double confidence = 0.95);
+
+// One indicator's trend from precomputed counts (count = selected/labelled
+// rows, n = answered rows). Produces exactly compare_option's /
+// compare_category's result when fed the same counts — the building block
+// for callers that already hold per-option tallies from a fused
+// query::QueryEngine scan instead of re-scanning the tables per option.
+ShareTrend trend_from_counts(const std::string& indicator, double count1,
+                             double n1, double count2, double n2,
+                             double confidence = 0.95);
+
+// option_battery built from per-wave share vectors (data::option_shares or
+// one engine scan per wave): one adjusted battery with zero table scans.
+// Both waves must report the same options in the same order.
+std::vector<ShareTrend> option_battery_from_shares(
+    const std::vector<data::OptionShare>& wave1,
+    const std::vector<data::OptionShare>& wave2, double alpha = 0.05,
+    double confidence = 0.95);
 
 // One option's trend computed separately within each category of a
 // grouping column (e.g. per research field), Holm-adjusted as one family.

@@ -185,6 +185,46 @@ TEST(CrosstabTest, WeightedCounts) {
   EXPECT_DOUBLE_EQ(ct.counts.grand_total(), 2.5);
 }
 
+// Pins the set-bit kernel: the multi-select crosstab (which iterates each
+// row's selections via countr_zero) must equal a literal probe of every
+// (row, option) pair with has(), across a randomized mask table that
+// exercises dense, sparse, empty, and missing rows.
+TEST(CrosstabTest, MultiselectMatchesPerOptionProbing) {
+  Table t;
+  auto& g = t.add_categorical("g", {"a", "b", "c"});
+  std::vector<std::string> opts;
+  for (int o = 0; o < 11; ++o) opts.push_back("o" + std::to_string(o));
+  auto& ms = t.add_multiselect("m", opts);
+  std::uint64_t state = 42;
+  const auto next = [&state] {  // splitmix64, enough for masks
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t r = next();
+    if (r % 13 == 0) g.push_missing();
+    else g.push_code(static_cast<std::int32_t>(r % 3));
+    if (r % 11 == 0) ms.push_missing();
+    else ms.push_mask(next() & 0x7FFULL);  // any subset incl. empty
+  }
+
+  const auto ct = crosstab_multiselect(t, "g", "m");
+  stats::Contingency probed(3, opts.size());
+  for (std::size_t i = 0; i < t.row_count(); ++i) {
+    if (g.is_missing(i) || ms.is_missing(i)) continue;
+    for (std::size_t o = 0; o < opts.size(); ++o)
+      if (ms.has(i, o)) probed.add(static_cast<std::size_t>(g.code_at(i)), o);
+  }
+  for (std::size_t r = 0; r < probed.rows(); ++r)
+    for (std::size_t c = 0; c < probed.cols(); ++c)
+      EXPECT_DOUBLE_EQ(ct.counts.at(r, c), probed.at(r, c))
+          << "cell (" << r << ", " << c << ")";
+  EXPECT_DOUBLE_EQ(ct.counts.grand_total(), probed.grand_total());
+}
+
 TEST(OptionSharesTest, ComputesWilsonIntervals) {
   const Table t = make_sample_table();
   const auto shares = option_shares(t, "langs");

@@ -9,8 +9,10 @@
 #include <cstring>
 #include <vector>
 
+#include "data/table.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
+#include "query/engine.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/permutation.hpp"
@@ -152,6 +154,73 @@ TEST(DeterminismTest, BootstrapMeanFastPathPooledMatchesSerial) {
           << "threads=" << threads << " replicate " << i;
     EXPECT_EQ(bits_of(pooled.bca_ci.lo), bits_of(serial.bca_ci.lo));
     EXPECT_EQ(bits_of(pooled.bca_ci.hi), bits_of(serial.bca_ci.hi));
+  }
+}
+
+// The fused query engine carries the same contract: a multi-shard weighted
+// batch fingerprints identically for the serial walk and pools of 1, 2, and
+// 8 threads, run after run. (The shard layout is a pure function of the row
+// count and the merge runs in shard index order, so thread scheduling can
+// never reach the bits.)
+TEST(DeterminismTest, QueryEngineFingerprintIsPoolSizeInvariant) {
+  const std::size_t n = 20000;  // 5 shards at the engine's 4096-row grain
+  data::Table t;
+  auto& group = t.add_categorical("group", {"g0", "g1", "g2", "g3"});
+  auto& picks = t.add_multiselect("picks", {"p0", "p1", "p2", "p3", "p4"});
+  auto& value = t.add_numeric("value");
+  auto& weight = t.add_numeric("weight");
+  Rng rng(606);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_double() < 0.05) group.push_missing();
+    else group.push_code(static_cast<std::int32_t>(rng.next_below(4)));
+    if (rng.next_double() < 0.08) picks.push_missing();
+    else picks.push_mask(rng.next_u64() & 0x1FULL);
+    value.push(rng.normal() * 1e3 + rng.next_double());
+    // Full-mantissa weights: any reassociation of a weighted sum would
+    // change bits, so the fingerprint is sensitive to scheduling leaks.
+    weight.push(rng.next_double() * 2.0 + 0.25);
+  }
+  const std::vector<double>& ext = weight.values();
+
+  const auto fingerprint = [&](parallel::ThreadPool* pool) {
+    query::QueryEngine engine(t);
+    const auto ct = engine.add_crosstab("group", "group",
+                                        std::optional<std::string>{"weight"});
+    const auto ms = engine.add_crosstab_multiselect("group", "picks");
+    const auto os = engine.add_option_shares("picks");
+    const auto ws = engine.add_weighted_option_share("picks", "p2", ext);
+    const auto ns = engine.add_numeric_summary("value");
+    engine.run(pool);
+
+    std::uint64_t fp = 0;
+    const auto fold = [&](double v) {
+      fp = fp * 0x9E3779B97F4A7C15ULL + bits_of(v);
+    };
+    for (const auto* x : {&engine.crosstab(ct), &engine.crosstab(ms)})
+      for (std::size_t r = 0; r < x->counts.rows(); ++r)
+        for (std::size_t c = 0; c < x->counts.cols(); ++c)
+          fold(x->counts.at(r, c));
+    for (const auto& s : engine.shares(os)) {
+      fold(s.count);
+      fold(s.total);
+      fold(s.share.lo);
+      fold(s.share.hi);
+    }
+    fold(engine.weighted_share(ws).count);
+    fold(engine.weighted_share(ws).share.estimate);
+    fold(engine.numeric(ns).sum);
+    fold(engine.numeric(ns).min);
+    fold(engine.numeric(ns).max);
+    return fp;
+  };
+
+  const std::uint64_t reference = fingerprint(nullptr);
+  EXPECT_EQ(fingerprint(nullptr), reference);  // serial is stable
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    for (int run = 0; run < 3; ++run)
+      EXPECT_EQ(fingerprint(&pool), reference)
+          << "threads=" << threads << " run=" << run;
   }
 }
 
