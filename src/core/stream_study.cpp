@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "data/csv.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
@@ -31,6 +32,21 @@ stream::TableSketch run_stream_study(const StreamStudyConfig& config) {
   gen.pool = nullptr;  // parallelism lives at the shard level, not inside it
 
   const data::Table schema = synth::instrument().make_table();
+
+  if (!config.csv_path.empty()) {
+    // File-backed wave: the streaming block reader delivers rows in file
+    // order with O(block_rows) memory, so a wave export larger than RAM
+    // flows through the same sketch pipeline as the generated population.
+    stream::TableSketch sketch(schema, config.sketch);
+    const std::size_t block = std::max<std::size_t>(1, config.block_rows);
+    data::for_each_csv_block_file(
+        config.csv_path, schema, block,
+        [&](const data::Table& blk, std::size_t first_row) {
+          sketch.ingest(blk, first_row);
+        });
+    sketch.publish_metrics();
+    return sketch;
+  }
 
   if (config.nonresponse_strength > 0.0) {
     // Rejection-sampled sequence: inherently serial, one sketch, in-order

@@ -26,6 +26,10 @@ struct StreamStudyConfig {
   synth::Wave wave = synth::Wave::k2024;
   std::size_t respondents = 100000;
   std::uint64_t seed = 7;
+  // When non-empty, rows are streamed from this CSV file (instrument
+  // schema, read in `block_rows` blocks with O(block_rows) memory) instead
+  // of being synthesized; wave/respondents/seed/nonresponse are ignored.
+  std::string csv_path;
   // Rows generated and ingested per shard; also the chunk grain, so it —
   // not the pool — fixes the shard partition.
   std::size_t block_rows = 8192;

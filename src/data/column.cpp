@@ -65,6 +65,13 @@ MultiSelectColumn::MultiSelectColumn(std::vector<std::string> options)
     : options_(std::move(options)) {
   RCR_CHECK_MSG(options_.size() <= kMaxOptions,
                 "multi-select supports at most 64 options");
+  // '-' is the CSV "answered, nothing selected" cell sentinel; as an option
+  // label it would be unreadable back, so reject it at schema build time.
+  for (const auto& option : options_)
+    if (option == "-")
+      throw rcr::InvalidInputError(
+          "multi-select option label '-' is reserved for the answered-none "
+          "sentinel");
 }
 
 void MultiSelectColumn::push_mask(std::uint64_t mask) {

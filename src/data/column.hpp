@@ -38,6 +38,11 @@ class NumericColumn {
     values_[i] = v;
   }
 
+  // Bulk append of another column's rows (shard-merge fast path).
+  void append_column(const NumericColumn& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
+
   std::size_t size() const { return values_.size(); }
   double at(std::size_t i) const { return values_[i]; }
   const std::vector<double>& values() const { return values_; }
@@ -70,6 +75,12 @@ class CategoricalColumn {
 
   void freeze() { frozen_ = true; }
   bool frozen() const { return frozen_; }
+
+  // Bulk append of another column's rows. Callers must ensure the two
+  // category sets are identical (codes are copied, not re-interned).
+  void append_codes(const CategoricalColumn& other) {
+    codes_.insert(codes_.end(), other.codes_.begin(), other.codes_.end());
+  }
 
   std::size_t size() const { return codes_.size(); }
   std::int32_t code_at(std::size_t i) const { return codes_[i]; }
@@ -115,6 +126,14 @@ class MultiSelectColumn {
 
   // Overwrites an existing cell and clears its missing flag.
   void set_mask(std::size_t i, std::uint64_t mask);
+
+  // Bulk append of another column's rows. Callers must ensure the two
+  // option sets are identical (masks are copied, not revalidated).
+  void append_column(const MultiSelectColumn& other) {
+    masks_.insert(masks_.end(), other.masks_.begin(), other.masks_.end());
+    missing_.insert(missing_.end(), other.missing_.begin(),
+                    other.missing_.end());
+  }
 
   std::size_t size() const { return masks_.size(); }
   std::uint64_t mask_at(std::size_t i) const { return masks_[i]; }

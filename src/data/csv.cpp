@@ -1,159 +1,693 @@
 #include "data/csv.hpp"
 
+#include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/strings.hpp"
 
 namespace rcr::data {
 
 namespace {
 
+struct IngestMetrics {
+  obs::Counter& rows = obs::registry().counter("ingest.rows");
+  obs::Counter& bytes = obs::registry().counter("ingest.bytes");
+  obs::Counter& shards = obs::registry().counter("ingest.shards");
+  obs::Histogram& parse_ms = obs::registry().histogram("ingest.parse.ms");
+};
+
+IngestMetrics& metrics() {
+  static IngestMetrics m;
+  return m;
+}
+
 [[noreturn]] void parse_fail(std::size_t line, const std::string& msg) {
   throw rcr::InvalidInputError("CSV line " + std::to_string(line) + ": " +
                                msg);
 }
 
-// Splits one CSV record honoring RFC-4180 double quotes.
-std::vector<std::string> split_record(const std::string& record,
-                                      char delimiter, std::size_t line) {
-  std::vector<std::string> fields;
-  std::string current;
-  bool in_quotes = false;
-  for (std::size_t i = 0; i < record.size(); ++i) {
-    const char ch = record[i];
-    if (in_quotes) {
-      if (ch == '"') {
-        if (i + 1 < record.size() && record[i + 1] == '"') {
-          current += '"';
-          ++i;
-        } else {
-          in_quotes = false;
+// --- Incremental RFC-4180 record scanner -------------------------------------
+//
+// Consumes raw bytes in arbitrary chunk sizes and emits one sink callback
+// per record. Quote state is scanner state, not per-line loop state, so a
+// quoted field may contain newlines, CRLF, delimiters, and escaped quotes
+// ("" -> ") — the full write_csv output grammar — and record boundaries are
+// still found correctly. An unquoted CR immediately before LF is part of
+// the CRLF terminator; any other CR is field content (a lone CR at EOF is
+// dropped, matching the old line reader).
+//
+// Field buffers are reused across records: parsing allocates only while a
+// field outgrows every field seen before it.
+class RecordScanner {
+ public:
+  explicit RecordScanner(char delimiter, std::size_t start_line = 1)
+      : delimiter_(delimiter), line_(start_line), record_line_(start_line) {}
+
+  // Fields of the record being delivered; valid only inside a sink call.
+  std::size_t field_count() const { return field_count_; }
+  const std::string& field(std::size_t i) const { return fields_[i]; }
+  bool quoted(std::size_t i) const { return quoted_[i] != 0; }
+  // 1-based physical line the current record starts on (error reporting).
+  std::size_t record_line() const { return record_line_; }
+  // Physical line of the next byte to be consumed.
+  std::size_t line() const { return line_; }
+
+  // Consumes [data, data+n), invoking sink(*this) per completed record.
+  // Stops early — returning the bytes consumed — when the sink returns
+  // false; otherwise returns n.
+  //
+  // Ordinary content bytes (no delimiter/quote/newline/CR) dominate real
+  // files, so mid-field states take a bulk path: scan to the next byte the
+  // state machine actually cares about and append the run in one go.
+  template <typename Sink>
+  std::size_t feed(const char* data, std::size_t n, Sink&& sink) {
+    std::size_t i = 0;
+    while (i < n) {
+      if (in_record_ && !pending_cr_) {
+        std::size_t j = i;
+        if (state_ == State::kUnquoted) {
+          while (j < n && !is_special(data[j])) ++j;
+        } else if (state_ == State::kQuoted) {
+          while (j < n && data[j] != '"' && data[j] != '\n') ++j;
         }
-      } else {
-        current += ch;
+        if (j > i) {
+          fields_[field_count_].append(data + i, j - i);
+          i = j;
+          continue;
+        }
       }
-    } else if (ch == '"') {
-      if (!current.empty()) parse_fail(line, "quote inside unquoted field");
-      in_quotes = true;
-    } else if (ch == delimiter) {
-      fields.push_back(std::move(current));
-      current.clear();
+      if (!consume(data[i], sink)) return i + 1;
+      ++i;
+    }
+    return n;
+  }
+
+  // Flushes the final record when the input does not end in a newline.
+  template <typename Sink>
+  void finish(Sink&& sink) {
+    pending_cr_ = false;  // a lone trailing CR is dropped
+    if (state_ == State::kQuoted)
+      parse_fail(record_line_, "unterminated quoted field");
+    if (in_record_) end_record(sink);
+  }
+
+ private:
+  // kQuoteQuote: saw one '"' inside a quoted field — either the first half
+  // of an escaped quote or the closing quote.
+  enum class State : std::uint8_t {
+    kFieldStart,
+    kUnquoted,
+    kQuoted,
+    kQuoteQuote
+  };
+
+  bool is_special(char c) const {
+    return c == delimiter_ || c == '"' || c == '\n' || c == '\r';
+  }
+
+  void open_field() {
+    if (field_count_ == fields_.size()) {
+      fields_.emplace_back();
+      quoted_.push_back(0);
     } else {
-      current += ch;
+      fields_[field_count_].clear();
+      quoted_[field_count_] = 0;
     }
   }
-  if (in_quotes) parse_fail(line, "unterminated quoted field");
-  fields.push_back(std::move(current));
-  return fields;
-}
 
-// Validates the header row against the schema and returns the trimmed
-// column names in file order.
-std::vector<std::string> read_header(std::istream& in, const Table& schema,
-                                     char delimiter, std::size_t& line_no) {
-  std::string line;
-  if (!std::getline(in, line))
-    throw rcr::InvalidInputError("CSV input is empty (no header row)");
-  ++line_no;
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-
-  auto header = split_record(line, delimiter, line_no);
-  if (header.size() != schema.column_count())
-    parse_fail(line_no, "header has " + std::to_string(header.size()) +
-                            " columns, schema expects " +
-                            std::to_string(schema.column_count()));
-  for (auto& name : header) {
-    name = std::string(trim(name));
-    if (!schema.has_column(name))
-      parse_fail(line_no, "unknown column '" + name + "'");
+  void next_field() {
+    ++field_count_;
+    open_field();
+    state_ = State::kFieldStart;
   }
+
+  template <typename Sink>
+  bool end_record(Sink& sink) {
+    ++field_count_;  // close the open field
+    in_record_ = false;
+    state_ = State::kFieldStart;
+    const bool keep_going = sink(static_cast<const RecordScanner&>(*this));
+    field_count_ = 0;
+    record_line_ = line_;
+    return keep_going;
+  }
+
+  template <typename Sink>
+  bool consume(char c, Sink& sink) {
+    if (!in_record_) {
+      in_record_ = true;
+      record_line_ = line_;
+      open_field();
+    }
+    if (pending_cr_) {
+      pending_cr_ = false;
+      if (c == '\n') {  // CRLF record terminator
+        ++line_;
+        return end_record(sink);
+      }
+      // The CR was field content after all (the old reader kept it too).
+      fields_[field_count_] += '\r';
+      state_ = State::kUnquoted;
+    }
+    switch (state_) {
+      case State::kFieldStart:
+        if (c == '"') {
+          quoted_[field_count_] = 1;
+          state_ = State::kQuoted;
+        } else if (c == delimiter_) {
+          next_field();
+        } else if (c == '\n') {
+          ++line_;
+          return end_record(sink);
+        } else if (c == '\r') {
+          pending_cr_ = true;
+        } else {
+          fields_[field_count_] += c;
+          state_ = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == '"') {
+          parse_fail(record_line_, "quote inside unquoted field");
+        } else if (c == delimiter_) {
+          next_field();
+        } else if (c == '\n') {
+          ++line_;
+          return end_record(sink);
+        } else if (c == '\r') {
+          pending_cr_ = true;
+        } else {
+          fields_[field_count_] += c;
+        }
+        break;
+      case State::kQuoted:
+        if (c == '"') {
+          state_ = State::kQuoteQuote;
+        } else {
+          if (c == '\n') ++line_;  // embedded newline: content, but a line
+          fields_[field_count_] += c;
+        }
+        break;
+      case State::kQuoteQuote:
+        if (c == '"') {  // escaped quote
+          fields_[field_count_] += '"';
+          state_ = State::kQuoted;
+        } else if (c == delimiter_) {
+          next_field();
+        } else if (c == '\n') {
+          ++line_;
+          return end_record(sink);
+        } else if (c == '\r') {
+          pending_cr_ = true;
+          state_ = State::kUnquoted;
+        } else {
+          // Text after the closing quote; the pre-state-machine reader
+          // accepted it as field content, so keep accepting it.
+          fields_[field_count_] += c;
+          state_ = State::kUnquoted;
+        }
+        break;
+    }
+    return true;
+  }
+
+  char delimiter_;
+  State state_ = State::kFieldStart;
+  bool pending_cr_ = false;
+  bool in_record_ = false;
+  std::size_t line_ = 1;
+  std::size_t record_line_ = 1;
+  std::size_t field_count_ = 0;
+  std::vector<std::string> fields_;
+  std::vector<std::uint8_t> quoted_;
+};
+
+// Validates the header record against the schema and returns the column
+// names in file order (unquoted names are trimmed, quoted names verbatim).
+std::vector<std::string> header_from(const RecordScanner& rec,
+                                     const Table& schema) {
+  std::vector<std::string> header(rec.field_count());
+  for (std::size_t i = 0; i < rec.field_count(); ++i)
+    header[i] = rec.quoted(i) ? rec.field(i)
+                              : std::string(trim(rec.field(i)));
+  if (header.size() != schema.column_count())
+    parse_fail(rec.record_line(),
+               "header has " + std::to_string(header.size()) +
+                   " columns, schema expects " +
+                   std::to_string(schema.column_count()));
+  for (const auto& name : header)
+    if (!schema.has_column(name))
+      parse_fail(rec.record_line(), "unknown column '" + name + "'");
   return header;
 }
 
-// Parses one cell into its typed column — the single point both the
-// materializing reader and the streaming visitor push values through.
-void append_cell(Table& out, const std::string& name, const std::string& cell,
+// A record that is one unquoted whitespace-only field: a blank line. In a
+// multi-column file that can never be a valid row; in a single-column file
+// it is a legitimate missing-cell row and must not be skipped.
+bool blank_record(const RecordScanner& rec) {
+  return rec.field_count() == 1 && !rec.quoted(0) &&
+         trim(rec.field(0)).empty();
+}
+
+// A header column resolved to its typed destination once per parse (or per
+// shard). The old reader looked every cell's column up by name twice per
+// cell; at ingest scale those linear scans were a measurable share of the
+// parse, so the hot path works through these handles instead.
+struct BoundColumn {
+  ColumnKind kind = ColumnKind::kNumeric;
+  NumericColumn* num = nullptr;
+  CategoricalColumn* cat = nullptr;
+  MultiSelectColumn* multi = nullptr;
+  const std::string* name = nullptr;  // error messages only
+};
+
+std::vector<BoundColumn> bind_columns(Table& out,
+                                      const std::vector<std::string>& header) {
+  std::vector<BoundColumn> bound(header.size());
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    BoundColumn& b = bound[i];
+    b.name = &header[i];
+    b.kind = out.kind(header[i]);
+    switch (b.kind) {
+      case ColumnKind::kNumeric: b.num = &out.numeric(header[i]); break;
+      case ColumnKind::kCategorical: b.cat = &out.categorical(header[i]); break;
+      case ColumnKind::kMultiSelect: b.multi = &out.multiselect(header[i]);
+        break;
+    }
+  }
+  return bound;
+}
+
+// Parses one cell into its typed column — the single point the serial,
+// streaming, and parallel readers all push values through.
+void append_cell(const BoundColumn& col, std::string_view cell,
                  const CsvOptions& options, std::size_t line_no) {
-  switch (out.kind(name)) {
+  switch (col.kind) {
     case ColumnKind::kNumeric: {
       if (cell.empty()) {
-        out.numeric(name).push_missing();
+        col.num->push_missing();
       } else {
         const auto v = parse_double(cell);
         if (!v)
-          parse_fail(line_no,
-                     "column '" + name + "': not a number: '" + cell + "'");
-        out.numeric(name).push(*v);
+          parse_fail(line_no, "column '" + *col.name + "': not a number: '" +
+                                  std::string(cell) + "'");
+        // NaN is the missing sentinel and infinities cannot round-trip
+        // through analysis; a cell that parses but is non-finite is an
+        // error, never a silent missing value.
+        if (!std::isfinite(*v))
+          parse_fail(line_no, "column '" + *col.name + "': non-finite value '" +
+                                  std::string(cell) +
+                                  "' (reserved for missing cells)");
+        col.num->push(*v);
       }
       break;
     }
     case ColumnKind::kCategorical: {
-      auto& col = out.categorical(name);
       if (cell.empty()) {
-        col.push_missing();
+        col.cat->push_missing();
       } else {
-        if (col.frozen() && col.find_code(cell) == kMissingCode)
-          parse_fail(line_no,
-                     "column '" + name + "': unknown category '" + cell + "'");
-        col.push(cell);
+        const std::string label(cell);
+        if (col.cat->frozen() && col.cat->find_code(label) == kMissingCode)
+          parse_fail(line_no, "column '" + *col.name +
+                                  "': unknown category '" + label + "'");
+        col.cat->push(label);
       }
       break;
     }
     case ColumnKind::kMultiSelect: {
-      auto& col = out.multiselect(name);
       if (cell.empty()) {
-        col.push_missing();
+        col.multi->push_missing();
         break;
       }
       if (cell == "-") {  // answered, nothing selected
-        col.push_mask(0);
+        col.multi->push_mask(0);
         break;
       }
-      std::vector<std::string> labels;
-      for (auto& part : split(cell, options.multiselect_separator)) {
-        const std::string label{trim(part)};
-        if (label.empty()) continue;
-        if (col.find_option(label) < 0)
-          parse_fail(line_no,
-                     "column '" + name + "': unknown option '" + label + "'");
-        labels.push_back(label);
+      std::uint64_t mask = 0;
+      for (const auto& part : split(cell, options.multiselect_separator)) {
+        // Quoted cells arrive verbatim, so an option label that itself
+        // carries padding (" b ") matches verbatim first; otherwise the
+        // part is trimmed, which keeps human-typed "a | b" working.
+        std::int32_t o = col.multi->find_option(part);
+        if (o < 0) {
+          const std::string label{trim(part)};
+          if (label.empty()) continue;
+          o = col.multi->find_option(label);
+          if (o < 0)
+            parse_fail(line_no, "column '" + *col.name +
+                                    "': unknown option '" + label + "'");
+        }
+        mask |= std::uint64_t{1} << o;
       }
-      col.push_labels(labels);
+      col.multi->push_mask(mask);
       break;
     }
   }
 }
 
-// Shared record loop: parses every data row, pushing cells into `out` and
-// calling `on_row` after each completed row. `on_row` may clear `out`
-// (streaming mode) or do nothing (materializing mode).
-void parse_rows(std::istream& in, const std::vector<std::string>& header,
-                Table& out, const CsvOptions& options, std::size_t& line_no,
-                const std::function<void()>& on_row) {
-  std::string line;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (trim(line).empty()) continue;
-    const auto fields = split_record(line, options.delimiter, line_no);
-    if (fields.size() != header.size())
-      parse_fail(line_no, "expected " + std::to_string(header.size()) +
-                              " fields, got " + std::to_string(fields.size()));
-    for (std::size_t f = 0; f < fields.size(); ++f)
-      append_cell(out, header[f], std::string(trim(fields[f])), options,
-                  line_no);
-    if (on_row) on_row();
+// Appends one data record: field count check, unquoted-cell trim, typed
+// push. Quoted cells keep their bytes verbatim — that is the round-trip
+// contract for whitespace-padded labels.
+void append_record(const RecordScanner& rec,
+                   const std::vector<BoundColumn>& bound,
+                   const CsvOptions& options) {
+  if (rec.field_count() != bound.size())
+    parse_fail(rec.record_line(),
+               "expected " + std::to_string(bound.size()) + " fields, got " +
+                   std::to_string(rec.field_count()));
+  for (std::size_t f = 0; f < rec.field_count(); ++f) {
+    const std::string_view cell = rec.quoted(f)
+                                      ? std::string_view(rec.field(f))
+                                      : trim(rec.field(f));
+    append_cell(bound[f], cell, options, rec.record_line());
   }
 }
 
+inline constexpr std::size_t kIoChunkBytes = 64 * 1024;
+
+// Streams `in` through a scanner in fixed-size chunks; returns total bytes.
+template <typename Sink>
+std::uint64_t scan_istream(std::istream& in, char delimiter, Sink&& sink) {
+  RecordScanner scanner(delimiter);
+  std::vector<char> buf(kIoChunkBytes);
+  std::uint64_t bytes = 0;
+  for (;;) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got > 0) {
+      bytes += got;
+      scanner.feed(buf.data(), got, sink);
+    }
+    if (got < buf.size()) break;  // read() only comes up short at EOF
+  }
+  scanner.finish(sink);
+  return bytes;
+}
+
+// Shared serial driver: header record first, then every data record pushed
+// into `out` with `on_row` fired per completed row (streaming callers clear
+// `out` there). Returns rows parsed.
+std::uint64_t parse_serial(std::istream& in, const Table& schema,
+                           const CsvOptions& options, Table& out,
+                           const std::function<void()>& on_row) {
+  obs::ScopedTimer timer(metrics().parse_ms);
+  bool have_header = false;
+  std::vector<std::string> header;
+  std::vector<BoundColumn> bound;
+  std::uint64_t rows = 0;
+  const auto on_record = [&](const RecordScanner& rec) {
+    if (!have_header) {
+      header = header_from(rec, schema);
+      bound = bind_columns(out, header);
+      have_header = true;
+      return true;
+    }
+    if (blank_record(rec) && header.size() > 1 && options.skip_blank_lines)
+      return true;
+    append_record(rec, bound, options);
+    ++rows;
+    if (on_row) on_row();
+    return true;
+  };
+  const std::uint64_t bytes = scan_istream(in, options.delimiter, on_record);
+  if (!have_header)
+    throw rcr::InvalidInputError("CSV input is empty (no header row)");
+  metrics().rows.add(rows);
+  metrics().bytes.add(bytes);
+  metrics().shards.add(1);
+  return rows;
+}
+
+// --- Parallel buffer reader --------------------------------------------------
+
+struct ShardSpan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+inline constexpr std::size_t kMinShardBytes = 64 * 1024;
+inline constexpr std::size_t kShardTarget = 64;  // cf. kReduceChunkTarget
+
+// One quote-parity pass over the data region [data_begin, buf.size()) that
+// snaps chunk_layout's even byte splits forward to the next record start
+// (the byte after an unquoted newline). The layout's grain is a pure
+// function of the byte count — never of the pool — and the snapped
+// boundaries are a pure function of the bytes, so the shard partition is
+// identical for every thread count.
+//
+// The pass jumps with memchr instead of walking bytes: only quote
+// characters are visited individually (parity must track every one of
+// them, '""' toggling twice nets out), and newlines are searched only
+// inside the window where the next desired split could land.
+std::vector<ShardSpan> split_shards(const std::string& buf,
+                                    std::size_t data_begin,
+                                    std::size_t grain) {
+  std::vector<ShardSpan> shards;
+  if (data_begin >= buf.size()) return shards;
+  const auto layout = parallel::chunk_layout(data_begin, buf.size(), grain);
+  const char* base = buf.data();
+  const std::size_t size = buf.size();
+  ShardSpan cur{data_begin, size};
+  std::size_t k = 1;  // next desired split: layout.bounds(k).first
+  std::size_t i = data_begin;
+  bool in_quotes = false;
+  while (i < size && k < layout.chunks) {
+    if (in_quotes) {
+      const void* q = std::memchr(base + i, '"', size - i);
+      if (q == nullptr) break;  // unterminated; the shard parse reports it
+      i = static_cast<std::size_t>(static_cast<const char*>(q) - base) + 1;
+      in_quotes = false;
+      continue;
+    }
+    const void* q = std::memchr(base + i, '"', size - i);
+    const std::size_t quote =
+        q ? static_cast<std::size_t>(static_cast<const char*>(q) - base)
+          : size;
+    // Unquoted run [i, quote): a boundary is the byte after a newline, and
+    // the next split wants the first boundary >= its target, so newlines
+    // before target-1 are irrelevant.
+    std::size_t from = std::max(i, layout.bounds(k).first - 1);
+    while (from < quote && k < layout.chunks) {
+      const void* nl = std::memchr(base + from, '\n', quote - from);
+      if (nl == nullptr) break;
+      const std::size_t next =
+          static_cast<std::size_t>(static_cast<const char*>(nl) - base) + 1;
+      if (next >= size) {
+        from = size;
+        break;
+      }
+      cur.end = next;
+      shards.push_back(cur);
+      cur = ShardSpan{next, size};
+      // Skip desired splits this boundary already passed (short chunks
+      // collapse into their successor instead of going out empty).
+      while (k < layout.chunks && layout.bounds(k).first <= next) ++k;
+      if (k < layout.chunks)
+        from = std::max(next, layout.bounds(k).first - 1);
+    }
+    if (k >= layout.chunks || quote >= size) break;
+    i = quote + 1;
+    in_quotes = true;
+  }
+  shards.push_back(cur);
+  return shards;
+}
+
+// Physical (1-based) line on which the record at byte `offset` starts:
+// one plus every newline before it, quoted or not, matching the serial
+// scanner's line accounting. Cold path — only consulted when a shard
+// fails and its error must carry the same line number serial would print.
+std::size_t line_at(const std::string& buf, std::size_t offset) {
+  std::size_t line = 1;
+  const char* base = buf.data();
+  std::size_t i = 0;
+  while (i < offset) {
+    const void* nl = std::memchr(base + i, '\n', offset - i);
+    if (nl == nullptr) break;
+    ++line;
+    i = static_cast<std::size_t>(static_cast<const char*>(nl) - base) + 1;
+  }
+  return line;
+}
+
+// Appends `part` onto `out` label-wise, reproducing the dictionary build
+// order a serial scan would produce when categorical columns grow their
+// category sets during ingest (shards intern labels independently, so
+// their code spaces differ and Table::append_rows would reject them).
+void append_partial_labelwise(Table& out, const Table& part) {
+  for (const auto& name : out.column_names()) {
+    switch (out.kind(name)) {
+      case ColumnKind::kNumeric: {
+        auto& dst = out.numeric(name);
+        for (const double v : part.numeric(name).values()) dst.push(v);
+        break;
+      }
+      case ColumnKind::kCategorical: {
+        auto& dst = out.categorical(name);
+        const auto& src = part.categorical(name);
+        for (std::size_t i = 0; i < src.size(); ++i) {
+          if (src.is_missing(i))
+            dst.push_missing();
+          else
+            dst.push(src.label_at(i));
+        }
+        break;
+      }
+      case ColumnKind::kMultiSelect: {
+        auto& dst = out.multiselect(name);
+        const auto& src = part.multiselect(name);
+        for (std::size_t i = 0; i < src.size(); ++i) {
+          if (src.is_missing(i))
+            dst.push_missing();
+          else
+            dst.push_mask(src.mask_at(i));
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool has_open_dictionaries(const Table& schema) {
+  for (const auto& name : schema.column_names())
+    if (schema.kind(name) == ColumnKind::kCategorical &&
+        !schema.categorical(name).frozen())
+      return true;
+  return false;
+}
+
+Table parse_buffer_parallel(const std::string& buf, const Table& schema,
+                            parallel::ThreadPool* pool,
+                            const CsvOptions& options) {
+  obs::ScopedTimer timer(metrics().parse_ms);
+
+  // Header first. Its quoted fields may span newlines too, so the header's
+  // end is found with the scanner, not a line search.
+  RecordScanner header_scan(options.delimiter);
+  std::vector<std::string> header;
+  bool have_header = false;
+  std::size_t data_begin =
+      header_scan.feed(buf.data(), buf.size(), [&](const RecordScanner& rec) {
+        header = header_from(rec, schema);
+        have_header = true;
+        return false;
+      });
+  if (!have_header) {
+    header_scan.finish([&](const RecordScanner& rec) {
+      header = header_from(rec, schema);
+      have_header = true;
+      return false;
+    });
+    data_begin = buf.size();
+  }
+  if (!have_header)
+    throw rcr::InvalidInputError("CSV input is empty (no header row)");
+
+  const std::size_t data_bytes = buf.size() - data_begin;
+  const std::size_t grain =
+      options.parallel_shard_bytes > 0
+          ? options.parallel_shard_bytes
+          : std::max(kMinShardBytes,
+                     (data_bytes + kShardTarget - 1) / kShardTarget);
+  const auto shards = split_shards(buf, data_begin, grain);
+
+  std::vector<Table> partials(shards.size());
+  std::vector<std::exception_ptr> errors(shards.size());
+  const auto parse_shard_at = [&](std::size_t k, std::size_t start_line,
+                                  Table& part) {
+    const auto bound = bind_columns(part, header);
+    RecordScanner scan(options.delimiter, start_line);
+    const auto on_record = [&](const RecordScanner& rec) {
+      if (blank_record(rec) && header.size() > 1 && options.skip_blank_lines)
+        return true;
+      append_record(rec, bound, options);
+      return true;
+    };
+    scan.feed(buf.data() + shards[k].begin, shards[k].end - shards[k].begin,
+              on_record);
+    scan.finish(on_record);
+  };
+  const auto parse_shard = [&](std::size_t k) {
+    try {
+      Table part = schema.clone_empty();
+      parse_shard_at(k, 1, part);  // line fixed up on the cold error path
+      partials[k] = std::move(part);
+    } catch (...) {
+      errors[k] = std::current_exception();
+    }
+  };
+
+  if (pool != nullptr && shards.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards.size());
+    for (std::size_t k = 0; k < shards.size(); ++k)
+      tasks.emplace_back([&parse_shard, k] { parse_shard(k); });
+    pool->run_batch(std::move(tasks));
+  } else {
+    for (std::size_t k = 0; k < shards.size(); ++k) parse_shard(k);
+  }
+
+  // Errors surface in shard-index order. The first malformed record in
+  // file order lives in the earliest erroring shard (shards before it parse
+  // the same valid records the serial scan saw), so serial and parallel
+  // reads raise the same error. Shards parse with shard-relative line
+  // numbers; here — off the hot path — the failing shard re-runs with its
+  // true start line so the message matches serial's exactly.
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    if (!errors[k]) continue;
+    Table scratch = schema.clone_empty();
+    parse_shard_at(k, line_at(buf, shards[k].begin), scratch);
+    std::rethrow_exception(errors[k]);  // unreachable unless the rerun passes
+  }
+
+  Table out = schema.clone_empty();
+  const bool open_dicts = has_open_dictionaries(schema);
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    if (open_dicts)
+      append_partial_labelwise(out, partials[k]);
+    else
+      out.append_rows(partials[k]);
+  }
+  out.validate_rectangular();
+
+  metrics().rows.add(out.row_count());
+  metrics().bytes.add(buf.size());
+  metrics().shards.add(shards.empty() ? 1 : shards.size());
+  return out;
+}
+
+std::string slurp(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+// --- Writing -----------------------------------------------------------------
+
 std::string escape_field(const std::string& field, char delimiter) {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  // Leading/trailing whitespace must be quoted: the reader trims unquoted
+  // cells, so an unquoted padded label would silently mutate on ingest.
   const bool needs_quotes =
       field.find(delimiter) != std::string::npos ||
       field.find('"') != std::string::npos ||
       field.find('\n') != std::string::npos ||
-      field.find('\r') != std::string::npos;
+      field.find('\r') != std::string::npos ||
+      (!field.empty() && (is_space(field.front()) || is_space(field.back())));
   if (!needs_quotes) return field;
   std::string out = "\"";
   for (char c : field) {
@@ -168,23 +702,40 @@ std::string escape_field(const std::string& field, char delimiter) {
 
 Table read_csv(std::istream& in, const Table& schema,
                const CsvOptions& options) {
-  std::size_t line_no = 0;
-  const auto header = read_header(in, schema, options.delimiter, line_no);
   Table out = schema.clone_empty();
-  parse_rows(in, header, out, options, line_no, nullptr);
+  parse_serial(in, schema, options, out, nullptr);
   out.validate_rectangular();
   return out;
+}
+
+Table read_csv_file(const std::string& path, const Table& schema,
+                    const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw rcr::InvalidInputError("cannot open CSV file: " + path);
+  return read_csv(in, schema, options);
+}
+
+Table read_csv_parallel(std::istream& in, const Table& schema,
+                        parallel::ThreadPool* pool,
+                        const CsvOptions& options) {
+  return parse_buffer_parallel(slurp(in), schema, pool, options);
+}
+
+Table read_csv_parallel_file(const std::string& path, const Table& schema,
+                             parallel::ThreadPool* pool,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw rcr::InvalidInputError("cannot open CSV file: " + path);
+  return parse_buffer_parallel(slurp(in), schema, pool, options);
 }
 
 std::size_t for_each_csv_row(
     std::istream& in, const Table& schema,
     const std::function<void(const Table& row, std::size_t index)>& visit,
     const CsvOptions& options) {
-  std::size_t line_no = 0;
-  const auto header = read_header(in, schema, options.delimiter, line_no);
   Table row = schema.clone_empty();
   std::size_t index = 0;
-  parse_rows(in, header, row, options, line_no, [&] {
+  parse_serial(in, schema, options, row, [&] {
     visit(row, index);
     ++index;
     row.clear_rows();
@@ -196,16 +747,44 @@ std::size_t for_each_csv_row_file(
     const std::string& path, const Table& schema,
     const std::function<void(const Table& row, std::size_t index)>& visit,
     const CsvOptions& options) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw rcr::InvalidInputError("cannot open CSV file: " + path);
   return for_each_csv_row(in, schema, visit, options);
 }
 
-Table read_csv_file(const std::string& path, const Table& schema,
-                    const CsvOptions& options) {
-  std::ifstream in(path);
+std::size_t for_each_csv_block(
+    std::istream& in, const Table& schema, std::size_t block_rows,
+    const std::function<void(const Table& block, std::size_t first_row)>&
+        visit,
+    const CsvOptions& options) {
+  if (block_rows == 0)
+    throw rcr::InvalidInputError("for_each_csv_block: block_rows must be > 0");
+  Table block = schema.clone_empty();
+  std::size_t delivered = 0;
+  std::size_t in_block = 0;
+  parse_serial(in, schema, options, block, [&] {
+    if (++in_block == block_rows) {
+      visit(block, delivered);
+      delivered += in_block;
+      in_block = 0;
+      block.clear_rows();
+    }
+  });
+  if (in_block > 0) {
+    visit(block, delivered);
+    delivered += in_block;
+  }
+  return delivered;
+}
+
+std::size_t for_each_csv_block_file(
+    const std::string& path, const Table& schema, std::size_t block_rows,
+    const std::function<void(const Table& block, std::size_t first_row)>&
+        visit,
+    const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw rcr::InvalidInputError("cannot open CSV file: " + path);
-  return read_csv(in, schema, options);
+  return for_each_csv_block(in, schema, block_rows, visit, options);
 }
 
 void write_csv(std::ostream& out, const Table& table,
@@ -262,7 +841,7 @@ void write_csv(std::ostream& out, const Table& table,
 
 void write_csv_file(const std::string& path, const Table& table,
                     const CsvOptions& options) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) throw rcr::InvalidInputError("cannot write CSV file: " + path);
   write_csv(out, table, options);
 }

@@ -136,9 +136,10 @@ void Table::append_rows(const Table& other) {
                   "append_rows: column '" + name + "' kind differs");
     switch (kind(name)) {
       case ColumnKind::kNumeric: {
-        auto& dst = numeric(name);
-        const auto& src = other.numeric(name);
-        for (std::size_t i = 0; i < src.size(); ++i) dst.push(src.at(i));
+        // Bulk copies: per-element push re-validated invariants the source
+        // column already established, which dominated shard-merge time in
+        // the parallel CSV reader.
+        numeric(name).append_column(other.numeric(name));
         break;
       }
       case ColumnKind::kCategorical: {
@@ -146,8 +147,7 @@ void Table::append_rows(const Table& other) {
         const auto& src = other.categorical(name);
         RCR_CHECK_MSG(dst.categories() == src.categories(),
                       "append_rows: categories of '" + name + "' differ");
-        for (std::size_t i = 0; i < src.size(); ++i)
-          dst.push_code(src.code_at(i));
+        dst.append_codes(src);
         break;
       }
       case ColumnKind::kMultiSelect: {
@@ -155,13 +155,7 @@ void Table::append_rows(const Table& other) {
         const auto& src = other.multiselect(name);
         RCR_CHECK_MSG(dst.options() == src.options(),
                       "append_rows: options of '" + name + "' differ");
-        for (std::size_t i = 0; i < src.size(); ++i) {
-          if (src.is_missing(i)) {
-            dst.push_missing();
-          } else {
-            dst.push_mask(src.mask_at(i));
-          }
-        }
+        dst.append_column(src);
         break;
       }
     }

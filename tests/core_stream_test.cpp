@@ -9,6 +9,7 @@
 
 #include "core/stream_study.hpp"
 #include "data/crosstab.hpp"
+#include "data/csv.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 #include "synth/domain.hpp"
@@ -150,6 +151,57 @@ TEST(StreamStudy, BlockSizeChangesOnlyFloatingPointDetail) {
     EXPECT_EQ(ra[i].index, rb[i].index);
   EXPECT_NEAR(a.moments(col::kDatasetGb).mean(),
               b.moments(col::kDatasetGb).mean(), 1e-9);
+}
+
+TEST(StreamStudy, CsvIngestMatchesGeneratedPopulation) {
+  // Write a generated wave to CSV and stream it back through the sketch:
+  // the file-backed path must agree with the direct-ingest path on every
+  // exact statistic, and bitwise on partition-invariant state.
+  auto config = small_config();
+  config.respondents = 1500;
+  const auto direct = rcr::core::run_stream_study(config);
+  const auto full = rcr::synth::generate_wave(
+      {config.wave, config.respondents, config.seed, nullptr});
+  const std::string path = ::testing::TempDir() + "rcr_stream_wave.csv";
+  rcr::data::write_csv_file(path, full);
+
+  auto csv_config = config;
+  csv_config.csv_path = path;
+  const auto from_csv = rcr::core::run_stream_study(csv_config);
+
+  EXPECT_EQ(from_csv.rows(), direct.rows());
+  EXPECT_EQ(from_csv.category_counts(col::kField),
+            direct.category_counts(col::kField));
+  EXPECT_EQ(from_csv.option_counts(col::kLanguages),
+            direct.option_counts(col::kLanguages));
+  EXPECT_EQ(from_csv.option_counts(col::kSePractices),
+            direct.option_counts(col::kSePractices));
+  const auto exact = from_csv.crosstab(col::kField, col::kLanguages)
+                         .to_labeled();
+  const auto want = direct.crosstab(col::kField, col::kLanguages)
+                        .to_labeled();
+  ASSERT_EQ(exact.row_labels, want.row_labels);
+  for (std::size_t r = 0; r < exact.row_labels.size(); ++r)
+    for (std::size_t c = 0; c < exact.col_labels.size(); ++c)
+      EXPECT_EQ(exact.counts.at(r, c), want.counts.at(r, c));
+  // Moments: shortest-round-trip decimal literals re-parse to the exact
+  // same doubles, but the CSV path accumulates sequentially while the
+  // direct path Chan-merges per-shard sketches, so means agree only to
+  // accumulation-order tolerance.
+  for (const char* column :
+       {col::kYearsProgramming, col::kCoresTypical, col::kDatasetGb}) {
+    EXPECT_EQ(from_csv.moments(column).count(), direct.moments(column).count());
+    EXPECT_NEAR(from_csv.moments(column).mean(), direct.moments(column).mean(),
+                1e-9);
+  }
+  EXPECT_EQ(from_csv.distinct().estimate(), direct.distinct().estimate());
+  const auto& ra = from_csv.reservoir().items();
+  const auto& rb = direct.reservoir().items();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].index, rb[i].index);
+    EXPECT_EQ(ra[i].value, rb[i].value);
+  }
 }
 
 TEST(StreamStudy, NonresponsePathStreamsSequentially) {

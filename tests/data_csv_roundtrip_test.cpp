@@ -1,0 +1,277 @@
+// Write→read round-trip property tests for the RFC-4180 CSV engine, plus
+// the parallel-reader determinism contract: read_csv_parallel must produce
+// a table byte-identical to serial read_csv for every thread count, for
+// every input — including which error is raised on malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/csv.hpp"
+#include "data/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace rcr::data {
+namespace {
+
+std::string to_csv(const Table& t, const CsvOptions& options = {}) {
+  std::ostringstream out;
+  write_csv(out, t, options);
+  return out.str();
+}
+
+Table from_csv(const std::string& text, const Table& schema,
+               const CsvOptions& options = {}) {
+  std::istringstream in(text);
+  return read_csv(in, schema, options);
+}
+
+// Every shape escape_field has to handle: delimiters, quotes, embedded LF,
+// lone CR, CRLF, leading/trailing whitespace, and the multi-select "-"
+// sentinel as a *categorical* label (legal there; only multi-select option
+// labels reserve it).
+const std::vector<std::string>& gnarly_labels() {
+  static const std::vector<std::string> labels = {
+      "plain",     " lead",       "trail ",      " both ",
+      "\ttabbed\t", "multi\nline", "cr\rreturn",  "crlf\r\nend",
+      "com,ma",    "qu\"ote",     "\"quoted\"",  " \"mix\",\nall\r ",
+      "-"};
+  return labels;
+}
+
+// A survey-shaped table exercising every column kind and every escape
+// shape, with missing cells and the answered-none mask sprinkled in.
+Table make_gnarly_table() {
+  const auto& labels = gnarly_labels();
+  Table t;
+  auto& cat = t.add_categorical("label", labels);
+  auto& num = t.add_numeric("score");
+  auto& multi =
+      t.add_multiselect("opts", {"a", "b c", " padded ", "new\nline"});
+  for (std::size_t i = 0; i < 3 * labels.size(); ++i) {
+    if (i % 11 == 5)
+      cat.push_missing();
+    else
+      cat.push(labels[i % labels.size()]);
+    if (i % 7 == 3)
+      num.push_missing();
+    else
+      num.push(0.125 * static_cast<double>(i) - 2.0);
+    if (i % 9 == 4)
+      multi.push_missing();
+    else
+      multi.push_mask(static_cast<std::uint64_t>(i % 16));  // 0 = none
+  }
+  return t;
+}
+
+TEST(CsvRoundTrip, GnarlyTableRoundTripsBitwise) {
+  const Table t = make_gnarly_table();
+  const std::string text = to_csv(t);
+  const Table back = from_csv(text, t);
+  ASSERT_EQ(back.row_count(), t.row_count());
+  // Bitwise: re-serializing the parsed table reproduces the exact bytes.
+  EXPECT_EQ(to_csv(back), text);
+  for (std::size_t i = 0; i < t.row_count(); ++i) {
+    ASSERT_EQ(back.categorical("label").is_missing(i),
+              t.categorical("label").is_missing(i));
+    if (!t.categorical("label").is_missing(i))
+      EXPECT_EQ(back.categorical("label").label_at(i),
+                t.categorical("label").label_at(i));
+    ASSERT_EQ(back.multiselect("opts").is_missing(i),
+              t.multiselect("opts").is_missing(i));
+    if (!t.multiselect("opts").is_missing(i))
+      EXPECT_EQ(back.multiselect("opts").mask_at(i),
+                t.multiselect("opts").mask_at(i));
+  }
+}
+
+TEST(CsvRoundTrip, QuotedWhitespaceSurvivesUnquotedIsTrimmed) {
+  Table schema;
+  schema.add_categorical("c", {" a ", "a"});
+  std::istringstream in("c\n\" a \"\n  a  \n");
+  const Table t = read_csv(in, schema);
+  ASSERT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.categorical("c").label_at(0), " a ");  // quoted: verbatim
+  EXPECT_EQ(t.categorical("c").label_at(1), "a");    // unquoted: trimmed
+}
+
+TEST(CsvRoundTrip, PaddedLabelsAreQuotedOnWrite) {
+  Table t;
+  t.add_categorical("c", {" padded "}).push(" padded ");
+  EXPECT_EQ(to_csv(t), "c\n\" padded \"\n");
+}
+
+TEST(CsvRoundTrip, SingleColumnMissingRowsRoundTrip) {
+  Table t;
+  auto& col = t.add_numeric("x");
+  col.push(1.0);
+  col.push_missing();
+  col.push(2.0);
+  const std::string text = to_csv(t);
+  EXPECT_EQ(text, "x\n1\n\n2\n");
+  const Table back = from_csv(text, t);
+  ASSERT_EQ(back.row_count(), 3u);
+  EXPECT_TRUE(NumericColumn::is_missing(back.numeric("x").at(1)));
+  EXPECT_EQ(to_csv(back), text);
+}
+
+TEST(CsvRoundTrip, AnsweredNoneSentinelDistinctFromMissing) {
+  Table t;
+  auto& col = t.add_multiselect("m", {"a", "b"});
+  col.push_mask(0);    // answered, nothing selected
+  col.push_missing();  // did not answer
+  col.push_labels({"a"});
+  const std::string text = to_csv(t);
+  EXPECT_EQ(text, "m\n-\n\na\n");
+  const Table back = from_csv(text, t);
+  ASSERT_EQ(back.row_count(), 3u);
+  EXPECT_FALSE(back.multiselect("m").is_missing(0));
+  EXPECT_EQ(back.multiselect("m").mask_at(0), 0u);
+  EXPECT_TRUE(back.multiselect("m").is_missing(1));
+  EXPECT_EQ(back.multiselect("m").mask_at(2), 1u);
+}
+
+TEST(CsvRoundTrip, NonFiniteNumericLiteralsRejected) {
+  Table schema;
+  schema.add_numeric("x");
+  for (const char* text :
+       {"x\nnan\n", "x\nNAN\n", "x\ninf\n", "x\n-inf\n", "x\nINFINITY\n"}) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_csv(in, schema), rcr::InvalidInputError) << text;
+  }
+}
+
+TEST(CsvRoundTrip, DashOptionLabelRejectedAtSchemaBuild) {
+  Table t;
+  EXPECT_THROW(t.add_multiselect("m", {"a", "-"}), rcr::InvalidInputError);
+}
+
+TEST(CsvRoundTrip, StreamingRowReaderHandlesEmbeddedNewlines) {
+  const Table t = make_gnarly_table();
+  const std::string text = to_csv(t);
+  std::istringstream in(text);
+  std::size_t rows = 0;
+  const std::size_t visited = for_each_csv_row(
+      in, t, [&](const Table& row, std::size_t index) {
+        ASSERT_EQ(row.row_count(), 1u);
+        EXPECT_EQ(index, rows);
+        ++rows;
+      });
+  EXPECT_EQ(visited, t.row_count());
+  EXPECT_EQ(rows, t.row_count());
+}
+
+TEST(CsvRoundTrip, BlockReaderReassemblesExactly) {
+  const Table t = make_gnarly_table();
+  const std::string text = to_csv(t);
+  std::istringstream in(text);
+  Table rebuilt = t.clone_empty();
+  std::size_t expected_first = 0;
+  const std::size_t rows = for_each_csv_block(
+      in, t, 7, [&](const Table& block, std::size_t first_row) {
+        EXPECT_EQ(first_row, expected_first);
+        expected_first += block.row_count();
+        rebuilt.append_rows(block);
+      });
+  EXPECT_EQ(rows, t.row_count());
+  EXPECT_EQ(to_csv(rebuilt), text);
+}
+
+// --- Parallel reader ---------------------------------------------------------
+
+TEST(CsvParallel, ByteIdenticalAcrossThreadCounts) {
+  const Table t = make_gnarly_table();
+  // Repeat the gnarly block until shards are forced even with a small grain.
+  Table big = t.clone_empty();
+  for (int rep = 0; rep < 40; ++rep) big.append_rows(t);
+  const std::string text = to_csv(big);
+  const std::string serial = to_csv(from_csv(text, t));
+  CsvOptions options;
+  options.parallel_shard_bytes = 512;  // force many shards
+  for (const std::size_t threads : {0u, 1u, 2u, 8u}) {
+    std::unique_ptr<parallel::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
+    std::istringstream in(text);
+    const Table parsed =
+        read_csv_parallel(in, t, pool.get(), options);
+    EXPECT_EQ(to_csv(parsed), serial) << "threads=" << threads;
+  }
+}
+
+TEST(CsvParallel, OpenDictionaryMergesInFileOrder) {
+  // Unfrozen categorical column: shards intern different label subsets, so
+  // the merge must rebuild the serial first-appearance interning order.
+  Table schema;
+  schema.add_categorical("c");  // open dictionary
+  std::string text = "c\n";
+  for (int i = 0; i < 400; ++i)
+    text += "label_" + std::to_string(i % 23) + "\n";
+  CsvOptions options;
+  options.parallel_shard_bytes = 64;
+  const Table serial = from_csv(text, schema, options);
+  parallel::ThreadPool pool(4);
+  std::istringstream in(text);
+  const Table parsed = read_csv_parallel(in, schema, &pool, options);
+  ASSERT_EQ(parsed.row_count(), serial.row_count());
+  EXPECT_EQ(parsed.categorical("c").categories(),
+            serial.categorical("c").categories());
+  EXPECT_EQ(parsed.categorical("c").codes(), serial.categorical("c").codes());
+}
+
+TEST(CsvParallel, MalformedInputRaisesSameErrorAsSerial) {
+  Table schema;
+  schema.add_numeric("x");
+  std::string text = "x\n";
+  for (int i = 0; i < 200; ++i) text += std::to_string(i) + "\n";
+  text += "bogus\n";  // first error, deep in the file
+  for (int i = 0; i < 200; ++i) text += "also_bad\n";
+  CsvOptions options;
+  options.parallel_shard_bytes = 64;
+  std::string serial_what;
+  try {
+    from_csv(text, schema, options);
+    FAIL() << "serial read accepted malformed input";
+  } catch (const rcr::InvalidInputError& e) {
+    serial_what = e.what();
+  }
+  EXPECT_NE(serial_what.find("bogus"), std::string::npos);
+  parallel::ThreadPool pool(4);
+  std::istringstream in(text);
+  try {
+    read_csv_parallel(in, schema, &pool, options);
+    FAIL() << "parallel read accepted malformed input";
+  } catch (const rcr::InvalidInputError& e) {
+    EXPECT_EQ(std::string(e.what()), serial_what);
+  }
+}
+
+TEST(CsvParallel, HeaderOnlyYieldsEmptyTable) {
+  Table schema;
+  schema.add_numeric("x");
+  for (const char* text : {"x\n", "x"}) {
+    std::istringstream in(text);
+    const Table parsed = read_csv_parallel(in, schema, nullptr);
+    EXPECT_EQ(parsed.row_count(), 0u) << '"' << text << '"';
+  }
+  std::istringstream empty("");
+  EXPECT_THROW(read_csv_parallel(empty, schema, nullptr),
+               rcr::InvalidInputError);
+}
+
+TEST(CsvParallel, DefaultGrainMatchesSerialOnSmallInputs) {
+  // Small inputs collapse to one shard; the result must still be exact.
+  const Table t = make_gnarly_table();
+  const std::string text = to_csv(t);
+  parallel::ThreadPool pool(8);
+  std::istringstream in(text);
+  const Table parsed = read_csv_parallel(in, t, &pool);
+  EXPECT_EQ(to_csv(parsed), to_csv(from_csv(text, t)));
+}
+
+}  // namespace
+}  // namespace rcr::data

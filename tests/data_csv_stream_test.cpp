@@ -84,6 +84,39 @@ TEST(CsvStream, ReorderedHeaderAndCustomDelimiter) {
   EXPECT_EQ(a.str(), b.str());
 }
 
+TEST(CsvStream, QuotedNewlinesStreamCorrectly) {
+  // The write→read round-trip bug class: a quoted field containing CRLF /
+  // LF spans physical lines, and the streaming reader must treat it as one
+  // record exactly like read_csv does.
+  rcr::data::Table schema;
+  schema.add_categorical("note", {"line1\nline2", "cr\r\nlf", "plain"});
+  schema.add_numeric("v");
+  const char* csv =
+      "note,v\n"
+      "\"line1\nline2\",1\n"
+      "\"cr\r\nlf\",2\n"
+      "plain,3\n";
+
+  std::istringstream whole_in(csv);
+  const auto whole = rcr::data::read_csv(whole_in, schema);
+  ASSERT_EQ(whole.row_count(), 3u);
+  EXPECT_EQ(whole.categorical("note").label_at(0), "line1\nline2");
+  EXPECT_EQ(whole.categorical("note").label_at(1), "cr\r\nlf");
+
+  auto assembled = schema.clone_empty();
+  std::istringstream stream_in(csv);
+  const std::size_t n = rcr::data::for_each_csv_row(
+      stream_in, schema,
+      [&](const rcr::data::Table& row, std::size_t) {
+        assembled.append_rows(row);
+      });
+  EXPECT_EQ(n, 3u);
+  std::ostringstream a, b;
+  rcr::data::write_csv(a, assembled);
+  rcr::data::write_csv(b, whole);
+  EXPECT_EQ(a.str(), b.str());
+}
+
 TEST(CsvStream, EmptyInputVisitsNothing) {
   const auto schema = make_schema();
   std::istringstream in("score,field,langs\n");

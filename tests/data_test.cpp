@@ -279,12 +279,37 @@ TEST(CsvTest, QuotedFieldsWithDelimiters) {
   EXPECT_EQ(t2.categorical("name").label_at(0), "a,b");
 }
 
-TEST(CsvTest, SkipsBlankLinesAndCrLf) {
+TEST(CsvTest, SkipsBlankLinesInMultiColumnFiles) {
+  Table schema;
+  schema.add_numeric("x");
+  schema.add_numeric("y");
+  std::istringstream in("x,y\r\n1,2\r\n\r\n   \r\n3,4\r\n");
+  const Table t = read_csv(in, schema);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.numeric("y").at(1), 4.0);
+}
+
+TEST(CsvTest, BlankLineIsAMissingRowInSingleColumnFiles) {
+  // A blank line in a one-column file is a legitimate record whose only
+  // cell is missing; the old reader silently dropped it.
   Table schema;
   schema.add_numeric("x");
   std::istringstream in("x\r\n1\r\n\r\n2\r\n");
   const Table t = read_csv(in, schema);
-  EXPECT_EQ(t.row_count(), 2u);
+  ASSERT_EQ(t.row_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.numeric("x").at(0), 1.0);
+  EXPECT_TRUE(NumericColumn::is_missing(t.numeric("x").at(1)));
+  EXPECT_DOUBLE_EQ(t.numeric("x").at(2), 2.0);
+}
+
+TEST(CsvTest, BlankLineErrorsWhenSkippingDisabled) {
+  Table schema;
+  schema.add_numeric("x");
+  schema.add_numeric("y");
+  CsvOptions options;
+  options.skip_blank_lines = false;
+  std::istringstream in("x,y\n1,2\n\n3,4\n");
+  EXPECT_THROW(read_csv(in, schema, options), rcr::InvalidInputError);
 }
 
 struct BadCsvCase {
