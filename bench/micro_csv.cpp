@@ -18,6 +18,7 @@
 // the line reader structurally cannot (that failure is the bug this
 // rewrite fixes, recorded as "legacy_handles_quoted_newlines"). Exit
 // status 2 when any check fails.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -280,6 +281,31 @@ int main(int argc, char** argv) {
     walk_t = rcr::data::read_csv_parallel(in, t, nullptr);
   });
 
+  // Small-input serial fallback: a sub-crossover slice through the parallel
+  // entry point (which now parses it serially) vs the same bytes with
+  // sharding pinned on — the regression the fallback removes.
+  const std::size_t small_rows =
+      std::max<std::size_t>(1, rows / 16);
+  const rcr::data::Table small_t = make_table(small_rows, seed + 1);
+  const std::string small_text = to_csv(small_t);
+  const double small_mib =
+      static_cast<double>(small_text.size()) / (1024.0 * 1024.0);
+  rcr::data::Table small_fallback_t, small_forced_t;
+  const double small_fallback_s = best_of(3, [&] {
+    std::istringstream in(small_text);
+    small_fallback_t = rcr::data::read_csv_parallel(in, small_t, pool_ptr);
+  });
+  rcr::data::CsvOptions forced;
+  forced.parallel_shard_bytes = 64 * 1024;  // pin sharding on
+  const double small_forced_s = best_of(3, [&] {
+    std::istringstream in(small_text);
+    small_forced_t =
+        rcr::data::read_csv_parallel(in, small_t, pool_ptr, forced);
+  });
+  const bool fallback_identical =
+      to_csv(small_fallback_t) == small_text &&
+      to_csv(small_forced_t) == small_text;
+
   const std::string serial_bytes = to_csv(serial_t);
   const bool round_trip_verified = serial_bytes == text;
   const bool parallel_identical =
@@ -291,7 +317,7 @@ int main(int argc, char** argv) {
 
   const bool verified = round_trip_verified && parallel_identical &&
                         legacy_agrees && gnarly_round_trip &&
-                        !legacy_survives_gnarly;
+                        !legacy_survives_gnarly && fallback_identical;
 
   char buf[512];
   std::string json = "{\n  \"benchmark\": \"micro_csv\",\n";
@@ -325,6 +351,25 @@ int main(int argc, char** argv) {
                 "    \"parallel_vs_serial\": %.2f\n  },\n",
                 legacy_s / serial_s, legacy_s / parallel_s,
                 serial_s / parallel_s);
+  json += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"serial_fallback\": {\n"
+                "    \"threshold_bytes\": %zu,\n"
+                "    \"small_rows\": %zu,\n    \"small_bytes\": %zu,\n"
+                "    \"fallback_ms\": %.2f,\n    \"forced_parallel_ms\": "
+                "%.2f,\n",
+                rcr::data::kParallelSerialFallbackBytes, small_rows,
+                small_text.size(), small_fallback_s * 1e3,
+                small_forced_s * 1e3);
+  json += buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"fallback_mib_per_sec\": %.1f,\n"
+                "    \"forced_parallel_mib_per_sec\": %.1f,\n"
+                "    \"fallback_vs_forced_parallel\": %.2f,\n"
+                "    \"fallback_identical\": %s\n  },\n",
+                small_mib / small_fallback_s, small_mib / small_forced_s,
+                small_forced_s / small_fallback_s,
+                fallback_identical ? "true" : "false");
   json += buf;
   std::snprintf(buf, sizeof buf,
                 "  \"round_trip_verified\": %s,\n"

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "data/csv.hpp"
+#include "data/snapshot.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
@@ -32,6 +33,21 @@ stream::TableSketch run_stream_study(const StreamStudyConfig& config) {
   gen.pool = nullptr;  // parallelism lives at the shard level, not inside it
 
   const data::Table schema = synth::instrument().make_table();
+
+  if (!config.snapshot_path.empty()) {
+    // Snapshot-backed wave: the table is memory-mapped (zero-copy columns)
+    // and sliced into the same block structure the CSV reader would
+    // deliver, so the sketch — and therefore the report — is identical to
+    // a CSV-backed run over the same rows.
+    stream::TableSketch sketch(schema, config.sketch);
+    const data::Table table = data::read_snapshot(config.snapshot_path);
+    const std::size_t block = std::max<std::size_t>(1, config.block_rows);
+    const std::size_t n = table.row_count();
+    for (std::size_t lo = 0; lo < n; lo += block)
+      sketch.ingest(table.slice(lo, std::min(lo + block, n)), lo);
+    sketch.publish_metrics();
+    return sketch;
+  }
 
   if (!config.csv_path.empty()) {
     // File-backed wave: the streaming block reader delivers rows in file

@@ -30,6 +30,12 @@ struct StreamStudyConfig {
   // schema, read in `block_rows` blocks with O(block_rows) memory) instead
   // of being synthesized; wave/respondents/seed/nonresponse are ignored.
   std::string csv_path;
+  // When non-empty, rows come from an rcr::data snapshot (data/snapshot.hpp)
+  // memory-mapped and sliced into `block_rows` blocks, mirroring the CSV
+  // block structure exactly — the sketch sees the same rows at the same
+  // first_row offsets, so the report is identical to the CSV-backed run of
+  // the same table. Takes precedence over csv_path.
+  std::string snapshot_path;
   // Rows generated and ingested per shard; also the chunk grain, so it —
   // not the pool — fixes the shard partition.
   std::size_t block_rows = 8192;

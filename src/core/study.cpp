@@ -1,5 +1,6 @@
 #include "core/study.hpp"
 
+#include "data/snapshot.hpp"
 #include "query/engine.hpp"
 #include "synth/calibration.hpp"
 #include "synth/domain.hpp"
@@ -53,11 +54,15 @@ WaveAggregates fused_aggregates(const data::Table& wave,
 
 Study::Study(const StudyConfig& config)
     : config_(config),
-      wave2011_(synth::generate_wave(
-          {synth::Wave::k2011, config.n_2011, config.seed, config.pool})),
-      wave2024_(synth::generate_wave(
-          {synth::Wave::k2024, config.n_2024, config.seed ^ 0xA5A5A5A5ULL,
-           config.pool})) {}
+      wave2011_(config.snapshot_2011.empty()
+                    ? synth::generate_wave({synth::Wave::k2011, config.n_2011,
+                                            config.seed, config.pool})
+                    : data::read_snapshot(config.snapshot_2011)),
+      wave2024_(config.snapshot_2024.empty()
+                    ? synth::generate_wave(
+                          {synth::Wave::k2024, config.n_2024,
+                           config.seed ^ 0xA5A5A5A5ULL, config.pool})
+                    : data::read_snapshot(config.snapshot_2024)) {}
 
 const survey::RakingResult& Study::weights2024() const {
   if (!weights2024_) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/crosstab.hpp"
@@ -20,6 +21,13 @@ struct StudyConfig {
   std::size_t n_2024 = 650;   // the revisit reaches a larger population
   std::uint64_t seed = 7;
   rcr::parallel::ThreadPool* pool = nullptr;
+  // When non-empty, the wave is loaded from an rcr::data snapshot
+  // (data/snapshot.hpp, memory-mapped zero-copy) instead of being
+  // synthesized; n/seed are ignored for that wave. A snapshot written from
+  // a generated wave reloads it bitwise, so every downstream aggregate is
+  // byte-identical to the synthesized run.
+  std::string snapshot_2011;
+  std::string snapshot_2024;
 };
 
 // Every standard aggregate of one wave that the reproduced tables/figures

@@ -40,7 +40,7 @@ void CategoricalColumn::set_code(std::size_t i, std::int32_t code) {
       code == kMissingCode ||
           (code >= 0 && static_cast<std::size_t>(code) < categories_.size()),
       "categorical code out of range");
-  codes_[i] = code;
+  codes_.set(i, code);
 }
 
 const std::string& CategoricalColumn::label_at(std::size_t i) const {
@@ -104,8 +104,8 @@ void MultiSelectColumn::set_mask(std::size_t i, std::uint64_t mask) {
     RCR_CHECK_MSG((mask >> options_.size()) == 0,
                   "mask selects options beyond the option list");
   }
-  masks_[i] = mask;
-  missing_[i] = 0;
+  masks_.set(i, mask);
+  missing_.set(i, 0);
 }
 
 bool MultiSelectColumn::has(std::size_t row, std::size_t option) const {

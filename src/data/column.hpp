@@ -5,6 +5,11 @@
 //   * Categorical  — dictionary-encoded single-choice answers;
 //   * MultiSelect  — bitmask-encoded "check all that apply" answers
 //                    (up to 64 options, ample for any survey question).
+//
+// Row storage is a PageVec: owned by default, or borrowed straight from a
+// memory-mapped snapshot page (data/snapshot.hpp) with copy-on-write
+// semantics — every accessor and mutator below behaves identically in
+// both states.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "data/page_vec.hpp"
 #include "util/error.hpp"
 
 namespace rcr::data {
@@ -35,23 +41,32 @@ class NumericColumn {
   // Overwrites an existing cell (imputation / recoding).
   void set(std::size_t i, double v) {
     RCR_DCHECK(i < values_.size());
-    values_[i] = v;
+    values_.set(i, v);
   }
 
   // Bulk append of another column's rows (shard-merge fast path).
   void append_column(const NumericColumn& other) {
-    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    values_.append(other.values_);
   }
+  // Bulk append of other's rows [lo, hi) (table slicing).
+  void append_range(const NumericColumn& other, std::size_t lo,
+                    std::size_t hi) {
+    values_.append(other.values_, lo, hi);
+  }
+
+  // Replaces all rows with `values` — the snapshot reader's entry point for
+  // columns that alias a mapped page (or were materialized page-wise).
+  void adopt(PageVec<double> values) { values_ = std::move(values); }
 
   std::size_t size() const { return values_.size(); }
   double at(std::size_t i) const { return values_[i]; }
-  const std::vector<double>& values() const { return values_; }
+  const PageVec<double>& values() const { return values_; }
 
   // All present (non-NaN) values, in row order.
   std::vector<double> present_values() const;
 
  private:
-  std::vector<double> values_;
+  PageVec<double> values_;
 };
 
 // Dictionary-encoded categorical column. Category set may be fixed up front
@@ -79,15 +94,24 @@ class CategoricalColumn {
   // Bulk append of another column's rows. Callers must ensure the two
   // category sets are identical (codes are copied, not re-interned).
   void append_codes(const CategoricalColumn& other) {
-    codes_.insert(codes_.end(), other.codes_.begin(), other.codes_.end());
+    codes_.append(other.codes_);
   }
+  void append_range(const CategoricalColumn& other, std::size_t lo,
+                    std::size_t hi) {
+    codes_.append(other.codes_, lo, hi);
+  }
+
+  // Replaces all rows with `codes`, which must already be valid against
+  // this column's category set (the snapshot reader validates before
+  // adopting).
+  void adopt_codes(PageVec<std::int32_t> codes) { codes_ = std::move(codes); }
 
   std::size_t size() const { return codes_.size(); }
   std::int32_t code_at(std::size_t i) const { return codes_[i]; }
   bool is_missing(std::size_t i) const { return codes_[i] == kMissingCode; }
   // Raw code array (kMissingCode marks missing rows) for kernels that hoist
   // the per-row accessor out of their hot loop.
-  const std::vector<std::int32_t>& codes() const { return codes_; }
+  const PageVec<std::int32_t>& codes() const { return codes_; }
   const std::string& label_at(std::size_t i) const;
 
   std::size_t category_count() const { return categories_.size(); }
@@ -102,7 +126,7 @@ class CategoricalColumn {
 
  private:
   std::vector<std::string> categories_;
-  std::vector<std::int32_t> codes_;
+  PageVec<std::int32_t> codes_;
   bool frozen_ = false;
 };
 
@@ -130,9 +154,24 @@ class MultiSelectColumn {
   // Bulk append of another column's rows. Callers must ensure the two
   // option sets are identical (masks are copied, not revalidated).
   void append_column(const MultiSelectColumn& other) {
-    masks_.insert(masks_.end(), other.masks_.begin(), other.masks_.end());
-    missing_.insert(missing_.end(), other.missing_.begin(),
-                    other.missing_.end());
+    masks_.append(other.masks_);
+    missing_.append(other.missing_);
+  }
+  void append_range(const MultiSelectColumn& other, std::size_t lo,
+                    std::size_t hi) {
+    masks_.append(other.masks_, lo, hi);
+    missing_.append(other.missing_, lo, hi);
+  }
+
+  // Replaces all rows with parallel mask/missing arrays, which must already
+  // be valid against the option set (a missing row is an all-zero mask with
+  // its flag set; the snapshot reader validates before adopting).
+  void adopt_rows(PageVec<std::uint64_t> masks,
+                  PageVec<std::uint8_t> missing) {
+    RCR_CHECK_MSG(masks.size() == missing.size(),
+                  "multi-select mask/missing row counts differ");
+    masks_ = std::move(masks);
+    missing_ = std::move(missing);
   }
 
   std::size_t size() const { return masks_.size(); }
@@ -141,8 +180,8 @@ class MultiSelectColumn {
   bool has(std::size_t row, std::size_t option) const;
   // Raw bitmask / missing-flag arrays (a missing row is an all-zero mask
   // with its flag set) for kernels that iterate selections by set bit.
-  const std::vector<std::uint64_t>& masks() const { return masks_; }
-  const std::vector<std::uint8_t>& missing_flags() const { return missing_; }
+  const PageVec<std::uint64_t>& masks() const { return masks_; }
+  const PageVec<std::uint8_t>& missing_flags() const { return missing_; }
 
   std::size_t option_count() const { return options_.size(); }
   const std::string& option(std::size_t o) const { return options_[o]; }
@@ -157,8 +196,8 @@ class MultiSelectColumn {
 
  private:
   std::vector<std::string> options_;
-  std::vector<std::uint64_t> masks_;
-  std::vector<std::uint8_t> missing_;
+  PageVec<std::uint64_t> masks_;
+  PageVec<std::uint8_t> missing_;
 };
 
 }  // namespace rcr::data

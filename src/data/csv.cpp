@@ -25,6 +25,8 @@ struct IngestMetrics {
   obs::Counter& rows = obs::registry().counter("ingest.rows");
   obs::Counter& bytes = obs::registry().counter("ingest.bytes");
   obs::Counter& shards = obs::registry().counter("ingest.shards");
+  obs::Counter& serial_fallbacks =
+      obs::registry().counter("ingest.serial_fallbacks");
   obs::Histogram& parse_ms = obs::registry().histogram("ingest.parse.ms");
 };
 
@@ -440,6 +442,7 @@ struct ShardSpan {
 inline constexpr std::size_t kMinShardBytes = 64 * 1024;
 inline constexpr std::size_t kShardTarget = 64;  // cf. kReduceChunkTarget
 
+
 // One quote-parity pass over the data region [data_begin, buf.size()) that
 // snaps chunk_layout's even byte splits forward to the next record start
 // (the byte after an unquoted newline). The layout's grain is a pure
@@ -522,44 +525,6 @@ std::size_t line_at(const std::string& buf, std::size_t offset) {
   return line;
 }
 
-// Appends `part` onto `out` label-wise, reproducing the dictionary build
-// order a serial scan would produce when categorical columns grow their
-// category sets during ingest (shards intern labels independently, so
-// their code spaces differ and Table::append_rows would reject them).
-void append_partial_labelwise(Table& out, const Table& part) {
-  for (const auto& name : out.column_names()) {
-    switch (out.kind(name)) {
-      case ColumnKind::kNumeric: {
-        auto& dst = out.numeric(name);
-        for (const double v : part.numeric(name).values()) dst.push(v);
-        break;
-      }
-      case ColumnKind::kCategorical: {
-        auto& dst = out.categorical(name);
-        const auto& src = part.categorical(name);
-        for (std::size_t i = 0; i < src.size(); ++i) {
-          if (src.is_missing(i))
-            dst.push_missing();
-          else
-            dst.push(src.label_at(i));
-        }
-        break;
-      }
-      case ColumnKind::kMultiSelect: {
-        auto& dst = out.multiselect(name);
-        const auto& src = part.multiselect(name);
-        for (std::size_t i = 0; i < src.size(); ++i) {
-          if (src.is_missing(i))
-            dst.push_missing();
-          else
-            dst.push_mask(src.mask_at(i));
-        }
-        break;
-      }
-    }
-  }
-}
-
 bool has_open_dictionaries(const Table& schema) {
   for (const auto& name : schema.column_names())
     if (schema.kind(name) == ColumnKind::kCategorical &&
@@ -568,9 +533,53 @@ bool has_open_dictionaries(const Table& schema) {
   return false;
 }
 
+// One serial scan over an in-memory buffer — the small-input fast path of
+// the parallel entry points. Byte-identical to read_csv on the same bytes
+// (same scanner, same record handling), so the fallback is invisible to
+// callers except in wall time.
+Table parse_buffer_serial(const std::string& buf, const Table& schema,
+                          const CsvOptions& options) {
+  obs::ScopedTimer timer(metrics().parse_ms);
+  Table out = schema.clone_empty();
+  bool have_header = false;
+  std::vector<std::string> header;
+  std::vector<BoundColumn> bound;
+  std::uint64_t rows = 0;
+  const auto on_record = [&](const RecordScanner& rec) {
+    if (!have_header) {
+      header = header_from(rec, schema);
+      bound = bind_columns(out, header);
+      have_header = true;
+      return true;
+    }
+    if (blank_record(rec) && header.size() > 1 && options.skip_blank_lines)
+      return true;
+    append_record(rec, bound, options);
+    ++rows;
+    return true;
+  };
+  RecordScanner scanner(options.delimiter);
+  scanner.feed(buf.data(), buf.size(), on_record);
+  scanner.finish(on_record);
+  if (!have_header)
+    throw rcr::InvalidInputError("CSV input is empty (no header row)");
+  out.validate_rectangular();
+  metrics().rows.add(rows);
+  metrics().bytes.add(buf.size());
+  metrics().shards.add(1);
+  metrics().serial_fallbacks.add(1);
+  return out;
+}
+
 Table parse_buffer_parallel(const std::string& buf, const Table& schema,
                             parallel::ThreadPool* pool,
                             const CsvOptions& options) {
+  // Below the crossover (and with the grain left to us — an explicit
+  // parallel_shard_bytes pins sharding on, which the determinism tests
+  // rely on), skip the boundary pass and shard merge entirely.
+  if (options.parallel_shard_bytes == 0 &&
+      buf.size() < kParallelSerialFallbackBytes)
+    return parse_buffer_serial(buf, schema, options);
   obs::ScopedTimer timer(metrics().parse_ms);
 
   // Header first. Its quoted fields may span newlines too, so the header's
@@ -656,7 +665,9 @@ Table parse_buffer_parallel(const std::string& buf, const Table& schema,
   const bool open_dicts = has_open_dictionaries(schema);
   for (std::size_t k = 0; k < shards.size(); ++k) {
     if (open_dicts)
-      append_partial_labelwise(out, partials[k]);
+      // Label-wise re-intern reproduces the serial dictionary build order;
+      // shards whose category sets already converged take its bulk path.
+      out.append_rows_labelwise(partials[k]);
     else
       out.append_rows(partials[k]);
   }

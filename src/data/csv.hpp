@@ -37,6 +37,14 @@ class ThreadPool;
 
 namespace rcr::data {
 
+// Inputs below this byte count parse serially through the parallel entry
+// points when parallel_shard_bytes is 0 (derived grain): under the measured
+// crossover (BENCH_csv.json) the boundary pass, per-shard tables, and merge
+// cost more than sharding saves. A pure function of the byte count, so the
+// serial/parallel decision — like the shard partition itself — never
+// depends on the pool.
+inline constexpr std::size_t kParallelSerialFallbackBytes = 4 * 1024 * 1024;
+
 struct CsvOptions {
   char delimiter = ',';
   char multiselect_separator = '|';
@@ -45,8 +53,11 @@ struct CsvOptions {
   // skip disabled a blank line raises the usual field-count error.
   bool skip_blank_lines = true;
   // Shard granularity for read_csv_parallel, in bytes; 0 derives it from
-  // the input size alone. The parsed table is byte-identical for every
-  // value — this knob only trades scheduling overhead against balance.
+  // the input size alone — and lets inputs below the measured crossover
+  // (see BENCH_csv.json) parse serially, where sharding costs more than it
+  // saves. Any explicit value pins the parallel machinery on regardless of
+  // input size. The parsed table is byte-identical for every value — this
+  // knob only trades scheduling overhead against balance.
   std::size_t parallel_shard_bytes = 0;
 };
 
@@ -67,7 +78,10 @@ Table read_csv_file(const std::string& path, const Table& schema,
 // byte-identical to read_csv for every thread count (pool == nullptr, 1, N),
 // including the dictionary build order of unfrozen categorical columns and
 // which error is raised on malformed input. pool == nullptr walks the same
-// shard partition serially.
+// shard partition serially. Inputs smaller than a fixed byte threshold skip
+// the sharding entirely and parse serially (a pure function of the byte
+// count, so still deterministic) unless parallel_shard_bytes pins sharding
+// on; either way the bytes parsed and table produced are identical.
 Table read_csv_parallel(std::istream& in, const Table& schema,
                         parallel::ThreadPool* pool,
                         const CsvOptions& options = {});

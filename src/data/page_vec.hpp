@@ -1,0 +1,124 @@
+// PageVec<T>: column storage that is either owned or borrowed.
+//
+// Every column kind stores its row data in one of these instead of a bare
+// std::vector so a snapshot-backed table can alias memory-mapped pages
+// with zero copies. Two states:
+//
+//   * owned    — a std::vector, exactly the pre-snapshot behaviour;
+//   * borrowed — a read-only view over bytes owned by someone else (an
+//     mmap'ed snapshot page), pinned alive by a shared_ptr.
+//
+// Reads never care which state they are in: data()/size()/operator[] and
+// the pointer iterators make a PageVec a contiguous range, so the query
+// engine's std::span hoists and every range-for over codes()/masks()
+// compile unchanged. Mutation is copy-on-write: the first push/set/append
+// on a borrowed view materializes it into an owned vector (one memcpy) and
+// proceeds — a snapshot-backed table is a full Table, just lazily private.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace rcr::data {
+
+template <typename T>
+class PageVec {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  PageVec() = default;
+
+  // A read-only view of [data, data + size); `pin` keeps the underlying
+  // storage (the file mapping) alive for as long as any copy of this view
+  // exists. data may be null only when size is 0.
+  static PageVec borrowed(const T* data, std::size_t size,
+                          std::shared_ptr<const void> pin) {
+    PageVec v;
+    v.view_ = data;
+    v.view_size_ = size;
+    v.pin_ = std::move(pin);
+    return v;
+  }
+
+  static PageVec owned(std::vector<T> values) {
+    PageVec v;
+    v.vec_ = std::move(values);
+    return v;
+  }
+
+  bool is_borrowed() const { return view_ != nullptr; }
+
+  const T* data() const { return view_ ? view_ : vec_.data(); }
+  std::size_t size() const { return view_ ? view_size_ : vec_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size() - 1]; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size(); }
+
+  // Drops all elements. An owned vector keeps its capacity (reused scratch
+  // columns rely on that); a borrowed view just releases its pin.
+  void clear() {
+    vec_.clear();
+    release_view();
+  }
+
+  void reserve(std::size_t n) { own().reserve(n); }
+
+  void push_back(const T& v) { own().push_back(v); }
+
+  void set(std::size_t i, const T& v) { own()[i] = v; }
+
+  void append(const PageVec& other) {
+    append(other, 0, other.size());
+  }
+
+  // Appends other[lo, hi).
+  void append(const PageVec& other, std::size_t lo, std::size_t hi) {
+    // `other` may alias *this; take the source pointer before own() can
+    // reallocate only when they are distinct objects (self-append of an
+    // owned vector goes through the vector's own aliasing-safe insert).
+    auto& dst = own();
+    if (&other == this) {
+      dst.insert(dst.end(), dst.begin() + static_cast<std::ptrdiff_t>(lo),
+                 dst.begin() + static_cast<std::ptrdiff_t>(hi));
+    } else {
+      dst.insert(dst.end(), other.data() + lo, other.data() + hi);
+    }
+  }
+
+  friend bool operator==(const PageVec& a, const PageVec& b) {
+    if (a.size() != b.size()) return false;
+    if (a.size() == 0) return true;
+    return std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+  }
+
+ private:
+  // Copy-on-write: materialize a borrowed view into the owned vector and
+  // hand out the mutable storage.
+  std::vector<T>& own() {
+    if (view_ != nullptr) {
+      vec_.assign(view_, view_ + view_size_);
+      release_view();
+    }
+    return vec_;
+  }
+
+  void release_view() {
+    view_ = nullptr;
+    view_size_ = 0;
+    pin_.reset();
+  }
+
+  std::vector<T> vec_;
+  const T* view_ = nullptr;  // non-null => borrowed
+  std::size_t view_size_ = 0;
+  std::shared_ptr<const void> pin_;
+};
+
+}  // namespace rcr::data

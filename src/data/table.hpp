@@ -63,6 +63,20 @@ class Table {
   // partial CSV ingests.
   void append_rows(const Table& other);
 
+  // Appends all rows of `other` by label for categorical columns: codes are
+  // re-interned against this table's dictionaries, reproducing the build
+  // order a serial ingest would produce even when `other` interned labels
+  // independently (a parallel CSV shard, a snapshot writer block). Columns
+  // whose category sets already match take the bulk append_rows path.
+  // Numeric and multi-select columns (whose option sets must match) always
+  // append in bulk.
+  void append_rows_labelwise(const Table& other);
+
+  // Rows [lo, hi) copied into a new table with this table's exact schema
+  // (dictionaries shared code-for-code) — the block-slicing primitive for
+  // streaming snapshot-backed tables through the sketch pipeline.
+  Table slice(std::size_t lo, std::size_t hi) const;
+
   // --- relational operations -------------------------------------------------
   // Rows for which `pred(row_index)` is true, copied into a new table.
   Table filter(const std::function<bool(std::size_t)>& pred) const;

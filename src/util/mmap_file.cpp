@@ -1,0 +1,81 @@
+#include "util/mmap_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RCR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define RCR_HAVE_MMAP 0
+#include <fstream>
+#endif
+
+namespace rcr::util {
+
+namespace {
+
+[[noreturn]] void open_fail(const std::string& path, const std::string& why) {
+  throw rcr::InvalidInputError("cannot map file: " + path + " (" + why + ")");
+}
+
+}  // namespace
+
+std::shared_ptr<MappedFile> MappedFile::open(const std::string& path) {
+  // make_shared needs a public constructor; this keeps it private.
+  std::shared_ptr<MappedFile> file(new MappedFile());
+  file->path_ = path;
+
+#if RCR_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) open_fail(path, std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    open_fail(path, std::strerror(err));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap rejects zero-length mappings; an empty file is a valid (if
+    // doomed-to-fail-validation) input, represented as an empty view.
+    ::close(fd);
+    file->size_ = 0;
+    return file;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (addr == MAP_FAILED) open_fail(path, std::strerror(map_err));
+  file->map_addr_ = addr;
+  file->data_ = static_cast<const unsigned char*>(addr);
+  file->size_ = size;
+  file->mapped_ = true;
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) open_fail(path, "open failed");
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  file->fallback_.resize(size);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(file->fallback_.data()),
+               static_cast<std::streamsize>(size)))
+    open_fail(path, "short read");
+  file->data_ = file->fallback_.data();
+  file->size_ = size;
+#endif
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#if RCR_HAVE_MMAP
+  if (map_addr_ != nullptr) ::munmap(map_addr_, size_);
+#endif
+}
+
+}  // namespace rcr::util

@@ -1,0 +1,46 @@
+// Read-only memory-mapped files for zero-copy ingest.
+//
+// MappedFile::open maps a whole file readable at `data()`; on POSIX this
+// is mmap(2) (the kernel pages bytes in on demand, so "reading" a snapshot
+// is pointer arithmetic until a page is actually touched), elsewhere it
+// degrades to one read() into a heap buffer — the single-memcpy fallback
+// the snapshot reader is specified against. Consumers hold the mapping
+// alive through the shared_ptr; columns that alias mapped pages pin it per
+// column, so a Table can outlive the reader that produced it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rcr::util {
+
+class MappedFile {
+ public:
+  // Maps (or, without mmap support, reads) `path`. Throws
+  // rcr::InvalidInputError when the file cannot be opened or mapped.
+  static std::shared_ptr<MappedFile> open(const std::string& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  // True when the bytes alias the page cache rather than a private copy.
+  bool mapped() const { return mapped_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  void* map_addr_ = nullptr;              // munmap handle (POSIX)
+  std::vector<unsigned char> fallback_;   // heap copy (non-POSIX)
+};
+
+}  // namespace rcr::util

@@ -1,0 +1,558 @@
+// Round-trip, corruption, and end-to-end tests for the binary columnar
+// snapshot format (data/snapshot.hpp).
+//
+// The contracts under test:
+//   * CSV -> Table -> snapshot -> mmap -> Table is bitwise: column bytes,
+//     dictionary label order, frozen state, and query-engine fingerprints
+//     all survive, for tables parsed at thread counts 0/1/2/8;
+//   * a flipped byte in any region (header, page, dictionary, page index,
+//     footer) raises InvalidInputError naming the region — never UB, never
+//     a silently wrong table (CI runs this suite under ASan/UBSan/TSan);
+//   * zero-copy and memcpy materialization are observationally identical,
+//     and a borrowed table is a full Table (copy-on-write on mutation);
+//   * the checksum algorithm matches the published XXH64 vectors, so files
+//     are portable across builds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/stream_study.hpp"
+#include "core/study.hpp"
+#include "data/csv.hpp"
+#include "data/snapshot.hpp"
+#include "data/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "query/engine.hpp"
+#include "synth/generator.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace rcr::data {
+namespace {
+
+std::string to_csv(const Table& t) {
+  std::ostringstream out;
+  write_csv(out, t);
+  return out.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "rcr_snapshot_" + name;
+}
+
+// Mirrors data_csv_roundtrip_test.cpp: every escape shape write_csv can
+// emit, all three column kinds, missing cells, the answered-none mask.
+const std::vector<std::string>& gnarly_labels() {
+  static const std::vector<std::string> labels = {
+      "plain",     " lead",       "trail ",      " both ",
+      "\ttabbed\t", "multi\nline", "cr\rreturn",  "crlf\r\nend",
+      "com,ma",    "qu\"ote",     "\"quoted\"",  " \"mix\",\nall\r ",
+      "-"};
+  return labels;
+}
+
+Table make_gnarly_table() {
+  const auto& labels = gnarly_labels();
+  Table t;
+  auto& cat = t.add_categorical("label", labels);
+  auto& num = t.add_numeric("score");
+  auto& multi =
+      t.add_multiselect("opts", {"a", "b c", " padded ", "new\nline"});
+  for (std::size_t i = 0; i < 3 * labels.size(); ++i) {
+    if (i % 11 == 5)
+      cat.push_missing();
+    else
+      cat.push(labels[i % labels.size()]);
+    if (i % 7 == 3)
+      num.push_missing();
+    else
+      num.push(0.125 * static_cast<double>(i) - 2.0);
+    if (i % 9 == 4)
+      multi.push_missing();
+    else
+      multi.push_mask(static_cast<std::uint64_t>(i % 16));
+  }
+  return t;
+}
+
+// Bitwise column-storage equality plus schema equality, stricter than the
+// CSV-bytes comparison (it sees the raw doubles, codes, masks, and flags).
+void expect_tables_bitwise_equal(const Table& a, const Table& b) {
+  ASSERT_EQ(a.column_names(), b.column_names());
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (const auto& name : a.column_names()) {
+    ASSERT_EQ(a.kind(name), b.kind(name)) << name;
+    switch (a.kind(name)) {
+      case ColumnKind::kNumeric:
+        EXPECT_EQ(a.numeric(name).values(), b.numeric(name).values()) << name;
+        break;
+      case ColumnKind::kCategorical:
+        EXPECT_EQ(a.categorical(name).categories(),
+                  b.categorical(name).categories())
+            << name;
+        EXPECT_EQ(a.categorical(name).frozen(), b.categorical(name).frozen())
+            << name;
+        EXPECT_EQ(a.categorical(name).codes(), b.categorical(name).codes())
+            << name;
+        break;
+      case ColumnKind::kMultiSelect:
+        EXPECT_EQ(a.multiselect(name).options(), b.multiselect(name).options())
+            << name;
+        EXPECT_EQ(a.multiselect(name).masks(), b.multiselect(name).masks())
+            << name;
+        EXPECT_EQ(a.multiselect(name).missing_flags(),
+                  b.multiselect(name).missing_flags())
+            << name;
+        break;
+    }
+  }
+  EXPECT_EQ(to_csv(a), to_csv(b));
+}
+
+// T1–T6-shaped query fingerprint of the gnarly table: crosstab, option
+// shares, numeric summary, group-answered — rendered to a string with full
+// precision so any drifting bit shows up.
+std::string query_fingerprint(const Table& t, parallel::ThreadPool* pool) {
+  query::QueryEngine engine(t);
+  const auto ct = engine.add_crosstab("label", "label");
+  const auto ms = engine.add_crosstab_multiselect("label", "opts");
+  const auto sh = engine.add_option_shares("opts");
+  const auto cs = engine.add_category_shares("label");
+  const auto ns = engine.add_numeric_summary("score");
+  const auto ga = engine.add_group_answered("label", "opts");
+  engine.run(pool);
+
+  char buf[64];
+  std::string out;
+  const auto add = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g;", v);
+    out += buf;
+  };
+  const auto& xt = engine.crosstab(ct);
+  for (std::size_t r = 0; r < xt.row_labels.size(); ++r)
+    for (std::size_t c = 0; c < xt.col_labels.size(); ++c)
+      add(xt.counts.at(r, c));
+  const auto& mt = engine.crosstab(ms);
+  for (std::size_t r = 0; r < mt.row_labels.size(); ++r)
+    for (std::size_t c = 0; c < mt.col_labels.size(); ++c)
+      add(mt.counts.at(r, c));
+  for (const auto& s : engine.shares(sh)) {
+    out += s.label + ":";
+    add(s.count);
+    add(s.total);
+  }
+  for (const auto& s : engine.shares(cs)) {
+    out += s.label + ":";
+    add(s.count);
+    add(s.total);
+  }
+  const auto& sum = engine.numeric(ns);
+  add(sum.count);
+  add(sum.sum);
+  add(sum.min);
+  add(sum.max);
+  for (const double v : engine.group_answered(ga)) add(v);
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::uint64_t read_u64(const std::string& bytes, std::size_t offset) {
+  std::uint64_t v;
+  std::memcpy(&v, bytes.data() + offset, sizeof v);
+  return v;
+}
+
+// --- Checksum reference vectors ----------------------------------------------
+
+TEST(XxHash64, MatchesPublishedReferenceVectors) {
+  // Published XXH64 vectors (seed 0): the empty string, short tails through
+  // the 1/4-byte finishers, and a >32-byte input through the 4-lane loop.
+  EXPECT_EQ(xxhash64("", 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xxhash64("a", 1), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(xxhash64("abc", 3), 0x44BC2CF5AD770999ULL);
+  const std::string fox = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(xxhash64(fox.data(), fox.size()), 0x0B242D361FDA71BCULL);
+}
+
+TEST(XxHash64, SeedAndLengthChangeTheHash) {
+  const std::string s = "snapshot";
+  EXPECT_NE(xxhash64(s.data(), s.size(), 0), xxhash64(s.data(), s.size(), 1));
+  EXPECT_NE(xxhash64(s.data(), s.size()), xxhash64(s.data(), s.size() - 1));
+}
+
+// --- Round trips -------------------------------------------------------------
+
+TEST(Snapshot, GnarlyTableRoundTripsBitwise) {
+  const Table t = make_gnarly_table();
+  const std::string path = temp_path("gnarly.rcr");
+  write_snapshot(t, path);
+  const Table back = read_snapshot(path);
+  expect_tables_bitwise_equal(t, back);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CsvParsedTableRoundTripsAcrossThreadCounts) {
+  // CSV -> parallel read (threads 0/1/2/8) -> snapshot -> mmap -> Table:
+  // every path lands on the same bytes as the serial CSV read.
+  const Table t = make_gnarly_table();
+  Table big = t.clone_empty();
+  for (int rep = 0; rep < 40; ++rep) big.append_rows(t);
+  const std::string text = to_csv(big);
+  CsvOptions options;
+  options.parallel_shard_bytes = 512;  // force many shards
+  std::istringstream serial_in(text);
+  const Table serial = read_csv(serial_in, t);
+  for (const std::size_t threads : {0u, 1u, 2u, 8u}) {
+    std::unique_ptr<parallel::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<parallel::ThreadPool>(threads);
+    std::istringstream in(text);
+    const Table parsed = read_csv_parallel(in, t, pool.get(), options);
+    const std::string path =
+        temp_path("threads" + std::to_string(threads) + ".rcr");
+    write_snapshot(parsed, path);
+    const Table back = read_snapshot(path);
+    expect_tables_bitwise_equal(serial, back);
+    EXPECT_EQ(query_fingerprint(serial, nullptr),
+              query_fingerprint(back, pool.get()))
+        << "threads=" << threads;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Snapshot, MultiPageAndCopyModesMatchZeroCopy) {
+  const Table t = make_gnarly_table();
+  const std::string single = temp_path("single.rcr");
+  const std::string paged = temp_path("paged.rcr");
+  write_snapshot(t, single);
+  SnapshotWriteOptions paged_opts;
+  paged_opts.page_rows = 7;  // non-divisor of the row count
+  write_snapshot(t, paged, paged_opts);
+
+  const Table zero_copy = read_snapshot(single);
+  EXPECT_TRUE(zero_copy.numeric("score").values().is_borrowed());
+
+  SnapshotReadOptions copy_opts;
+  copy_opts.zero_copy = false;
+  const Table copied = read_snapshot(single, copy_opts);
+  EXPECT_FALSE(copied.numeric("score").values().is_borrowed());
+
+  const Table multi_page = read_snapshot(paged);
+  EXPECT_FALSE(multi_page.numeric("score").values().is_borrowed());
+
+  expect_tables_bitwise_equal(t, zero_copy);
+  expect_tables_bitwise_equal(t, copied);
+  expect_tables_bitwise_equal(t, multi_page);
+  std::remove(single.c_str());
+  std::remove(paged.c_str());
+}
+
+TEST(Snapshot, BorrowedTableIsAFullTableViaCopyOnWrite) {
+  const Table t = make_gnarly_table();
+  const std::string path = temp_path("cow.rcr");
+  write_snapshot(t, path);
+  Table borrowed = read_snapshot(path);
+  ASSERT_TRUE(borrowed.numeric("score").values().is_borrowed());
+
+  // Mutation materializes a private copy; the sibling read is untouched.
+  borrowed.numeric("score").set(0, 123.5);
+  EXPECT_FALSE(borrowed.numeric("score").values().is_borrowed());
+  EXPECT_EQ(borrowed.numeric("score").at(0), 123.5);
+  const Table again = read_snapshot(path);
+  expect_tables_bitwise_equal(t, again);
+
+  // The mapping stays pinned by the borrowing columns even after the file
+  // is deleted — reads must keep working (POSIX keeps the pages alive).
+  std::remove(path.c_str());
+  EXPECT_EQ(again.row_count(), t.row_count());
+  EXPECT_EQ(to_csv(again), to_csv(t));
+}
+
+TEST(Snapshot, UnfrozenDictionaryReloadsWithIdenticalInterningOrder) {
+  Table t;
+  auto& cat = t.add_categorical("c");  // open dictionary
+  for (const char* label : {"delta", "alpha", "echo", "alpha", "bravo"})
+    cat.push(label);
+  ASSERT_FALSE(cat.frozen());
+  const std::string path = temp_path("open_dict.rcr");
+  write_snapshot(t, path);
+
+  Table back = read_snapshot(path);
+  auto& rcat = back.categorical("c");
+  EXPECT_FALSE(rcat.frozen());
+  EXPECT_EQ(rcat.categories(),
+            (std::vector<std::string>{"delta", "alpha", "echo", "bravo"}));
+  EXPECT_EQ(rcat.codes(), t.categorical("c").codes());
+  // Continued ingest extends the dictionary exactly as the original would.
+  rcat.push("foxtrot");
+  EXPECT_EQ(rcat.categories().back(), "foxtrot");
+  EXPECT_EQ(rcat.code_at(rcat.size() - 1), 4);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, FrozenStateSurvivesRoundTrip) {
+  Table t;
+  auto& cat = t.add_categorical("c", {"x", "y"});  // ctor freezes
+  cat.push("x");
+  ASSERT_TRUE(cat.frozen());
+  const std::string path = temp_path("frozen.rcr");
+  write_snapshot(t, path);
+  Table back = read_snapshot(path);
+  EXPECT_TRUE(back.categorical("c").frozen());
+  EXPECT_THROW(back.categorical("c").push("unknown"), rcr::Error);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, EmptyTableRoundTrips) {
+  Table t;
+  t.add_numeric("n");
+  t.add_categorical("c", {"a", "b"});
+  t.add_multiselect("m", {"o1", "o2"});
+  const std::string path = temp_path("empty.rcr");
+  write_snapshot(t, path);
+  const Table back = read_snapshot(path);
+  EXPECT_EQ(back.row_count(), 0u);
+  expect_tables_bitwise_equal(t, back);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, StreamingWriterMergesShardDictionariesLabelwise) {
+  // Two blocks interned independently (a parallel-shard shape): the writer
+  // re-interns label-wise, so the reload matches a serial labelwise merge.
+  Table shard_a;
+  auto& ca = shard_a.add_categorical("c");
+  for (const char* l : {"x", "y", "x"}) ca.push(l);
+  Table shard_b;
+  auto& cb = shard_b.add_categorical("c");
+  for (const char* l : {"y", "z", "x"}) cb.push(l);
+
+  Table schema;
+  schema.add_categorical("c");
+  const std::string path = temp_path("shards.rcr");
+  {
+    SnapshotWriter writer(schema, path);
+    writer.append(shard_a);
+    writer.append(shard_b);
+    writer.finish();
+    EXPECT_EQ(writer.rows_written(), 6u);
+  }
+  Table serial = schema.clone_empty();
+  serial.append_rows_labelwise(shard_a);
+  serial.append_rows_labelwise(shard_b);
+
+  const Table back = read_snapshot(path);
+  expect_tables_bitwise_equal(serial, back);
+  EXPECT_EQ(back.categorical("c").categories(),
+            (std::vector<std::string>{"x", "y", "z"}));
+  std::remove(path.c_str());
+}
+
+// --- Corruption --------------------------------------------------------------
+
+// Flips one byte at `offset` and expects read_snapshot to fail with an
+// error message naming `region`.
+void expect_flip_fails_naming(const std::string& path, std::size_t offset,
+                              const std::string& region) {
+  std::string bytes = read_file(path);
+  ASSERT_LT(offset, bytes.size());
+  const std::string mutated_path = path + ".corrupt";
+  std::string mutated = bytes;
+  mutated[offset] = static_cast<char>(mutated[offset] ^ 0x40);
+  write_file(mutated_path, mutated);
+  try {
+    (void)read_snapshot(mutated_path);
+    FAIL() << "accepted a flipped byte at offset " << offset;
+  } catch (const rcr::InvalidInputError& e) {
+    EXPECT_NE(std::string(e.what()).find(region), std::string::npos)
+        << "offset " << offset << ": " << e.what();
+  }
+  std::remove(mutated_path.c_str());
+}
+
+TEST(SnapshotCorruption, OneFlippedBytePerRegionFailsLoudlyNamingTheRegion) {
+  const Table t = make_gnarly_table();
+  const std::string path = temp_path("corrupt.rcr");
+  write_snapshot(t, path);
+  const std::string bytes = read_file(path);
+  ASSERT_GE(bytes.size(), 96u);
+
+  // Region offsets from the on-disk layout (DESIGN.md): header at 0, first
+  // page at 64, footer located by the trailer's first field.
+  const std::size_t footer_offset = read_u64(bytes, bytes.size() - 32);
+  const std::size_t dict_bytes = read_u64(bytes, footer_offset);
+  const std::size_t dict_payload = footer_offset + 8;
+  const std::size_t index_payload = dict_payload + dict_bytes + 8 + 8;
+
+  expect_flip_fails_naming(path, 9, "header");       // version field
+  expect_flip_fails_naming(path, 17, "header");      // row count
+  expect_flip_fails_naming(path, 64, "page");        // first page payload
+  expect_flip_fails_naming(path, footer_offset - 1, "page");  // last payload
+  expect_flip_fails_naming(path, dict_payload + 1, "dictionary");
+  expect_flip_fails_naming(path, index_payload + 1, "page index");
+  expect_flip_fails_naming(path, bytes.size() - 4, "footer");   // magic
+  expect_flip_fails_naming(path, bytes.size() - 32, "footer");  // offset
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorruption, TruncationAndGarbageFailLoudly) {
+  const Table t = make_gnarly_table();
+  const std::string path = temp_path("trunc.rcr");
+  write_snapshot(t, path);
+  const std::string bytes = read_file(path);
+
+  const std::string trunc = temp_path("trunc_cut.rcr");
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{17}, std::size_t{64},
+        bytes.size() - 33, bytes.size() - 1}) {
+    write_file(trunc, bytes.substr(0, keep));
+    EXPECT_THROW((void)read_snapshot(trunc), rcr::InvalidInputError)
+        << "kept " << keep << " bytes";
+  }
+  write_file(trunc, "this is not a snapshot at all");
+  EXPECT_THROW((void)read_snapshot(trunc), rcr::InvalidInputError);
+  std::remove(trunc.c_str());
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)read_snapshot(temp_path("no_such_file.rcr")),
+               rcr::InvalidInputError);
+}
+
+TEST(SnapshotCorruption, ForgedCodeRangeIsCaughtByVerification) {
+  // Flip a code byte *and* forge the page checksum so only the range check
+  // stands between the file and out-of-bounds dictionary indexing.
+  Table t;
+  auto& cat = t.add_categorical("c", {"a", "b"});
+  for (int i = 0; i < 8; ++i) cat.push_code(i % 2);
+  const std::string path = temp_path("forged.rcr");
+  write_snapshot(t, path);
+  std::string bytes = read_file(path);
+
+  // First page holds the eight i32 codes at offset 64; overwrite one with
+  // a huge code, then rewrite the page's index-entry hash to match.
+  const std::uint64_t footer_offset = read_u64(bytes, bytes.size() - 32);
+  const std::uint64_t dict_bytes = read_u64(bytes, footer_offset);
+  const std::size_t index_payload =
+      static_cast<std::size_t>(footer_offset + 8 + dict_bytes + 8 + 8);
+  const std::int32_t evil = 1 << 20;
+  std::memcpy(bytes.data() + 64, &evil, sizeof evil);
+  const std::uint64_t forged = xxhash64(bytes.data() + 64, 8 * 4);
+  // Index entry: column(4) kind(4) first_row(8) rows(8) offset(8) bytes(8)
+  // then the hash — 40 bytes in.
+  std::memcpy(bytes.data() + index_payload + 40, &forged, sizeof forged);
+  // Reseal the index section hash so validation reaches the range check.
+  const std::uint64_t index_bytes =
+      read_u64(bytes, static_cast<std::size_t>(footer_offset + 8 +
+                                               dict_bytes + 8));
+  const std::uint64_t index_hash =
+      xxhash64(bytes.data() + index_payload, index_bytes);
+  std::memcpy(bytes.data() + index_payload + index_bytes, &index_hash,
+              sizeof index_hash);
+  write_file(path, bytes);
+
+  try {
+    (void)read_snapshot(path);
+    FAIL() << "accepted an out-of-range categorical code";
+  } catch (const rcr::InvalidInputError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of dictionary range"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// --- End-to-end through core -------------------------------------------------
+
+TEST(SnapshotCore, StreamStudyMatchesCsvBackedRunExactly) {
+  // Same wave through both ingest formats: the sketch reports must be
+  // byte-identical, because the snapshot slices mirror the CSV blocks.
+  synth::GeneratorConfig gen;
+  gen.wave = synth::Wave::k2024;
+  gen.respondents = 500;
+  gen.seed = 99;
+  const Table wave = synth::generate_wave(gen);
+
+  const std::string csv_path = temp_path("stream.csv");
+  const std::string snap_path = temp_path("stream.rcr");
+  {
+    std::ofstream out(csv_path, std::ios::binary);
+    write_csv(out, wave);
+  }
+  write_snapshot(wave, snap_path);
+
+  core::StreamStudyConfig config;
+  config.block_rows = 64;
+  config.csv_path = csv_path;
+  const auto csv_report =
+      core::render_stream_report(core::run_stream_study(config));
+  config.csv_path.clear();
+  config.snapshot_path = snap_path;
+  const auto snap_report =
+      core::render_stream_report(core::run_stream_study(config));
+  EXPECT_EQ(csv_report, snap_report);
+  std::remove(csv_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(SnapshotCore, SnapshotBackedStudyReproducesSynthesizedWavesBitwise) {
+  core::StudyConfig small;
+  small.n_2011 = 40;
+  small.n_2024 = 60;
+  const core::Study generated(small);
+
+  const std::string p2011 = temp_path("wave2011.rcr");
+  const std::string p2024 = temp_path("wave2024.rcr");
+  write_snapshot(generated.wave2011(), p2011);
+  write_snapshot(generated.wave2024(), p2024);
+
+  core::StudyConfig from_disk = small;
+  from_disk.snapshot_2011 = p2011;
+  from_disk.snapshot_2024 = p2024;
+  const core::Study loaded(from_disk);
+  expect_tables_bitwise_equal(generated.wave2011(), loaded.wave2011());
+  expect_tables_bitwise_equal(generated.wave2024(), loaded.wave2024());
+  std::remove(p2011.c_str());
+  std::remove(p2024.c_str());
+}
+
+// --- CSV serial fallback -----------------------------------------------------
+
+TEST(CsvSerialFallback, SmallInputsFallBackAndStayByteIdentical) {
+  // Below the crossover the parallel entry points parse serially; the
+  // result must still be byte-identical to both the serial reader and the
+  // pinned-parallel read of the same bytes.
+  const Table t = make_gnarly_table();
+  const std::string text = to_csv(t);  // well under the fallback threshold
+  std::istringstream serial_in(text);
+  const std::string serial = to_csv(read_csv(serial_in, t));
+
+  parallel::ThreadPool pool(4);
+  std::istringstream fallback_in(text);
+  const Table fallback = read_csv_parallel(fallback_in, t, &pool);
+  EXPECT_EQ(to_csv(fallback), serial);
+
+  CsvOptions pinned;
+  pinned.parallel_shard_bytes = 256;  // explicit grain pins sharding on
+  std::istringstream pinned_in(text);
+  const Table sharded = read_csv_parallel(pinned_in, t, &pool, pinned);
+  EXPECT_EQ(to_csv(sharded), serial);
+}
+
+}  // namespace
+}  // namespace rcr::data

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "data/table.hpp"
@@ -180,7 +181,7 @@ TEST(DeterminismTest, QueryEngineFingerprintIsPoolSizeInvariant) {
     // change bits, so the fingerprint is sensitive to scheduling leaks.
     weight.push(rng.next_double() * 2.0 + 0.25);
   }
-  const std::vector<double>& ext = weight.values();
+  const std::span<const double> ext = weight.values();
 
   const auto fingerprint = [&](parallel::ThreadPool* pool) {
     query::QueryEngine engine(t);
