@@ -26,6 +26,7 @@
 
 #include "core/rcr.hpp"
 #include "core/stream_study.hpp"
+#include "simd/dispatch.hpp"
 #include "stream/table_sketch.hpp"
 
 namespace {
@@ -243,7 +244,8 @@ int main(int argc, char** argv) try {
   std::cerr << "bench_m2_stream: seed=" << config.seed
             << " threads=" << (pool ? pool->thread_count() : 1)
             << " rows=" << config.respondents
-            << " block=" << config.block_rows << "\n";
+            << " block=" << config.block_rows
+            << " simd=" << rcr::simd::describe() << "\n";
 
   rcr::Stopwatch watch;
   const auto sketch = rcr::core::run_stream_study(config);
@@ -293,11 +295,13 @@ int main(int argc, char** argv) try {
       return 1;
     }
     std::fprintf(f,
-                 "{\n  \"benchmark\": \"m2_stream\",\n  \"rows\": %zu,\n"
+                 "{\n  \"benchmark\": \"m2_stream\",\n"
+                 "  \"simd\": \"%s\",\n  \"rows\": %zu,\n"
                  "  \"threads\": %zu,\n  \"seed\": %llu,\n"
                  "  \"elapsed_s\": %.4f,\n  \"rows_per_sec\": %.4e,\n"
                  "  \"sketch_bytes\": %zu,\n  \"fingerprint\": \"%016" PRIx64
                  "\",\n  \"errors\": {\n",
+                 rcr::simd::describe().c_str(),
                  static_cast<std::size_t>(sketch.rows()),
                  pool ? pool->thread_count() : std::size_t{1},
                  static_cast<unsigned long long>(config.seed), elapsed,

@@ -1,11 +1,13 @@
 #include "bench/experiment_main.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <iostream>
 #include <memory>
 
 #include "core/rcr.hpp"
+#include "simd/dispatch.hpp"
 
 namespace rcr::bench {
 
@@ -33,12 +35,19 @@ int run_experiment(const char* id, int argc, char** argv) {
       config.pool = &parallel::default_pool();
     }
 
-    // Reproducibility echo: the resolved seed and thread count, on stderr
-    // so piped/table output stays clean.
+    // Reproducibility echo: the resolved seed, thread count and dispatched
+    // SIMD ISA, on stderr so piped/table output stays clean. The same
+    // dispatch facts ride along in the metrics snapshot (simd.lanes /
+    // simd.isa gauges), so every --metrics-json payload records them.
     const std::size_t resolved_threads =
         config.pool != nullptr ? config.pool->thread_count() : 1;
+    const simd::Isa isa = simd::active_isa();
+    obs::registry().gauge("simd.lanes").set(
+        static_cast<std::int64_t>(simd::isa_lanes(isa)));
+    obs::registry().gauge("simd.isa").set(static_cast<std::int64_t>(isa));
     std::cerr << "bench[" << id << "]: seed=" << config.seed
-              << " threads=" << resolved_threads << "\n";
+              << " threads=" << resolved_threads
+              << " simd=" << simd::describe() << "\n";
 
     const core::Study study(config);
     report::ExperimentRegistry registry;

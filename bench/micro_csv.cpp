@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "data/csv.hpp"
+#include "simd/dispatch.hpp"
 #include "data/table.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
@@ -255,8 +256,11 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
   }
-  std::fprintf(stderr, "bench_micro_csv: seed=%llu threads=%zu rows=%zu\n",
-               static_cast<unsigned long long>(seed), threads, rows);
+  const std::string simd = rcr::simd::describe();
+  std::fprintf(stderr,
+               "bench_micro_csv: seed=%llu threads=%zu rows=%zu simd=%s\n",
+               static_cast<unsigned long long>(seed), threads, rows,
+               simd.c_str());
 
   const rcr::data::Table t = make_table(rows, seed);
   const std::string text = to_csv(t);
@@ -322,9 +326,10 @@ int main(int argc, char** argv) {
   char buf[512];
   std::string json = "{\n  \"benchmark\": \"micro_csv\",\n";
   std::snprintf(buf, sizeof buf,
+                "  \"simd\": \"%s\",\n"
                 "  \"rows\": %zu,\n  \"bytes\": %zu,\n  \"threads\": %zu,\n"
                 "  \"results\": [\n",
-                rows, text.size(), threads);
+                simd.c_str(), rows, text.size(), threads);
   json += buf;
   const struct {
     const char* name;

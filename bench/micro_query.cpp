@@ -10,7 +10,12 @@
 //
 // Both paths produce the same numbers — the report carries a "verified"
 // flag (near-equality; shard reassociation may move fractional weighted
-// sums by ulps) and a bit-folded checksum of the fused results.
+// sums by ulps) and a bit-folded checksum of the fused results. A second
+// gate, "simd_verified", is strict: the engine's SIMD kernels must
+// reproduce the forced-scalar result bits exactly at every pool size
+// (serial, 1, 2, 8), or the process exits 2. The report also breaks the
+// batch down per query kind ("per_query": each kind re-run alone on the
+// engine) and records the dispatched SIMD ISA ("simd").
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -27,6 +32,7 @@
 #include "parallel/thread_pool.hpp"
 #include "query/engine.hpp"
 #include "query/reference.hpp"
+#include "simd/dispatch.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -119,6 +125,31 @@ void fold_results(const BatchResults& r) {
 
 bool near(double a, double b) {
   return std::abs(a - b) <= 1e-9 * (1.0 + std::max(std::abs(a), std::abs(b)));
+}
+
+// Bit-exact fingerprint of a batch — the SIMD gate compares these, not
+// near-equality: vector kernels must reproduce the scalar bits.
+std::uint64_t fingerprint_results(const BatchResults& r) {
+  std::uint64_t fp = 0;
+  const auto fold1 = [&](double v) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(v));
+    fp = fp * 0x9E3779B97F4A7C15ULL + b;
+  };
+  for (const auto* ct : {&r.ct_career, &r.ct_career_w, &r.ct_langs, &r.ct_se_w})
+    for (std::size_t i = 0; i < ct->counts.rows(); ++i)
+      for (std::size_t j = 0; j < ct->counts.cols(); ++j)
+        fold1(ct->counts.at(i, j));
+  for (const auto* sh : {&r.langs, &r.se, &r.careers})
+    for (const auto& s : *sh) {
+      fold1(s.count);
+      fold1(s.share.estimate);
+    }
+  for (const auto& s : r.weighted) fold1(s.share.estimate);
+  fold1(r.score.sum);
+  for (const double a : r.answered_langs) fold1(a);
+  for (const double a : r.answered_se) fold1(a);
+  return fp;
 }
 
 bool same_results(const BatchResults& a, const BatchResults& b) {
@@ -252,8 +283,11 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
   }
-  std::fprintf(stderr, "bench_micro_query: seed=%llu threads=%zu rows=%zu\n",
-               static_cast<unsigned long long>(seed), threads, rows);
+  const std::string simd = rcr::simd::describe();
+  std::fprintf(stderr,
+               "bench_micro_query: seed=%llu threads=%zu rows=%zu simd=%s\n",
+               static_cast<unsigned long long>(seed), threads, rows,
+               simd.c_str());
 
   const rcr::data::Table t = make_table(rows, seed);
   std::vector<double> ext(rows);
@@ -275,13 +309,72 @@ int main(int argc, char** argv) {
                         same_results(naive_res, serial_res);
   fold_results(fused_res);
 
+  // SIMD gate: the vectorized kernels must reproduce the forced-scalar
+  // bits exactly, at every pool size. A mismatch fails the run (exit 2).
+  rcr::simd::force_isa(rcr::simd::Isa::kScalar);
+  const std::uint64_t simd_ref = fingerprint_results(run_fused(t, ext, nullptr));
+  rcr::simd::clear_isa_override();
+  bool simd_verified = true;
+  for (const std::size_t vthreads : {0u, 1u, 2u, 8u}) {
+    rcr::parallel::ThreadPool vpool(vthreads == 0 ? 1 : vthreads);
+    rcr::parallel::ThreadPool* vp = vthreads == 0 ? nullptr : &vpool;
+    if (fingerprint_results(run_fused(t, ext, vp)) != simd_ref) {
+      std::fprintf(stderr,
+                   "micro_query: simd fingerprint mismatch at threads=%zu\n",
+                   vthreads);
+      simd_verified = false;
+    }
+  }
+
+  // Per-kind timings: the batch re-run one query kind at a time, so the
+  // report shows where the fused scan's time goes. (The kinds share the
+  // scan, so these do not sum to the fused total — each pays the full
+  // row walk.)
+  struct KindTiming {
+    const char* name;
+    double seconds;
+  };
+  std::vector<KindTiming> kinds;
+  const auto time_kind = [&](const char* name, auto&& add_queries) {
+    kinds.push_back({name, best_of(3, [&] {
+                       rcr::query::QueryEngine engine(t);
+                       add_queries(engine);
+                       engine.run(pool_ptr);
+                     })});
+  };
+  const std::optional<std::string> by_w{"w"};
+  time_kind("crosstab", [&](auto& e) { e.add_crosstab("field", "career"); });
+  time_kind("crosstab_weighted",
+            [&](auto& e) { e.add_crosstab("field", "career", by_w); });
+  time_kind("crosstab_multiselect",
+            [&](auto& e) { e.add_crosstab_multiselect("field", "langs"); });
+  time_kind("crosstab_multiselect_weighted",
+            [&](auto& e) { e.add_crosstab_multiselect("field", "se", by_w); });
+  time_kind("option_shares", [&](auto& e) {
+    e.add_option_shares("langs");
+    e.add_option_shares("se");
+  });
+  time_kind("category_shares",
+            [&](auto& e) { e.add_category_shares("career"); });
+  time_kind("weighted_option_share", [&](auto& e) {
+    for (const auto& [column, option] : kWeightedBattery)
+      e.add_weighted_option_share(column, option, ext);
+  });
+  time_kind("numeric_summary",
+            [&](auto& e) { e.add_numeric_summary("score"); });
+  time_kind("group_answered", [&](auto& e) {
+    e.add_group_answered("field", "langs");
+    e.add_group_answered("field", "se");
+  });
+
   const double queries = 13.0;
   char buf[1024];
   std::string json = "{\n  \"benchmark\": \"micro_query\",\n";
   std::snprintf(buf, sizeof buf,
+                "  \"simd\": \"%s\",\n"
                 "  \"rows\": %zu,\n  \"threads\": %zu,\n"
                 "  \"queries\": %.0f,\n  \"results\": [\n",
-                rows, threads, queries);
+                simd.c_str(), rows, threads, queries);
   json += buf;
   const struct {
     const char* name;
@@ -300,13 +393,22 @@ int main(int argc, char** argv) {
                   i + 1 < std::size(lines) ? "," : "");
     json += buf;
   }
+  json += "  ],\n  \"per_query\": [\n";
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "    {\"name\": \"%s\", \"ms\": %.2f}%s\n",
+                  kinds[i].name, kinds[i].seconds * 1e3,
+                  i + 1 < kinds.size() ? "," : "");
+    json += buf;
+  }
   std::snprintf(buf, sizeof buf,
                 "  ],\n  \"speedups\": {\n"
                 "    \"fused_vs_naive\": %.2f,\n"
                 "    \"fused_serial_vs_naive\": %.2f\n  },\n"
-                "  \"verified\": %s,\n  \"checksum\": %llu\n}\n",
+                "  \"verified\": %s,\n  \"simd_verified\": %s,\n"
+                "  \"checksum\": %llu\n}\n",
                 naive_s / fused_s, naive_s / fused_serial_s,
                 verified ? "true" : "false",
+                simd_verified ? "true" : "false",
                 static_cast<unsigned long long>(g_sink % 1000000007ULL));
   json += buf;
 
@@ -320,5 +422,5 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
   std::fputs(json.c_str(), stdout);
-  return verified ? 0 : 2;
+  return verified && simd_verified ? 0 : 2;
 }

@@ -1,8 +1,10 @@
 // Microbenchmark of the draw pipeline: scalar Rng calls vs. the batched
 // fill_* paths vs. the K-stream BatchRng, plus AliasTable::sample vs.
-// sample_batch. Emits a JSON report (stdout, or --out FILE) so CI can keep
-// a machine-readable baseline; the acceptance bar for the batched pipeline
-// is >= 3x the scalar path on u64 generation.
+// sample_batch, plus the counter-based simd::Philox (scalar draws vs. the
+// SIMD fill kernels). Emits a JSON report (stdout, or --out FILE) so CI
+// can keep a machine-readable baseline; the acceptance bar for the batched
+// pipeline is >= 3x the scalar path on u64 generation. The report records
+// the dispatched SIMD ISA in its "simd" field.
 //
 // Buffers are sized to stay L1/L2-resident (32 KiB) so the numbers measure
 // generation throughput, not memory bandwidth.
@@ -14,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "simd/dispatch.hpp"
+#include "simd/philox.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -79,7 +83,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
   }
-  std::fprintf(stderr, "bench_micro_rng: seed=42 threads=1\n");
+  const std::string simd = rcr::simd::describe();
+  std::fprintf(stderr, "bench_micro_rng: seed=42 threads=1 simd=%s\n",
+               simd.c_str());
 
   std::vector<std::uint64_t> u64_buf(kBufU64);
   std::vector<double> f64_buf(kBufU64);
@@ -129,6 +135,26 @@ int main(int argc, char** argv) {
     g_sink += u64_buf.back();
   }));
 
+  // Philox4x32-10 counter-based draws: the scalar block-at-a-time path vs.
+  // the SIMD fill kernels.
+  {
+    rcr::simd::Philox scalar_philox(42);
+    rcr::simd::Philox fill_philox(42);
+    rcr::simd::Philox dbl_philox(42);
+    results.push_back(run_bench("philox.next_u64", kBufU64, [&] {
+      for (std::uint64_t& v : u64_buf) v = scalar_philox.next_u64();
+      g_sink += u64_buf.back();
+    }));
+    results.push_back(run_bench("philox.fill_u64", kBufU64, [&] {
+      fill_philox.fill_u64(u64_buf);
+      g_sink += u64_buf.back();
+    }));
+    results.push_back(run_bench("philox.fill_double", kBufU64, [&] {
+      dbl_philox.fill_double(f64_buf);
+      g_sink += static_cast<std::uint64_t>(f64_buf.back() * 1e9);
+    }));
+  }
+
   // Alias-table categorical sampling.
   {
     std::vector<double> weights(256);
@@ -157,9 +183,12 @@ int main(int argc, char** argv) {
       {"double", "scalar.next_double", "batch.fill_double"},
       {"below", "scalar.next_below", "batch.fill_below"},
       {"alias", "alias.sample", "alias.sample_batch"},
+      {"philox_u64", "philox.next_u64", "philox.fill_u64"},
+      {"philox_double", "philox.next_u64", "philox.fill_double"},
   };
 
-  std::string json = "{\n  \"benchmark\": \"micro_rng\",\n  \"results\": [\n";
+  std::string json = "{\n  \"benchmark\": \"micro_rng\",\n  \"simd\": \"" +
+                     simd + "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     char line[256];
     std::snprintf(line, sizeof line,

@@ -26,6 +26,7 @@
 
 #include "data/csv.hpp"
 #include "data/snapshot.hpp"
+#include "simd/dispatch.hpp"
 #include "data/table.hpp"
 #include "parallel/thread_pool.hpp"
 #include "query/engine.hpp"
@@ -145,9 +146,11 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
   }
+  const std::string simd = rcr::simd::describe();
   std::fprintf(stderr,
-               "bench_micro_snapshot: seed=%llu threads=%zu rows=%zu\n",
-               static_cast<unsigned long long>(seed), threads, rows);
+               "bench_micro_snapshot: seed=%llu threads=%zu rows=%zu simd=%s\n",
+               static_cast<unsigned long long>(seed), threads, rows,
+               simd.c_str());
 
   const rcr::data::Table t = make_table(rows, seed);
   const std::string text = to_csv(t);
@@ -205,10 +208,11 @@ int main(int argc, char** argv) {
   char buf[512];
   std::string json = "{\n  \"benchmark\": \"micro_snapshot\",\n";
   std::snprintf(buf, sizeof buf,
+                "  \"simd\": \"%s\",\n"
                 "  \"rows\": %zu,\n  \"csv_bytes\": %zu,\n"
                 "  \"snapshot_bytes\": %zu,\n  \"threads\": %zu,\n"
                 "  \"results\": [\n",
-                rows, text.size(),
+                simd.c_str(), rows, text.size(),
                 static_cast<std::size_t>(snap_bytes_d), threads);
   json += buf;
   const struct {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "simd/dispatch.hpp"
 #include "stream/sketch.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -70,7 +71,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
   }
-  std::fprintf(stderr, "bench_micro_stream: seed=42 threads=1\n");
+  const std::string simd = rcr::simd::describe();
+  std::fprintf(stderr, "bench_micro_stream: seed=42 threads=1 simd=%s\n",
+               simd.c_str());
 
   rcr::Rng rng(42);
   std::vector<double> values(kBuf);
@@ -148,8 +151,8 @@ int main(int argc, char** argv) {
     }));
   }
 
-  std::string json =
-      "{\n  \"benchmark\": \"micro_stream\",\n  \"results\": [\n";
+  std::string json = "{\n  \"benchmark\": \"micro_stream\",\n  \"simd\": \"" +
+                     simd + "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     char line[256];
     std::snprintf(line, sizeof line,

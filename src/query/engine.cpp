@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "parallel/algorithms.hpp"
+#include "simd/kernels.hpp"
 #include "stats/ci.hpp"
 #include "util/error.hpp"
 
@@ -276,40 +277,29 @@ void QueryEngine::run(parallel::ThreadPool* pool) {
         // The multi-select kernels lean on the storage invariant that a
         // missing row is an all-zero mask: tallying every option of a zero
         // mask adds nothing, so the per-option loop needs no per-row flag
-        // branch and runs a fixed trip count the compiler vectorizes.
-        // Unweighted cells tally as integers (exact in double below 2^53);
-        // weighted cells add w * bit, and += 0.0 on a non-negative
-        // accumulator is a bitwise no-op, so both forms reproduce the
-        // reference builders' per-selection adds bit for bit.
+        // branch. Both forms run through rcr::simd at the dispatched lane
+        // width: unweighted cells tally as integers (exact in double below
+        // 2^53); weighted cells add a bitwise select of w or +0.0 per
+        // option (`w * bit` without the multiply), and += 0.0 on a
+        // non-negative accumulator is a bitwise no-op — so every width
+        // reproduces the reference builders' per-selection adds bit for
+        // bit (pinned by the determinism suite).
         case Kind::kCrosstabMultiselect: {
           const bool weighted = !q.weights.empty();
           if (!weighted) {
             std::vector<std::uint64_t> tallies(q.cells, 0);
-            for (std::size_t i = lo; i < hi; ++i) {
-              const std::int32_t r = q.codes_a[i];
-              if (r < 0) continue;
-              const std::uint64_t m = q.masks[i];
-              std::uint64_t* row_tallies =
-                  tallies.data() + static_cast<std::size_t>(r) * q.cols_dim;
-              for (std::size_t o = 0; o < q.cols_dim; ++o)
-                row_tallies[o] += (m >> o) & 1u;
-            }
+            simd::tally_multiselect(q.codes_a.data(), q.masks.data(), lo, hi,
+                                    q.cols_dim, tallies.data());
             for (std::size_t cell = 0; cell < q.cells; ++cell)
               cells[cell] += static_cast<double>(tallies[cell]);
             break;
           }
-          for (std::size_t i = lo; i < hi; ++i) {
-            const std::int32_t r = q.codes_a[i];
-            if (r < 0 || q.ms_missing[i] != 0) continue;
-            bool skip = false;
-            const double w = row_weight_or_skip(q.weights, i, skip);
-            if (skip) continue;
-            const std::uint64_t m = q.masks[i];
-            double* row_cells =
-                cells + static_cast<std::size_t>(r) * q.cols_dim;
-            for (std::size_t o = 0; o < q.cols_dim; ++o)
-              row_cells[o] += w * static_cast<double>((m >> o) & 1u);
-          }
+          // The kernel inlines row_weight_or_skip's contract: NaN weight
+          // drops the row, negative throws.
+          simd::add_weighted_multiselect(q.codes_a.data(), q.masks.data(),
+                                         q.ms_missing.data(),
+                                         q.weights.data(), lo, hi,
+                                         q.cols_dim, cells);
           break;
         }
         // Both share kinds tally the answered total as an integer and fold
@@ -330,13 +320,8 @@ void QueryEngine::run(parallel::ThreadPool* pool) {
         case Kind::kOptionShares: {
           const std::size_t n_opts = q.cells - 1;
           std::uint64_t tallies[data::MultiSelectColumn::kMaxOptions] = {};
-          std::size_t missing = 0;
-          for (std::size_t i = lo; i < hi; ++i) {
-            missing += q.ms_missing[i] != 0 ? 1u : 0u;
-            const std::uint64_t m = q.masks[i];  // zero on missing rows
-            for (std::size_t o = 0; o < n_opts; ++o)
-              tallies[o] += (m >> o) & 1u;
-          }
+          const std::size_t missing = simd::tally_options(
+              q.masks.data(), q.ms_missing.data(), lo, hi, n_opts, tallies);
           for (std::size_t o = 0; o < n_opts; ++o)
             cells[o] += static_cast<double>(tallies[o]);
           cells[q.cells - 1] += static_cast<double>(hi - lo - missing);

@@ -1,0 +1,112 @@
+// Baseline translation unit of the kernel library: instantiates the scalar
+// (L = 1) and SSE2 (L = 2) kernel bodies — both compile at the default
+// x86-64 feature level — and routes every public entry point through the
+// runtime-selected ISA. The AVX2 / AVX-512 instantiations live in their own
+// TUs so only these files carry wide-vector code generation.
+#include "simd/kernels.hpp"
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels_impl.hpp"
+
+namespace rcr::simd {
+
+namespace detail {
+
+RCR_SIMD_KERNEL_INSTANCES(, 1);
+#if defined(RCR_SIMD_BUILD_SSE2) && defined(__SSE2__)
+RCR_SIMD_KERNEL_INSTANCES(, 2);
+#endif
+#if defined(RCR_SIMD_BUILD_AVX2)
+RCR_SIMD_KERNEL_INSTANCES(extern, 4);
+#endif
+#if defined(RCR_SIMD_BUILD_AVX512)
+RCR_SIMD_KERNEL_INSTANCES(extern, 8);
+#endif
+
+}  // namespace detail
+
+// Four-way dispatch: a case only exists when its TU was compiled, and
+// active_isa() never returns an ISA whose build macro is absent
+// (dispatch.cpp consults the same macros), so the default arm is always
+// the scalar reference.
+#if defined(RCR_SIMD_BUILD_AVX512)
+#define RCR_SIMD_CASE_AVX512(fn, ...) \
+  case Isa::kAvx512:                  \
+    return detail::fn<8>(__VA_ARGS__);
+#else
+#define RCR_SIMD_CASE_AVX512(fn, ...)
+#endif
+
+#if defined(RCR_SIMD_BUILD_AVX2)
+#define RCR_SIMD_CASE_AVX2(fn, ...) \
+  case Isa::kAvx2:                  \
+    return detail::fn<4>(__VA_ARGS__);
+#else
+#define RCR_SIMD_CASE_AVX2(fn, ...)
+#endif
+
+#if defined(RCR_SIMD_BUILD_SSE2) && defined(__SSE2__)
+#define RCR_SIMD_CASE_SSE2(fn, ...) \
+  case Isa::kSse2:                  \
+    return detail::fn<2>(__VA_ARGS__);
+#else
+#define RCR_SIMD_CASE_SSE2(fn, ...)
+#endif
+
+#define RCR_SIMD_DISPATCH(fn, ...)          \
+  switch (active_isa()) {                   \
+    RCR_SIMD_CASE_AVX512(fn, __VA_ARGS__)   \
+    RCR_SIMD_CASE_AVX2(fn, __VA_ARGS__)     \
+    RCR_SIMD_CASE_SSE2(fn, __VA_ARGS__)     \
+    default:                                \
+      return detail::fn<1>(__VA_ARGS__);    \
+  }
+
+void tally_multiselect(const std::int32_t* codes, const std::uint64_t* masks,
+                       std::size_t lo, std::size_t hi, std::size_t n_opts,
+                       std::uint64_t* tallies) {
+  RCR_SIMD_DISPATCH(tally_multiselect_impl, codes, masks, lo, hi, n_opts,
+                    tallies);
+}
+
+std::size_t tally_options(const std::uint64_t* masks,
+                          const std::uint8_t* missing, std::size_t lo,
+                          std::size_t hi, std::size_t n_opts,
+                          std::uint64_t* tallies) {
+  RCR_SIMD_DISPATCH(tally_options_impl, masks, missing, lo, hi, n_opts,
+                    tallies);
+}
+
+void add_weighted_multiselect(const std::int32_t* codes,
+                              const std::uint64_t* masks,
+                              const std::uint8_t* missing,
+                              const double* weights, std::size_t lo,
+                              std::size_t hi, std::size_t n_opts,
+                              double* cells) {
+  RCR_SIMD_DISPATCH(add_weighted_multiselect_impl, codes, masks, missing,
+                    weights, lo, hi, n_opts, cells);
+}
+
+void mix64_map(const std::uint64_t* in, std::size_t n, std::uint64_t salt,
+               std::uint64_t* out) {
+  RCR_SIMD_DISPATCH(mix64_map_impl, in, n, salt, out);
+}
+
+void mix64_combine(std::uint64_t* h, const std::uint64_t* cells,
+                   std::size_t n) {
+  RCR_SIMD_DISPATCH(mix64_combine_impl, h, cells, n);
+}
+
+void philox_fill_u64(std::uint64_t block0, std::uint64_t stream,
+                     const std::uint32_t* round_keys, std::uint64_t* dst,
+                     std::size_t nblocks) {
+  RCR_SIMD_DISPATCH(philox_fill_u64_impl, block0, stream, round_keys, dst,
+                    nblocks);
+}
+
+void unit_doubles_from_u64(const std::uint64_t* in, std::size_t n,
+                           double* out) {
+  RCR_SIMD_DISPATCH(unit_doubles_from_u64_impl, in, n, out);
+}
+
+}  // namespace rcr::simd

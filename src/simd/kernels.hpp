@@ -1,0 +1,67 @@
+// Public entry points of the rcr::simd kernel library.
+//
+// Each function runs the width-generic body from kernels_impl.hpp at the
+// lane count chosen by dispatch.hpp. Every kernel is bitwise-identical to
+// its scalar (L = 1) instantiation by construction — the bodies only use
+// lane-local operations whose scalar and vector semantics agree exactly
+// (integer arithmetic, bitwise select in place of `w * bit`, exact
+// u64 -> f64 conversion below 2^53) — and the determinism suite pins that
+// equivalence at every available width.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rcr::simd {
+
+// Unweighted multi-select crosstab: for each row i in [lo, hi) with
+// codes[i] >= 0, adds bit o of masks[i] to
+// tallies[codes[i] * n_opts + o] for every option o < n_opts. Missing
+// multi-select rows carry an all-zero mask, so they tally nothing.
+void tally_multiselect(const std::int32_t* codes, const std::uint64_t* masks,
+                       std::size_t lo, std::size_t hi, std::size_t n_opts,
+                       std::uint64_t* tallies);
+
+// Option-share tally: adds bit o of every mask in [lo, hi) to tallies[o]
+// (o < n_opts) and returns the number of rows flagged missing.
+std::size_t tally_options(const std::uint64_t* masks,
+                          const std::uint8_t* missing, std::size_t lo,
+                          std::size_t hi, std::size_t n_opts,
+                          std::uint64_t* tallies);
+
+// Weighted multi-select crosstab: for each answered row (code >= 0, not
+// missing), adds weights[i] to cells[codes[i] * n_opts + o] for every set
+// option bit. A NaN weight drops the row; a negative weight throws
+// rcr::Error (matching query::row_weight_or_skip). The add is a bitwise
+// select of w or +0.0 per lane — identical bits to `cells[..] += w * bit`.
+void add_weighted_multiselect(const std::int32_t* codes,
+                              const std::uint64_t* masks,
+                              const std::uint8_t* missing,
+                              const double* weights, std::size_t lo,
+                              std::size_t hi, std::size_t n_opts,
+                              double* cells);
+
+// out[i] = stream::mix64(in[i] ^ salt) — the count-min row hash
+// (salt = mix64(seed + d + 1)) and HyperLogLog hash (salt = mix64(seed)).
+void mix64_map(const std::uint64_t* in, std::size_t n, std::uint64_t salt,
+               std::uint64_t* out);
+
+// h[i] = stream::mix64(h[i] ^ cells[i]) — one column step of the
+// TableSketch composite row key, applied to a whole block of rows.
+void mix64_combine(std::uint64_t* h, const std::uint64_t* cells,
+                   std::size_t n);
+
+// Philox4x32-10 bulk generation: writes the 2 * nblocks u64 draws of
+// blocks [block0, block0 + nblocks) of the given stream. round_keys is the
+// 10-round bumped key schedule ({k0 + r*W0, k1 + r*W1} pairs, 20 words) —
+// see simd::Philox, which owns the schedule and the draw convention.
+void philox_fill_u64(std::uint64_t block0, std::uint64_t stream,
+                     const std::uint32_t* round_keys, std::uint64_t* dst,
+                     std::size_t nblocks);
+
+// out[i] = (in[i] >> 11) * 0x1.0p-53 — the uniform-[0,1) convention shared
+// with rcr::Rng::next_double, exact at every width.
+void unit_doubles_from_u64(const std::uint64_t* in, std::size_t n,
+                           double* out);
+
+}  // namespace rcr::simd

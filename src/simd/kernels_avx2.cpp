@@ -1,0 +1,10 @@
+// AVX2 (L = 4) instantiations. This TU is compiled with -mavx2 (see
+// CMakeLists.txt); the guard keeps it an empty TU if the flag ever goes
+// missing, instead of miscompiling the V<4> specializations.
+#include "simd/kernels_impl.hpp"
+
+#if defined(__AVX2__)
+namespace rcr::simd::detail {
+RCR_SIMD_KERNEL_INSTANCES(, 4);
+}  // namespace rcr::simd::detail
+#endif

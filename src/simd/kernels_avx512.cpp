@@ -1,0 +1,10 @@
+// AVX-512 (L = 8) instantiations. This TU is compiled with
+// -mavx512f -mavx512dq (see CMakeLists.txt); the guard keeps it an empty
+// TU if the flags ever go missing.
+#include "simd/kernels_impl.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+namespace rcr::simd::detail {
+RCR_SIMD_KERNEL_INSTANCES(, 8);
+}  // namespace rcr::simd::detail
+#endif

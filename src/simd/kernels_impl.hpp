@@ -1,0 +1,233 @@
+// Width-generic kernel bodies. Each template here is instantiated once per
+// compiled lane count: L = 1 and L = 2 in kernels.cpp (baseline flags),
+// L = 4 in kernels_avx2.cpp (-mavx2), L = 8 in kernels_avx512.cpp
+// (-mavx512f -mavx512dq). The bodies are written so every instantiation
+// produces bitwise-identical output (see kernels.hpp); anything that could
+// reassociate a floating-point sum is deliberately absent.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/vec.hpp"
+#include "util/error.hpp"
+
+namespace rcr::simd::detail {
+
+template <int L>
+void tally_multiselect_impl(const std::int32_t* codes,
+                            const std::uint64_t* masks, std::size_t lo,
+                            std::size_t hi, std::size_t n_opts,
+                            std::uint64_t* tallies) {
+  using V = VU64<L>;
+  const V one = V::set1(1);
+  const V iota = V::iota();
+  const std::size_t full = n_opts - n_opts % L;
+  const int rem = static_cast<int>(n_opts - full);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::int32_t r = codes[i];
+    if (r < 0) continue;
+    const V m = V::set1(masks[i]);
+    std::uint64_t* row = tallies + static_cast<std::size_t>(r) * n_opts;
+    std::size_t o = 0;
+    for (; o < full; o += L) {
+      const V bits = V::srlv(m, iota + V::set1(o)) & one;
+      (V::load(row + o) + bits).store(row + o);
+    }
+    if (rem != 0) {
+      // Masked-out lanes shift by >= n_opts (possibly >= 64, which srlv
+      // defines as 0) and are never stored.
+      const V bits = V::srlv(m, iota + V::set1(o)) & one;
+      (V::load_first(row + o, rem) + bits).store_first(row + o, rem);
+    }
+  }
+}
+
+template <int L>
+std::size_t tally_options_impl(const std::uint64_t* masks,
+                               const std::uint8_t* missing, std::size_t lo,
+                               std::size_t hi, std::size_t n_opts,
+                               std::uint64_t* tallies) {
+  using V = VU64<L>;
+  const V one = V::set1(1);
+  const V iota = V::iota();
+  // Option-block outer loop: the accumulator lives in a register for the
+  // whole row sweep (every row hits the same tally row), at the price of
+  // re-reading the mask column once per block — it streams from cache.
+  for (std::size_t o = 0; o < n_opts; o += L) {
+    const int lanes = static_cast<int>(std::min<std::size_t>(L, n_opts - o));
+    const V shifts = iota + V::set1(o);
+    V acc = V::load_first(tallies + o, lanes);
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc = acc + (V::srlv(V::set1(masks[i]), shifts) & one);
+    }
+    acc.store_first(tallies + o, lanes);
+  }
+  std::size_t miss = 0;
+  for (std::size_t i = lo; i < hi; ++i) miss += missing[i] != 0 ? 1u : 0u;
+  return miss;
+}
+
+template <int L>
+void add_weighted_multiselect_impl(const std::int32_t* codes,
+                                   const std::uint64_t* masks,
+                                   const std::uint8_t* missing,
+                                   const double* weights, std::size_t lo,
+                                   std::size_t hi, std::size_t n_opts,
+                                   double* cells) {
+  using V = VU64<L>;
+  using F = VF64<L>;
+  const V one = V::set1(1);
+  const V iota = V::iota();
+  const std::size_t full = n_opts - n_opts % L;
+  const int rem = static_cast<int>(n_opts - full);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::int32_t r = codes[i];
+    if (r < 0 || missing[i] != 0) continue;
+    const double w = weights[i];
+    if (w != w) continue;  // missing (NaN) weight drops the row
+    RCR_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    const F wv = F::set1(w);
+    const V m = V::set1(masks[i]);
+    double* row = cells + static_cast<std::size_t>(r) * n_opts;
+    std::size_t o = 0;
+    for (; o < full; o += L) {
+      const V bits = V::srlv(m, iota + V::set1(o)) & one;
+      (F::load(row + o) + F::masked01(bits, wv)).store(row + o);
+    }
+    if (rem != 0) {
+      const V bits = V::srlv(m, iota + V::set1(o)) & one;
+      (F::load_first(row + o, rem) + F::masked01(bits, wv))
+          .store_first(row + o, rem);
+    }
+  }
+}
+
+// stream::mix64 lifted lane-wise (same constants, same shifts).
+template <int L>
+inline VU64<L> mix64_v(VU64<L> z) {
+  using V = VU64<L>;
+  z = z + V::set1(0x9E3779B97F4A7C15ULL);
+  z = V::mullo(z ^ z.template srl<30>(), V::set1(0xBF58476D1CE4E5B9ULL));
+  z = V::mullo(z ^ z.template srl<27>(), V::set1(0x94D049BB133111EBULL));
+  return z ^ z.template srl<31>();
+}
+
+template <int L>
+void mix64_map_impl(const std::uint64_t* in, std::size_t n,
+                    std::uint64_t salt, std::uint64_t* out) {
+  using V = VU64<L>;
+  const V saltv = V::set1(salt);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    mix64_v<L>(V::load(in + i) ^ saltv).store(out + i);
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem != 0) {
+    mix64_v<L>(V::load_first(in + i, rem) ^ saltv)
+        .store_first(out + i, rem);
+  }
+}
+
+template <int L>
+void mix64_combine_impl(std::uint64_t* h, const std::uint64_t* cells,
+                        std::size_t n) {
+  using V = VU64<L>;
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    mix64_v<L>(V::load(h + i) ^ V::load(cells + i)).store(h + i);
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem != 0) {
+    mix64_v<L>(V::load_first(h + i, rem) ^ V::load_first(cells + i, rem))
+        .store_first(h + i, rem);
+  }
+}
+
+// Philox4x32-10 over L blocks at a time. Each u64 lane carries one 32-bit
+// counter word zero-extended, so mul_lo32 delivers the exact 64-bit
+// product the round function splits into hi/lo halves — no widening
+// shuffle needed. Trailing blocks (nblocks % L) rerun the same body at
+// L = 1, which is identical math on one lane.
+template <int L>
+void philox_fill_u64_impl(std::uint64_t block0, std::uint64_t stream,
+                          const std::uint32_t* round_keys,
+                          std::uint64_t* dst, std::size_t nblocks) {
+  using V = VU64<L>;
+  const V lo32 = V::set1(0xFFFFFFFFULL);
+  const V m0 = V::set1(0xD2511F53ULL);
+  const V m1 = V::set1(0xCD9E8D57ULL);
+  const V c2_init = V::set1(stream & 0xFFFFFFFFULL);
+  const V c3_init = V::set1(stream >> 32);
+  const V iota = V::iota();
+  for (std::size_t b = 0; b + L <= nblocks; b += L) {
+    const V bn = V::set1(block0 + b) + iota;
+    V c0 = bn & lo32;
+    V c1 = bn.template srl<32>();
+    V c2 = c2_init;
+    V c3 = c3_init;
+    for (int r = 0; r < 10; ++r) {
+      const V p0 = V::mul_lo32(m0, c0);
+      const V p1 = V::mul_lo32(m1, c2);
+      const V k0 = V::set1(round_keys[2 * r]);
+      const V k1 = V::set1(round_keys[2 * r + 1]);
+      c0 = p1.template srl<32>() ^ c1 ^ k0;
+      c1 = p1 & lo32;
+      c2 = p0.template srl<32>() ^ c3 ^ k1;
+      c3 = p0 & lo32;
+    }
+    // Draw 2b = x0 | x1 << 32, draw 2b+1 = x2 | x3 << 32, in stream order.
+    const V even = c0 | c1.template sll<32>();
+    const V odd = c2 | c3.template sll<32>();
+    V::interleave_store(dst + 2 * b, even, odd);
+  }
+  if constexpr (L > 1) {
+    const std::size_t done = nblocks - nblocks % L;
+    if (done != nblocks) {
+      philox_fill_u64_impl<1>(block0 + done, stream, round_keys,
+                              dst + 2 * done, nblocks - done);
+    }
+  }
+}
+
+template <int L>
+void unit_doubles_from_u64_impl(const std::uint64_t* in, std::size_t n,
+                                double* out) {
+  using V = VU64<L>;
+  using F = VF64<L>;
+  const F scale = F::set1(0x1.0p-53);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    (F::from_u53(V::load(in + i).template srl<11>()) * scale).store(out + i);
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem != 0) {
+    (F::from_u53(V::load_first(in + i, rem).template srl<11>()) * scale)
+        .store_first(out + i, rem);
+  }
+}
+
+}  // namespace rcr::simd::detail
+
+// Explicit-instantiation helper: KW is `extern` for declarations (in
+// kernels.cpp, pointing at the wide TUs) and empty for definitions.
+#define RCR_SIMD_KERNEL_INSTANCES(KW, L)                                     \
+  KW template void tally_multiselect_impl<L>(                                \
+      const std::int32_t*, const std::uint64_t*, std::size_t, std::size_t,   \
+      std::size_t, std::uint64_t*);                                          \
+  KW template std::size_t tally_options_impl<L>(                             \
+      const std::uint64_t*, const std::uint8_t*, std::size_t, std::size_t,   \
+      std::size_t, std::uint64_t*);                                          \
+  KW template void add_weighted_multiselect_impl<L>(                         \
+      const std::int32_t*, const std::uint64_t*, const std::uint8_t*,        \
+      const double*, std::size_t, std::size_t, std::size_t, double*);        \
+  KW template void mix64_map_impl<L>(const std::uint64_t*, std::size_t,      \
+                                     std::uint64_t, std::uint64_t*);         \
+  KW template void mix64_combine_impl<L>(std::uint64_t*,                     \
+                                         const std::uint64_t*, std::size_t); \
+  KW template void philox_fill_u64_impl<L>(                                  \
+      std::uint64_t, std::uint64_t, const std::uint32_t*, std::uint64_t*,    \
+      std::size_t);                                                          \
+  KW template void unit_doubles_from_u64_impl<L>(const std::uint64_t*,       \
+                                                 std::size_t, double*)

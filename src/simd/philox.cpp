@@ -1,0 +1,92 @@
+#include "simd/philox.hpp"
+
+#include <algorithm>
+
+#include "simd/kernels.hpp"
+
+namespace rcr::simd {
+
+Philox::Philox(std::uint64_t seed, std::uint64_t stream)
+    : seed_(seed), stream_(stream) {
+  std::uint32_t k0 = static_cast<std::uint32_t>(seed);
+  std::uint32_t k1 = static_cast<std::uint32_t>(seed >> 32);
+  for (int r = 0; r < kRounds; ++r) {
+    round_keys_[2 * r] = k0;
+    round_keys_[2 * r + 1] = k1;
+    k0 += kWeyl0;
+    k1 += kWeyl1;
+  }
+}
+
+std::array<std::uint32_t, 4> Philox::block(
+    const std::array<std::uint32_t, 4>& ctr,
+    const std::array<std::uint32_t, 2>& key) {
+  std::uint32_t c0 = ctr[0], c1 = ctr[1], c2 = ctr[2], c3 = ctr[3];
+  std::uint32_t k0 = key[0], k1 = key[1];
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint64_t p0 = std::uint64_t{kMult0} * c0;
+    const std::uint64_t p1 = std::uint64_t{kMult1} * c2;
+    c0 = static_cast<std::uint32_t>(p1 >> 32) ^ c1 ^ k0;
+    c1 = static_cast<std::uint32_t>(p1);
+    c2 = static_cast<std::uint32_t>(p0 >> 32) ^ c3 ^ k1;
+    c3 = static_cast<std::uint32_t>(p0);
+    k0 += kWeyl0;
+    k1 += kWeyl1;
+  }
+  return {c0, c1, c2, c3};
+}
+
+std::array<std::uint64_t, 2> Philox::draws_of_block(std::uint64_t b) const {
+  const std::array<std::uint32_t, 4> ctr = {
+      static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(b >> 32),
+      static_cast<std::uint32_t>(stream_),
+      static_cast<std::uint32_t>(stream_ >> 32)};
+  const auto x = block(ctr, {round_keys_[0], round_keys_[1]});
+  return {x[0] | std::uint64_t{x[1]} << 32, x[2] | std::uint64_t{x[3]} << 32};
+}
+
+std::uint64_t Philox::next_u64() {
+  const std::uint64_t b = pos_ >> 1;
+  if (b != cached_block_) {
+    cached_draws_ = draws_of_block(b);
+    cached_block_ = b;
+  }
+  return cached_draws_[pos_++ & 1];
+}
+
+double Philox::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+void Philox::fill_u64(std::span<std::uint64_t> out) {
+  std::size_t i = 0;
+  // Mid-block entry: finish the current pair through the scalar path so the
+  // bulk kernel starts block-aligned.
+  if ((pos_ & 1) != 0 && i < out.size()) out[i++] = next_u64();
+  const std::size_t nblocks = (out.size() - i) / 2;
+  if (nblocks != 0) {
+    // block0 = pos_ >> 1 <= 2^63 - 1 and nblocks <= 2^63, so the lane
+    // indices block0 + k never wrap 64 bits.
+    philox_fill_u64(pos_ >> 1, stream_, round_keys_.data(), out.data() + i,
+                    nblocks);
+    pos_ += nblocks * 2;
+    i += nblocks * 2;
+  }
+  if (i < out.size()) out[i++] = next_u64();
+}
+
+void Philox::fill_double(std::span<double> out) {
+  // Chunked draw-then-convert: fill_u64 advances the stream exactly as the
+  // scalar loop would, and the conversion is exact at every width, so this
+  // is bitwise the sequence of next_double() calls.
+  std::array<std::uint64_t, 1024> scratch;
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const std::size_t n = std::min(out.size() - off, scratch.size());
+    fill_u64(std::span<std::uint64_t>(scratch.data(), n));
+    unit_doubles_from_u64(scratch.data(), n, out.data() + off);
+    off += n;
+  }
+}
+
+}  // namespace rcr::simd

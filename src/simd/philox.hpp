@@ -1,0 +1,92 @@
+// Philox4x32-10 — a counter-based, splittable RNG (Salmon et al.,
+// "Parallel Random Numbers: As Easy as 1, 2, 3", SC'11; the Random123
+// reference implementation defines the algorithm).
+//
+// Where xoshiro256** (util/rng.hpp) carries 256 bits of sequential state,
+// Philox is a pure function: draw i of stream s under seed k is
+// block(counter = {i/2, s}, key = k) with no state to advance. That buys
+// the two properties the sequential generators cannot offer:
+//
+//   * O(1) arbitrary offset — skip(n) is `pos += n`, so a shard can jump
+//     straight to its slice of a logical stream without generating (or
+//     jump-polynomial-ing) everything before it;
+//   * cheap splitting — substream(s) reuses the key schedule with a new
+//     64-bit stream id packed into the counter's high half: 2^64
+//     independent streams per seed, each 2^65 draws long, with no
+//     correlation concerns beyond the cipher itself (Philox passes
+//     BigCrush).
+//
+// Draw convention: block b of stream s yields output words x0..x3 (each 32
+// bits); draw 2b is x0 | x1 << 32 and draw 2b+1 is x2 | x3 << 32.
+// next_double() maps a draw through (u >> 11) * 2^-53, the same convention
+// as Rng::next_double. fill_u64/fill_double produce exactly the scalar
+// call sequence (vectorized L blocks at a time through simd::philox_fill_u64,
+// which the determinism suite pins against the scalar path), so converting
+// a draw loop to a fill never changes any output.
+//
+// Like the XXH64-from-spec implementation in util/hash.hpp, the test suite
+// pins the published Random123 known-answer vectors, so this generator can
+// never drift silently from the spec.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rcr::simd {
+
+class Philox {
+ public:
+  // Multipliers and Weyl key increments from the Philox4x32 spec.
+  static constexpr std::uint32_t kMult0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMult1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+  static constexpr int kRounds = 10;
+
+  explicit Philox(std::uint64_t seed = 0x9E3779B97F4A7C15ULL,
+                  std::uint64_t stream = 0);
+
+  // The 10-round reference permutation, straight from the spec: counter
+  // words {c0..c3}, key {k0, k1} bumped by the Weyl constants each round.
+  // Exposed so tests can pin the published known-answer vectors.
+  static std::array<std::uint32_t, 4> block(
+      const std::array<std::uint32_t, 4>& ctr,
+      const std::array<std::uint32_t, 2>& key);
+
+  std::uint64_t next_u64();
+  // Uniform in [0, 1), 53 bits: (next_u64() >> 11) * 2^-53.
+  double next_double();
+
+  // Batched draws; exactly the sequence of the equivalent scalar loop.
+  void fill_u64(std::span<std::uint64_t> out);
+  void fill_double(std::span<double> out);
+
+  // O(1) stream positioning: skip(n) advances past n draws; seek(p) jumps
+  // to absolute draw index p; position() is the index of the next draw.
+  void skip(std::uint64_t n) { pos_ += n; }
+  void seek(std::uint64_t p) { pos_ = p; }
+  std::uint64_t position() const { return pos_; }
+
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t stream() const { return stream_; }
+
+  // An independent generator on stream `s` of the same seed, at draw 0.
+  Philox substream(std::uint64_t s) const { return Philox(seed_, s); }
+
+ private:
+  std::array<std::uint64_t, 2> draws_of_block(std::uint64_t b) const;
+
+  std::uint64_t seed_;
+  std::uint64_t stream_;
+  std::uint64_t pos_ = 0;
+  // Bumped key schedule {k0 + r*W0, k1 + r*W1} for r in [0, kRounds) —
+  // precomputed once so the per-block hot path carries no key updates.
+  std::array<std::uint32_t, 2 * kRounds> round_keys_{};
+  // next_u64 generates a whole block (2 draws) at a time; remember it so
+  // the odd draw of a pair costs nothing.
+  std::uint64_t cached_block_ = ~std::uint64_t{0};
+  std::array<std::uint64_t, 2> cached_draws_{};
+};
+
+}  // namespace rcr::simd

@@ -1,0 +1,470 @@
+// V<L> — the width-generic SIMD value types of rcr::simd.
+//
+// One kernel body, written against VU64<L> (L unsigned 64-bit lanes) and
+// VF64<L> (L doubles), compiles at every lane count: L = 1 is plain scalar
+// code, L = 2 maps to SSE2, L = 4 to AVX2, L = 8 to AVX-512 (F + DQ). The
+// style follows fabiocannizzo/MT19937-SIMD: a thin struct around the native
+// register with static factory loads, member stores, and operator
+// overloads, so the kernel source reads like scalar arithmetic.
+//
+// Two rules keep every instantiation bitwise-identical to the scalar one:
+//
+//   * Only lane-local operations are exposed. There is deliberately no
+//     horizontal add/reduce: reassociating a floating-point sum changes
+//     bits, and the toolkit's determinism contract (DESIGN.md) forbids it.
+//     Kernels that accumulate doubles do so lane-parallel into memory the
+//     scalar code would touch in the same per-cell order.
+//   * Tails are handled with masked loads/stores (`first_n` lanes), never
+//     by over-reading or over-writing — the masked-out lanes are not
+//     accessed, so kernels stay clean under ASan and on page boundaries.
+//
+// Each specialization is guarded by the compiler's ISA macros; the wide
+// ones only exist inside translation units compiled with -mavx2 /
+// -mavx512f -mavx512dq (see src/simd/CMakeLists.txt). Runtime selection
+// between the compiled widths lives in dispatch.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define RCR_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace rcr::simd {
+
+template <int L>
+struct VU64;
+template <int L>
+struct VF64;
+
+// Bit patterns for the u64 -> f64 exact-conversion trick (see from_u53).
+inline constexpr std::uint64_t kExpBits52 = 0x4330000000000000ULL;  // 2^52
+inline constexpr std::uint64_t kExpBits84 = 0x4530000000000000ULL;  // 2^84
+
+// --- L = 1: the scalar reference every wider width must match --------------
+
+template <>
+struct VU64<1> {
+  static constexpr int kLanes = 1;
+  std::uint64_t v;
+
+  static VU64 load(const std::uint64_t* p) { return {*p}; }
+  static VU64 set1(std::uint64_t x) { return {x}; }
+  static VU64 zero() { return {0}; }
+  // Lane i holds i.
+  static VU64 iota() { return {0}; }
+  // First `n` lanes only (n in [0, kLanes]); other lanes are untouched
+  // memory (load returns zero there).
+  static VU64 load_first(const std::uint64_t* p, int n) {
+    return {n > 0 ? *p : 0};
+  }
+  void store(std::uint64_t* p) const { *p = v; }
+  void store_first(std::uint64_t* p, int n) const {
+    if (n > 0) *p = v;
+  }
+
+  friend VU64 operator+(VU64 a, VU64 b) { return {a.v + b.v}; }
+  friend VU64 operator-(VU64 a, VU64 b) { return {a.v - b.v}; }
+  friend VU64 operator&(VU64 a, VU64 b) { return {a.v & b.v}; }
+  friend VU64 operator|(VU64 a, VU64 b) { return {a.v | b.v}; }
+  friend VU64 operator^(VU64 a, VU64 b) { return {a.v ^ b.v}; }
+
+  template <int K>
+  VU64 srl() const {
+    return {v >> K};
+  }
+  template <int K>
+  VU64 sll() const {
+    return {v << K};
+  }
+  // Per-lane variable right shift; shifts >= 64 yield 0 (hardware vpsrlvq
+  // semantics — C++ leaves them undefined, so guard explicitly).
+  static VU64 srlv(VU64 x, VU64 counts) {
+    return {counts.v >= 64 ? 0 : x.v >> counts.v};
+  }
+  // Full 64x64 -> low 64 multiply.
+  static VU64 mullo(VU64 a, VU64 b) { return {a.v * b.v}; }
+  // Exact 32x32 -> 64 multiply of the low halves of each lane.
+  static VU64 mul_lo32(VU64 a, VU64 b) {
+    return {static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.v)) *
+            static_cast<std::uint32_t>(b.v)};
+  }
+  // p[2i] = even.lane(i), p[2i+1] = odd.lane(i) — the Philox draw order.
+  static void interleave_store(std::uint64_t* p, VU64 even, VU64 odd) {
+    p[0] = even.v;
+    p[1] = odd.v;
+  }
+};
+
+template <>
+struct VF64<1> {
+  static constexpr int kLanes = 1;
+  double v;
+
+  static VF64 load(const double* p) { return {*p}; }
+  static VF64 set1(double x) { return {x}; }
+  static VF64 zero() { return {0.0}; }
+  static VF64 load_first(const double* p, int n) { return {n > 0 ? *p : 0.0}; }
+  void store(double* p) const { *p = v; }
+  void store_first(double* p, int n) const {
+    if (n > 0) *p = v;
+  }
+
+  friend VF64 operator+(VF64 a, VF64 b) { return {a.v + b.v}; }
+  friend VF64 operator*(VF64 a, VF64 b) { return {a.v * b.v}; }
+
+  // Lane-wise select: w where bits01 lane == 1, +0.0 where it is 0. Exactly
+  // `w * bit` for bit in {0,1} (w * 1.0 == w and w * 0.0 == +0.0 bitwise
+  // for non-NaN, non-negative w), with no multiply on the critical path.
+  static VF64 masked01(VU64<1> bits01, VF64 w) {
+    return {bits01.v != 0 ? w.v : 0.0};
+  }
+  // Exact conversion of integer lanes < 2^53 to double.
+  static VF64 from_u53(VU64<1> x) { return {static_cast<double>(x.v)}; }
+};
+
+// --- L = 2: SSE2 ------------------------------------------------------------
+
+#if defined(RCR_SIMD_X86) && defined(__SSE2__)
+template <>
+struct VU64<2> {
+  static constexpr int kLanes = 2;
+  __m128i v;
+
+  static VU64 load(const std::uint64_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static VU64 set1(std::uint64_t x) {
+    return {_mm_set1_epi64x(static_cast<long long>(x))};
+  }
+  static VU64 zero() { return {_mm_setzero_si128()}; }
+  static VU64 iota() { return {_mm_set_epi64x(1, 0)}; }
+  static VU64 load_first(const std::uint64_t* p, int n) {
+    // SSE2 has no masked loads; a lane loop keeps masked-out memory
+    // untouched (n < kLanes only on tails).
+    alignas(16) std::uint64_t tmp[2] = {0, 0};
+    for (int i = 0; i < n; ++i) tmp[i] = p[i];
+    return {_mm_load_si128(reinterpret_cast<const __m128i*>(tmp))};
+  }
+  void store(std::uint64_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  void store_first(std::uint64_t* p, int n) const {
+    alignas(16) std::uint64_t tmp[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), v);
+    for (int i = 0; i < n; ++i) p[i] = tmp[i];
+  }
+
+  friend VU64 operator+(VU64 a, VU64 b) { return {_mm_add_epi64(a.v, b.v)}; }
+  friend VU64 operator-(VU64 a, VU64 b) { return {_mm_sub_epi64(a.v, b.v)}; }
+  friend VU64 operator&(VU64 a, VU64 b) { return {_mm_and_si128(a.v, b.v)}; }
+  friend VU64 operator|(VU64 a, VU64 b) { return {_mm_or_si128(a.v, b.v)}; }
+  friend VU64 operator^(VU64 a, VU64 b) { return {_mm_xor_si128(a.v, b.v)}; }
+
+  template <int K>
+  VU64 srl() const {
+    return {_mm_srli_epi64(v, K)};
+  }
+  template <int K>
+  VU64 sll() const {
+    return {_mm_slli_epi64(v, K)};
+  }
+  static VU64 srlv(VU64 x, VU64 counts) {
+    // No vpsrlvq before AVX2: shift each lane through the scalar path.
+    alignas(16) std::uint64_t xv[2], cv[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(xv), x.v);
+    _mm_store_si128(reinterpret_cast<__m128i*>(cv), counts.v);
+    for (int i = 0; i < 2; ++i) xv[i] = cv[i] >= 64 ? 0 : xv[i] >> cv[i];
+    return {_mm_load_si128(reinterpret_cast<const __m128i*>(xv))};
+  }
+  static VU64 mullo(VU64 a, VU64 b) {
+    // 64x64 low product from three 32x32 partials:
+    //   lo(a*b) = lo32(a)*lo32(b) + ((lo32(a)*hi32(b) + hi32(a)*lo32(b)) << 32)
+    const __m128i a_hi = _mm_srli_epi64(a.v, 32);
+    const __m128i b_hi = _mm_srli_epi64(b.v, 32);
+    const __m128i ll = _mm_mul_epu32(a.v, b.v);
+    const __m128i lh = _mm_mul_epu32(a.v, b_hi);
+    const __m128i hl = _mm_mul_epu32(a_hi, b.v);
+    const __m128i cross = _mm_slli_epi64(_mm_add_epi64(lh, hl), 32);
+    return {_mm_add_epi64(ll, cross)};
+  }
+  static VU64 mul_lo32(VU64 a, VU64 b) { return {_mm_mul_epu32(a.v, b.v)}; }
+  static void interleave_store(std::uint64_t* p, VU64 even, VU64 odd) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p),
+                     _mm_unpacklo_epi64(even.v, odd.v));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p + 2),
+                     _mm_unpackhi_epi64(even.v, odd.v));
+  }
+};
+
+template <>
+struct VF64<2> {
+  static constexpr int kLanes = 2;
+  __m128d v;
+
+  static VF64 load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static VF64 set1(double x) { return {_mm_set1_pd(x)}; }
+  static VF64 zero() { return {_mm_setzero_pd()}; }
+  static VF64 load_first(const double* p, int n) {
+    alignas(16) double tmp[2] = {0.0, 0.0};
+    for (int i = 0; i < n; ++i) tmp[i] = p[i];
+    return {_mm_load_pd(tmp)};
+  }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+  void store_first(double* p, int n) const {
+    alignas(16) double tmp[2];
+    _mm_store_pd(tmp, v);
+    for (int i = 0; i < n; ++i) p[i] = tmp[i];
+  }
+
+  friend VF64 operator+(VF64 a, VF64 b) { return {_mm_add_pd(a.v, b.v)}; }
+  friend VF64 operator*(VF64 a, VF64 b) { return {_mm_mul_pd(a.v, b.v)}; }
+
+  static VF64 masked01(VU64<2> bits01, VF64 w) {
+    // 0 - bit gives an all-ones / all-zeros lane mask without the 64-bit
+    // compare SSE2 lacks; AND keeps w or leaves +0.0.
+    const __m128i mask = _mm_sub_epi64(_mm_setzero_si128(), bits01.v);
+    return {_mm_and_pd(_mm_castsi128_pd(mask), w.v)};
+  }
+  static VF64 from_u53(VU64<2> x) {
+    // Exact for x < 2^53: assemble hi32 * 2^32 + lo32 from the mantissas of
+    // two magic-biased doubles. Both partials and their sum are exact.
+    const __m128i lo =
+        _mm_or_si128(_mm_and_si128(x.v, _mm_set1_epi64x(0xFFFFFFFFLL)),
+                     _mm_set1_epi64x(static_cast<long long>(kExpBits52)));
+    const __m128i hi =
+        _mm_or_si128(_mm_srli_epi64(x.v, 32),
+                     _mm_set1_epi64x(static_cast<long long>(kExpBits84)));
+    const __m128d hi_d = _mm_sub_pd(
+        _mm_castsi128_pd(hi),
+        _mm_add_pd(_mm_set1_pd(0x1.0p84), _mm_set1_pd(0x1.0p52)));
+    return {_mm_add_pd(hi_d, _mm_castsi128_pd(lo))};
+  }
+};
+#endif  // __SSE2__
+
+// --- L = 4: AVX2 ------------------------------------------------------------
+
+#if defined(RCR_SIMD_X86) && defined(__AVX2__)
+template <>
+struct VU64<4> {
+  static constexpr int kLanes = 4;
+  __m256i v;
+
+  static VU64 load(const std::uint64_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static VU64 set1(std::uint64_t x) {
+    return {_mm256_set1_epi64x(static_cast<long long>(x))};
+  }
+  static VU64 zero() { return {_mm256_setzero_si256()}; }
+  static VU64 iota() { return {_mm256_set_epi64x(3, 2, 1, 0)}; }
+  static __m256i first_n_mask(int n) {
+    return _mm256_cmpgt_epi64(_mm256_set1_epi64x(n), iota().v);
+  }
+  static VU64 load_first(const std::uint64_t* p, int n) {
+    // vpmaskmovq suppresses access to masked-out lanes entirely.
+    return {_mm256_maskload_epi64(reinterpret_cast<const long long*>(p),
+                                  first_n_mask(n))};
+  }
+  void store(std::uint64_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  void store_first(std::uint64_t* p, int n) const {
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(p), first_n_mask(n),
+                           v);
+  }
+
+  friend VU64 operator+(VU64 a, VU64 b) {
+    return {_mm256_add_epi64(a.v, b.v)};
+  }
+  friend VU64 operator-(VU64 a, VU64 b) {
+    return {_mm256_sub_epi64(a.v, b.v)};
+  }
+  friend VU64 operator&(VU64 a, VU64 b) {
+    return {_mm256_and_si256(a.v, b.v)};
+  }
+  friend VU64 operator|(VU64 a, VU64 b) {
+    return {_mm256_or_si256(a.v, b.v)};
+  }
+  friend VU64 operator^(VU64 a, VU64 b) {
+    return {_mm256_xor_si256(a.v, b.v)};
+  }
+
+  template <int K>
+  VU64 srl() const {
+    return {_mm256_srli_epi64(v, K)};
+  }
+  template <int K>
+  VU64 sll() const {
+    return {_mm256_slli_epi64(v, K)};
+  }
+  static VU64 srlv(VU64 x, VU64 counts) {
+    return {_mm256_srlv_epi64(x.v, counts.v)};
+  }
+  static VU64 mullo(VU64 a, VU64 b) {
+    const __m256i a_hi = _mm256_srli_epi64(a.v, 32);
+    const __m256i b_hi = _mm256_srli_epi64(b.v, 32);
+    const __m256i ll = _mm256_mul_epu32(a.v, b.v);
+    const __m256i lh = _mm256_mul_epu32(a.v, b_hi);
+    const __m256i hl = _mm256_mul_epu32(a_hi, b.v);
+    const __m256i cross = _mm256_slli_epi64(_mm256_add_epi64(lh, hl), 32);
+    return {_mm256_add_epi64(ll, cross)};
+  }
+  static VU64 mul_lo32(VU64 a, VU64 b) {
+    return {_mm256_mul_epu32(a.v, b.v)};
+  }
+  static void interleave_store(std::uint64_t* p, VU64 even, VU64 odd) {
+    // unpack works within 128-bit halves; permute2x128 reassembles the
+    // sequential order {e0,o0,e1,o1 | e2,o2,e3,o3}.
+    const __m256i lo = _mm256_unpacklo_epi64(even.v, odd.v);  // e0 o0 e2 o2
+    const __m256i hi = _mm256_unpackhi_epi64(even.v, odd.v);  // e1 o1 e3 o3
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p),
+                        _mm256_permute2x128_si256(lo, hi, 0x20));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + 4),
+                        _mm256_permute2x128_si256(lo, hi, 0x31));
+  }
+};
+
+template <>
+struct VF64<4> {
+  static constexpr int kLanes = 4;
+  __m256d v;
+
+  static VF64 load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static VF64 set1(double x) { return {_mm256_set1_pd(x)}; }
+  static VF64 zero() { return {_mm256_setzero_pd()}; }
+  static VF64 load_first(const double* p, int n) {
+    return {_mm256_maskload_pd(p, VU64<4>::first_n_mask(n))};
+  }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  void store_first(double* p, int n) const {
+    _mm256_maskstore_pd(p, VU64<4>::first_n_mask(n), v);
+  }
+
+  friend VF64 operator+(VF64 a, VF64 b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend VF64 operator*(VF64 a, VF64 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+
+  static VF64 masked01(VU64<4> bits01, VF64 w) {
+    const __m256i mask = _mm256_sub_epi64(_mm256_setzero_si256(), bits01.v);
+    return {_mm256_and_pd(_mm256_castsi256_pd(mask), w.v)};
+  }
+  static VF64 from_u53(VU64<4> x) {
+    const __m256i lo = _mm256_or_si256(
+        _mm256_and_si256(x.v, _mm256_set1_epi64x(0xFFFFFFFFLL)),
+        _mm256_set1_epi64x(static_cast<long long>(kExpBits52)));
+    const __m256i hi = _mm256_or_si256(
+        _mm256_srli_epi64(x.v, 32),
+        _mm256_set1_epi64x(static_cast<long long>(kExpBits84)));
+    const __m256d hi_d = _mm256_sub_pd(
+        _mm256_castsi256_pd(hi),
+        _mm256_add_pd(_mm256_set1_pd(0x1.0p84), _mm256_set1_pd(0x1.0p52)));
+    return {_mm256_add_pd(hi_d, _mm256_castsi256_pd(lo))};
+  }
+};
+#endif  // __AVX2__
+
+// --- L = 8: AVX-512 (F + DQ) ------------------------------------------------
+
+#if defined(RCR_SIMD_X86) && defined(__AVX512F__) && defined(__AVX512DQ__)
+template <>
+struct VU64<8> {
+  static constexpr int kLanes = 8;
+  __m512i v;
+
+  static VU64 load(const std::uint64_t* p) {
+    return {_mm512_loadu_si512(p)};
+  }
+  static VU64 set1(std::uint64_t x) {
+    return {_mm512_set1_epi64(static_cast<long long>(x))};
+  }
+  static VU64 zero() { return {_mm512_setzero_si512()}; }
+  static VU64 iota() { return {_mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0)}; }
+  static __mmask8 first_n_mask(int n) {
+    return static_cast<__mmask8>((1u << n) - 1u);
+  }
+  static VU64 load_first(const std::uint64_t* p, int n) {
+    return {_mm512_maskz_loadu_epi64(first_n_mask(n), p)};
+  }
+  void store(std::uint64_t* p) const { _mm512_storeu_si512(p, v); }
+  void store_first(std::uint64_t* p, int n) const {
+    _mm512_mask_storeu_epi64(p, first_n_mask(n), v);
+  }
+
+  friend VU64 operator+(VU64 a, VU64 b) {
+    return {_mm512_add_epi64(a.v, b.v)};
+  }
+  friend VU64 operator-(VU64 a, VU64 b) {
+    return {_mm512_sub_epi64(a.v, b.v)};
+  }
+  friend VU64 operator&(VU64 a, VU64 b) {
+    return {_mm512_and_si512(a.v, b.v)};
+  }
+  friend VU64 operator|(VU64 a, VU64 b) {
+    return {_mm512_or_si512(a.v, b.v)};
+  }
+  friend VU64 operator^(VU64 a, VU64 b) {
+    return {_mm512_xor_si512(a.v, b.v)};
+  }
+
+  template <int K>
+  VU64 srl() const {
+    return {_mm512_srli_epi64(v, K)};
+  }
+  template <int K>
+  VU64 sll() const {
+    return {_mm512_slli_epi64(v, K)};
+  }
+  static VU64 srlv(VU64 x, VU64 counts) {
+    return {_mm512_srlv_epi64(x.v, counts.v)};
+  }
+  static VU64 mullo(VU64 a, VU64 b) {
+    return {_mm512_mullo_epi64(a.v, b.v)};  // vpmullq (DQ)
+  }
+  static VU64 mul_lo32(VU64 a, VU64 b) {
+    return {_mm512_mul_epu32(a.v, b.v)};
+  }
+  static void interleave_store(std::uint64_t* p, VU64 even, VU64 odd) {
+    const __m512i idx_lo =
+        _mm512_set_epi64(11, 3, 10, 2, 9, 1, 8, 0);  // e0 o0 .. e3 o3
+    const __m512i idx_hi =
+        _mm512_set_epi64(15, 7, 14, 6, 13, 5, 12, 4);  // e4 o4 .. e7 o7
+    _mm512_storeu_si512(p, _mm512_permutex2var_epi64(even.v, idx_lo, odd.v));
+    _mm512_storeu_si512(p + 8,
+                        _mm512_permutex2var_epi64(even.v, idx_hi, odd.v));
+  }
+};
+
+template <>
+struct VF64<8> {
+  static constexpr int kLanes = 8;
+  __m512d v;
+
+  static VF64 load(const double* p) { return {_mm512_loadu_pd(p)}; }
+  static VF64 set1(double x) { return {_mm512_set1_pd(x)}; }
+  static VF64 zero() { return {_mm512_setzero_pd()}; }
+  static VF64 load_first(const double* p, int n) {
+    return {_mm512_maskz_loadu_pd(VU64<8>::first_n_mask(n), p)};
+  }
+  void store(double* p) const { _mm512_storeu_pd(p, v); }
+  void store_first(double* p, int n) const {
+    _mm512_mask_storeu_pd(p, VU64<8>::first_n_mask(n), v);
+  }
+
+  friend VF64 operator+(VF64 a, VF64 b) { return {_mm512_add_pd(a.v, b.v)}; }
+  friend VF64 operator*(VF64 a, VF64 b) { return {_mm512_mul_pd(a.v, b.v)}; }
+
+  static VF64 masked01(VU64<8> bits01, VF64 w) {
+    return {_mm512_maskz_mov_pd(_mm512_test_epi64_mask(bits01.v, bits01.v),
+                                w.v)};
+  }
+  static VF64 from_u53(VU64<8> x) {
+    return {_mm512_cvtepu64_pd(x.v)};  // vcvtuqq2pd (DQ); exact below 2^53
+  }
+};
+#endif  // __AVX512F__ && __AVX512DQ__
+
+}  // namespace rcr::simd

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "simd/kernels.hpp"
 #include "util/error.hpp"
 
 namespace rcr::stream {
@@ -255,6 +256,24 @@ void CountMinSketch::add(std::uint64_t key_hash, double w) {
   }
 }
 
+void CountMinSketch::add_batch(std::span<const std::uint64_t> key_hashes,
+                               double w) {
+  if (w <= 0.0 || key_hashes.empty()) return;
+  scratch_.resize(key_hashes.size());
+  // Depth-outer: one vectorized mix64 sweep per row, then a scalar
+  // scatter. Reordering the adds across depths is invisible — each cell's
+  // += sequence still follows key order, and total_ below replays the
+  // exact per-key sequential sum — so this is bitwise add()-equivalent.
+  for (std::size_t d = 0; d < depth_; ++d) {
+    simd::mix64_map(key_hashes.data(), key_hashes.size(),
+                    mix64(seed_ + d + 1), scratch_.data());
+    double* row = cells_.data() + d * width_;
+    const std::uint64_t mask = width_ - 1;
+    for (const std::uint64_t h : scratch_) row[h & mask] += w;
+  }
+  for (std::size_t i = 0; i < key_hashes.size(); ++i) total_ += w;
+}
+
 double CountMinSketch::estimate(std::uint64_t key_hash) const {
   double est = std::numeric_limits<double>::infinity();
   for (std::size_t d = 0; d < depth_; ++d) {
@@ -410,6 +429,20 @@ void HyperLogLog::add(std::uint64_t key_hash) {
   const std::uint8_t rank = static_cast<std::uint8_t>(
       rest == 0 ? 64 - precision_ + 1 : std::countl_zero(rest) + 1);
   registers_[reg] = std::max(registers_[reg], rank);
+}
+
+void HyperLogLog::add_batch(std::span<const std::uint64_t> key_hashes) {
+  if (key_hashes.empty()) return;
+  scratch_.resize(key_hashes.size());
+  simd::mix64_map(key_hashes.data(), key_hashes.size(), mix64(seed_),
+                  scratch_.data());
+  for (const std::uint64_t h : scratch_) {
+    const std::size_t reg = static_cast<std::size_t>(h >> (64 - precision_));
+    const std::uint64_t rest = h << precision_;
+    const std::uint8_t rank = static_cast<std::uint8_t>(
+        rest == 0 ? 64 - precision_ + 1 : std::countl_zero(rest) + 1);
+    registers_[reg] = std::max(registers_[reg], rank);
+  }
 }
 
 double HyperLogLog::estimate() const {

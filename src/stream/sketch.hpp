@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -138,6 +139,11 @@ class CountMinSketch {
   void add(std::string_view key, double w = 1.0) {
     add(hash_bytes(key, seed_), w);
   }
+  // Batched form of add(): identical cells and total to the equivalent
+  // loop of add(key_hashes[i], w) calls (each cell's += sequence keeps key
+  // order; the depth loop is hoisted outward and the row hashing runs
+  // through the rcr::simd mix64 kernel, L keys at a time).
+  void add_batch(std::span<const std::uint64_t> key_hashes, double w = 1.0);
 
   double estimate(std::uint64_t key_hash) const;
   double estimate(std::string_view key) const {
@@ -161,6 +167,7 @@ class CountMinSketch {
   std::uint64_t seed_;
   double total_ = 0.0;
   std::vector<double> cells_;  // depth_ * width_
+  std::vector<std::uint64_t> scratch_;  // add_batch row hashes (reused)
 };
 
 // --- SpaceSaving ------------------------------------------------------------
@@ -210,6 +217,10 @@ class HyperLogLog {
 
   void add(std::uint64_t key_hash);
   void add(std::string_view key) { add(hash_bytes(key, seed_)); }
+  // Batched add(): register-wise max is order-insensitive, and the hash
+  // runs through the rcr::simd mix64 kernel — identical registers to the
+  // equivalent add() loop.
+  void add_batch(std::span<const std::uint64_t> key_hashes);
 
   double estimate() const;
   void merge(const HyperLogLog& other);  // precision and seed must match
@@ -221,6 +232,7 @@ class HyperLogLog {
   std::uint8_t precision_;
   std::uint64_t seed_;
   std::vector<std::uint8_t> registers_;
+  std::vector<std::uint64_t> scratch_;  // add_batch hashes (reused)
 };
 
 // --- WeightedReservoir ------------------------------------------------------

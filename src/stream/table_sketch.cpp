@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "simd/kernels.hpp"
 #include "util/error.hpp"
 
 namespace rcr::stream {
@@ -127,40 +128,102 @@ void TableSketch::ingest(const data::Table& block, std::size_t first_row) {
       state.quantile.add(v);
     }
   }
+  // The label domains are tiny (category/option sets), so the per-row key
+  // strings and their CMS hashes are built once per block and reused; the
+  // count-min inserts batch through add_batch (all unit weight, so the
+  // grouping cannot change any cell — see CountMinSketch::add_batch).
+  // SpaceSaving sees the same keys in the same row order as before.
+  std::vector<std::string> keys;
+  std::vector<std::uint64_t> key_hashes;
+  std::vector<std::uint64_t> cms_batch;
   for (auto& [name, state] : categorical_) {
     const auto& col = block.categorical(name);
     RCR_CHECK_MSG(col.category_count() == state.counts.size(),
                   "block categories diverge from the sketch schema");
+    keys.clear();
+    key_hashes.clear();
+    for (std::size_t c = 0; c < state.counts.size(); ++c) {
+      keys.push_back(label_key(name, col.category(c)));
+      key_hashes.push_back(hash_bytes(keys.back(), options_.seed));
+    }
+    cms_batch.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (col.is_missing(i)) continue;
       const std::size_t code = static_cast<std::size_t>(col.code_at(i));
       state.counts[code] += 1.0;
       state.answered += 1.0;
-      const std::string key = label_key(name, col.category(code));
-      label_cms_.add(key);
-      heavy_hitters_.add(key);
+      cms_batch.push_back(key_hashes[code]);
+      heavy_hitters_.add(keys[code]);
     }
+    label_cms_.add_batch(cms_batch);
   }
   for (auto& [name, state] : multiselect_) {
     const auto& col = block.multiselect(name);
     RCR_CHECK_MSG(col.option_count() == state.counts.size(),
                   "block options diverge from the sketch schema");
+    keys.clear();
+    key_hashes.clear();
+    for (std::size_t o = 0; o < state.counts.size(); ++o) {
+      keys.push_back(label_key(name, col.option(o)));
+      key_hashes.push_back(hash_bytes(keys.back(), options_.seed));
+    }
+    cms_batch.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (col.is_missing(i)) continue;
       state.answered += 1.0;
       for (std::size_t o = 0; o < state.counts.size(); ++o) {
         if (!col.has(i, o)) continue;
         state.counts[o] += 1.0;
-        const std::string key = label_key(name, col.option(o));
-        label_cms_.add(key);
-        heavy_hitters_.add(key);
+        cms_batch.push_back(key_hashes[o]);
+        heavy_hitters_.add(keys[o]);
       }
     }
+    label_cms_.add_batch(cms_batch);
   }
 
   for (auto& [pair, xtab] : crosstabs_) xtab.ingest(block);
 
-  for (std::size_t i = 0; i < n; ++i) distinct_.add(row_key(block, i));
+  // Distinct counting: the composite row key is a per-column chain of
+  // mix64(h ^ cell). Running it column-major over the whole block turns n
+  // sequential chains into one vectorized mix64_combine sweep per column
+  // — the same function of the same inputs per row as row_key(), which
+  // stays as the one-row reference the tests pin this path against.
+  {
+    std::vector<std::uint64_t> row_keys(n, mix64(options_.seed));
+    std::vector<std::uint64_t> cell(n);
+    for (const std::string& name : options_.distinct_columns) {
+      switch (schema_.kind(name)) {
+        case data::ColumnKind::kNumeric: {
+          const auto& col = block.numeric(name);
+          for (std::size_t i = 0; i < n; ++i) {
+            const double v = col.at(i);
+            cell[i] = data::NumericColumn::is_missing(v) ? 0x4D495353ULL
+                                                         : hash_double(v);
+          }
+          break;
+        }
+        case data::ColumnKind::kCategorical: {
+          const auto& col = block.categorical(name);
+          for (std::size_t i = 0; i < n; ++i) {
+            cell[i] = col.is_missing(i)
+                          ? 0x4D495353ULL
+                          : static_cast<std::uint64_t>(col.code_at(i)) + 1;
+          }
+          break;
+        }
+        case data::ColumnKind::kMultiSelect: {
+          const auto& col = block.multiselect(name);
+          for (std::size_t i = 0; i < n; ++i) {
+            cell[i] =
+                col.is_missing(i) ? 0x4D495353ULL : col.mask_at(i) + 1;
+          }
+          break;
+        }
+      }
+      simd::mix64_combine(row_keys.data(), cell.data(), n);
+    }
+    distinct_.add_batch(row_keys);
+  }
 
   if (!options_.reservoir_column.empty()) {
     const auto& col = block.numeric(options_.reservoir_column);

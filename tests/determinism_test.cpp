@@ -14,9 +14,12 @@
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "query/engine.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/philox.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/permutation.hpp"
+#include "stream/table_sketch.hpp"
 #include "util/rng.hpp"
 
 namespace rcr {
@@ -223,6 +226,155 @@ TEST(DeterminismTest, QueryEngineFingerprintIsPoolSizeInvariant) {
       EXPECT_EQ(fingerprint(&pool), reference)
           << "threads=" << threads << " run=" << run;
   }
+}
+
+// --- SIMD width invariance --------------------------------------------------
+// The rcr::simd kernels promise bits identical to their scalar (width-1)
+// instantiation. These tests force the scalar path, record a fingerprint,
+// then re-run at the native width (whatever the build and CPU provide —
+// on a -DRCR_SIMD_WIDTH=1 build both passes are scalar and the assertions
+// hold trivially) and at every pool size, so a vectorization bug can never
+// hide behind thread scheduling.
+
+// Pins dispatch to one ISA for a scope.
+struct ForcedIsa {
+  explicit ForcedIsa(simd::Isa isa) { simd::force_isa(isa); }
+  ~ForcedIsa() { simd::clear_isa_override(); }
+};
+
+TEST(DeterminismTest, QueryEngineFingerprintIsSimdWidthInvariant) {
+  const std::size_t n = 20000;
+  data::Table t;
+  auto& group = t.add_categorical("group", {"g0", "g1", "g2", "g3"});
+  auto& picks = t.add_multiselect("picks", {"p0", "p1", "p2", "p3", "p4"});
+  auto& value = t.add_numeric("value");
+  auto& weight = t.add_numeric("weight");
+  Rng rng(909);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_double() < 0.05) group.push_missing();
+    else group.push_code(static_cast<std::int32_t>(rng.next_below(4)));
+    if (rng.next_double() < 0.08) picks.push_missing();
+    else picks.push_mask(rng.next_u64() & 0x1FULL);
+    value.push(rng.normal() * 1e3 + rng.next_double());
+    weight.push(rng.next_double() * 2.0 + 0.25);
+  }
+
+  const auto fingerprint = [&](parallel::ThreadPool* pool) {
+    query::QueryEngine engine(t);
+    const auto ct = engine.add_crosstab_multiselect("group", "picks");
+    const auto ctw = engine.add_crosstab_multiselect(
+        "group", "picks", std::optional<std::string>{"weight"});
+    const auto os = engine.add_option_shares("picks");
+    engine.run(pool);
+
+    std::uint64_t fp = 0;
+    const auto fold = [&](double v) {
+      fp = fp * 0x9E3779B97F4A7C15ULL + bits_of(v);
+    };
+    for (const auto* x : {&engine.crosstab(ct), &engine.crosstab(ctw)})
+      for (std::size_t r = 0; r < x->counts.rows(); ++r)
+        for (std::size_t c = 0; c < x->counts.cols(); ++c)
+          fold(x->counts.at(r, c));
+    for (const auto& s : engine.shares(os)) {
+      fold(s.count);
+      fold(s.total);
+      fold(s.share.estimate);
+    }
+    return fp;
+  };
+
+  std::uint64_t reference = 0;
+  {
+    ForcedIsa scalar(simd::Isa::kScalar);
+    reference = fingerprint(nullptr);
+  }
+  // Native width (no override), serial and pooled.
+  EXPECT_EQ(fingerprint(nullptr), reference) << "native serial";
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    EXPECT_EQ(fingerprint(&pool), reference)
+        << "native width, threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, TableSketchFingerprintIsSimdWidthInvariant) {
+  // Two blocks with a non-multiple-of-any-lane-width row count each, so the
+  // batched CM/HLL inserts exercise their masked tails.
+  const auto make_block = [](std::size_t rows, std::uint64_t seed) {
+    data::Table b;
+    auto& field = b.add_categorical("field", {"f0", "f1", "f2"});
+    auto& langs = b.add_multiselect("langs", {"l0", "l1", "l2", "l3"});
+    auto& score = b.add_numeric("score");
+    Rng rng(seed);
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (rng.next_double() < 0.06) field.push_missing();
+      else field.push_code(static_cast<std::int32_t>(rng.next_below(3)));
+      if (rng.next_double() < 0.09) langs.push_missing();
+      else langs.push_mask(rng.next_u64() & 0xFULL);
+      if (rng.next_double() < 0.04) score.push_missing();
+      else score.push(rng.normal() * 7.0 + 20.0);
+    }
+    return b;
+  };
+  const data::Table block_a = make_block(1003, 1);
+  const data::Table block_b = make_block(517, 2);
+
+  const auto fingerprint = [&] {
+    stream::TableSketch sketch(block_a);
+    sketch.ingest(block_a, 0);
+    sketch.ingest(block_b, block_a.row_count());
+
+    std::uint64_t fp = 0;
+    const auto fold = [&](double v) {
+      fp = fp * 0x9E3779B97F4A7C15ULL + bits_of(v);
+    };
+    const auto& cms = sketch.label_cms();
+    fold(cms.total_weight());
+    const std::vector<std::pair<std::string, std::vector<std::string>>>
+        domains = {{"field", {"f0", "f1", "f2"}},
+                   {"langs", {"l0", "l1", "l2", "l3"}}};
+    for (const auto& [column, labels] : domains)
+      for (const auto& label : labels)
+        fold(cms.estimate(stream::TableSketch::label_key(column, label)));
+    fold(sketch.distinct().estimate());
+    for (const double c : sketch.category_counts("field")) fold(c);
+    for (const double c : sketch.option_counts("langs")) fold(c);
+    return fp;
+  };
+
+  std::uint64_t reference = 0;
+  {
+    ForcedIsa scalar(simd::Isa::kScalar);
+    reference = fingerprint();
+  }
+  EXPECT_EQ(fingerprint(), reference) << "native width";
+}
+
+TEST(DeterminismTest, PhiloxFillsAreSimdWidthInvariant) {
+  // 1003 draws from position 1: a half-block head, a vector body, and a
+  // block tail that is a multiple of no lane width — the maskstore path.
+  std::vector<std::uint64_t> want_u64(1003);
+  std::vector<double> want_f64(1003);
+  {
+    ForcedIsa scalar(simd::Isa::kScalar);
+    simd::Philox g(2024, 3);
+    g.seek(1);
+    g.fill_u64(want_u64);
+    simd::Philox h(2024, 3);
+    h.seek(1);
+    h.fill_double(want_f64);
+  }
+  std::vector<std::uint64_t> got_u64(1003);
+  std::vector<double> got_f64(1003);
+  simd::Philox g(2024, 3);
+  g.seek(1);
+  g.fill_u64(got_u64);
+  simd::Philox h(2024, 3);
+  h.seek(1);
+  h.fill_double(got_f64);
+  EXPECT_EQ(got_u64, want_u64);
+  for (std::size_t i = 0; i < want_f64.size(); ++i)
+    ASSERT_EQ(bits_of(got_f64[i]), bits_of(want_f64[i])) << "i=" << i;
 }
 
 // Repeated pooled runs are stable too (no hidden global state).

@@ -1,0 +1,231 @@
+// Philox4x32-10 pinned to the spec: the published Random123 known-answer
+// vectors, the counter/key packing, the O(1) skip/seek algebra, substream
+// independence, and the batched fill paths' bitwise equivalence to the
+// scalar draw loop at every compiled SIMD width.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
+#include "simd/philox.hpp"
+
+namespace rcr::simd {
+namespace {
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> isas;
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kAvx512})
+    if (isa_available(isa)) isas.push_back(isa);
+  return isas;
+}
+
+// Pins dispatch to one ISA for the lifetime of a scope.
+struct ForcedIsa {
+  explicit ForcedIsa(Isa isa) { force_isa(isa); }
+  ~ForcedIsa() { clear_isa_override(); }
+};
+
+// --- Known-answer vectors ---------------------------------------------------
+// From the Random123 distribution's kat_vectors file, philox4x32-10 rows.
+
+TEST(PhiloxTest, KnownAnswerAllZero) {
+  const auto out = Philox::block({0, 0, 0, 0}, {0, 0});
+  const std::array<std::uint32_t, 4> want = {0x6627e8d5u, 0xe169c58du,
+                                             0xbc57ac4cu, 0x9b00dbd8u};
+  EXPECT_EQ(out, want);
+}
+
+TEST(PhiloxTest, KnownAnswerAllOnes) {
+  const std::uint32_t ff = 0xffffffffu;
+  const auto out = Philox::block({ff, ff, ff, ff}, {ff, ff});
+  const std::array<std::uint32_t, 4> want = {0x408f276du, 0x41c83b0eu,
+                                             0xa20bc7c6u, 0x6d5451fdu};
+  EXPECT_EQ(out, want);
+}
+
+TEST(PhiloxTest, KnownAnswerPiDigits) {
+  const auto out = Philox::block({0x243f6a88u, 0x85a308d3u,
+                                  0x13198a2eu, 0x03707344u},
+                                 {0xa4093822u, 0x299f31d0u});
+  const std::array<std::uint32_t, 4> want = {0xd16cfe09u, 0x94fdccebu,
+                                             0x5001e420u, 0x24126ea1u};
+  EXPECT_EQ(out, want);
+}
+
+// The draw convention on top of the block function: block b of stream s is
+// counter {lo(b), hi(b), lo(s), hi(s)}, key {lo(seed), hi(seed)}; draw 2b
+// is x0 | x1 << 32 and draw 2b + 1 is x2 | x3 << 32.
+TEST(PhiloxTest, DrawConventionMatchesBlockFunction) {
+  const std::uint64_t seed = 0x123456789ABCDEF0ULL;
+  const std::uint64_t stream = 0xFEDCBA9876543210ULL;
+  Philox g(seed, stream);
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    const auto x = Philox::block(
+        {static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(b >> 32),
+         static_cast<std::uint32_t>(stream),
+         static_cast<std::uint32_t>(stream >> 32)},
+        {static_cast<std::uint32_t>(seed),
+         static_cast<std::uint32_t>(seed >> 32)});
+    EXPECT_EQ(g.next_u64(), x[0] | (std::uint64_t{x[1]} << 32));
+    EXPECT_EQ(g.next_u64(), x[2] | (std::uint64_t{x[3]} << 32));
+  }
+}
+
+// --- Position algebra -------------------------------------------------------
+
+TEST(PhiloxTest, SkipEqualsDrawingN) {
+  Philox drawn(7, 3);
+  Philox skipped(7, 3);
+  for (int i = 0; i < 137; ++i) drawn.next_u64();
+  skipped.skip(137);
+  EXPECT_EQ(skipped.position(), 137u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(skipped.next_u64(), drawn.next_u64());
+}
+
+TEST(PhiloxTest, SeekIsAbsoluteAndPositionTracksDraws) {
+  Philox g(42);
+  EXPECT_EQ(g.position(), 0u);
+  g.next_u64();
+  g.next_u64();
+  g.next_u64();
+  EXPECT_EQ(g.position(), 3u);
+
+  Philox h(42);
+  h.seek(3);
+  EXPECT_EQ(h.next_u64(), g.next_u64());
+
+  // Seeking backwards replays the identical draws — each one is a pure
+  // function of the position, with no sequential state to corrupt.
+  const std::uint64_t p = g.position();
+  const std::uint64_t first = g.next_u64();
+  const std::uint64_t second = g.next_u64();
+  g.seek(p);
+  EXPECT_EQ(g.next_u64(), first);
+  EXPECT_EQ(g.next_u64(), second);
+}
+
+// --- Streams ----------------------------------------------------------------
+
+TEST(PhiloxTest, SubstreamsAreIndependentAndDisjoint) {
+  Philox base(99, 0);
+  Philox s1 = base.substream(1);
+  Philox s2 = base.substream(2);
+  EXPECT_EQ(s1.seed(), base.seed());
+  EXPECT_EQ(s1.stream(), 1u);
+  EXPECT_EQ(s2.stream(), 2u);
+  EXPECT_EQ(s1.position(), 0u);
+
+  // No collisions across the three streams' prefixes (2^-64-ish odds of a
+  // false failure if the cipher were random — zero if it's correct, since
+  // the counter inputs are all distinct).
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    seen.insert(base.next_u64());
+    seen.insert(s1.next_u64());
+    seen.insert(s2.next_u64());
+  }
+  EXPECT_EQ(seen.size(), 3u * 256u);
+}
+
+TEST(PhiloxTest, SameStreamSameSeedReproduces) {
+  Philox a(1234, 56);
+  Philox b(1234, 56);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// --- Batched fills ----------------------------------------------------------
+
+TEST(PhiloxTest, FillU64MatchesScalarDrawsAtEveryWidth) {
+  // Odd start offsets exercise the half-block head; odd lengths exercise
+  // the scalar tail after the vector body; 1003 leaves a non-multiple-of-L
+  // block tail at every lane width.
+  const std::uint64_t seed = 0xDEADBEEFCAFEF00DULL;
+  for (const Isa isa : available_isas()) {
+    ForcedIsa forced(isa);
+    for (const std::uint64_t start : {0ull, 1ull, 3ull, 7ull}) {
+      for (const std::size_t len : {1ul, 2ul, 7ul, 64ul, 1003ul}) {
+        Philox scalar(seed, 5);
+        scalar.seek(start);
+        std::vector<std::uint64_t> want(len);
+        for (auto& v : want) v = scalar.next_u64();
+
+        Philox batched(seed, 5);
+        batched.seek(start);
+        std::vector<std::uint64_t> got(len);
+        batched.fill_u64(got);
+        EXPECT_EQ(got, want) << isa_name(isa) << " start=" << start
+                             << " len=" << len;
+        EXPECT_EQ(batched.position(), start + len);
+      }
+    }
+  }
+}
+
+TEST(PhiloxTest, FillDoubleMatchesScalarDrawsAtEveryWidth) {
+  for (const Isa isa : available_isas()) {
+    ForcedIsa forced(isa);
+    Philox scalar(2026, 1);
+    Philox batched(2026, 1);
+    // 1537 crosses the fill_double internal chunk boundary (1024 u64s) and
+    // ends mid-block.
+    std::vector<double> want(1537), got(1537);
+    for (auto& v : want) v = scalar.next_double();
+    batched.fill_double(got);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      ASSERT_EQ(want[i], got[i]) << isa_name(isa) << " i=" << i;
+  }
+}
+
+TEST(PhiloxTest, NextDoubleIsUnitIntervalConvention) {
+  Philox g(8, 0);
+  Philox u(8, 0);
+  for (int i = 0; i < 256; ++i) {
+    const double d = g.next_double();
+    EXPECT_EQ(d, static_cast<double>(u.next_u64() >> 11) * 0x1.0p-53);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// The raw kernel agrees with the reference block function directly (not
+// just through the Philox wrapper).
+TEST(PhiloxTest, RawKernelMatchesBlockReference) {
+  const std::uint64_t seed = 31337;
+  Philox owner(seed, 9);  // owns a correctly bumped key schedule
+  for (const Isa isa : available_isas()) {
+    ForcedIsa forced(isa);
+    constexpr std::size_t kBlocks = 21;  // odd tail at every width
+    std::vector<std::uint64_t> dst(2 * kBlocks);
+
+    // Rebuild the bumped schedule the way the Philox ctor does.
+    std::array<std::uint32_t, 20> keys{};
+    std::uint32_t k0 = static_cast<std::uint32_t>(seed);
+    std::uint32_t k1 = static_cast<std::uint32_t>(seed >> 32);
+    for (int r = 0; r < Philox::kRounds; ++r) {
+      keys[2 * r] = k0;
+      keys[2 * r + 1] = k1;
+      k0 += Philox::kWeyl0;
+      k1 += Philox::kWeyl1;
+    }
+    philox_fill_u64(100, 9, keys.data(), dst.data(), kBlocks);
+
+    for (std::uint64_t b = 0; b < kBlocks; ++b) {
+      const std::uint64_t blk = 100 + b;
+      const auto x = Philox::block(
+          {static_cast<std::uint32_t>(blk),
+           static_cast<std::uint32_t>(blk >> 32), 9u, 0u},
+          {keys[0], keys[1]});
+      EXPECT_EQ(dst[2 * b], x[0] | (std::uint64_t{x[1]} << 32))
+          << isa_name(isa) << " block " << b;
+      EXPECT_EQ(dst[2 * b + 1], x[2] | (std::uint64_t{x[3]} << 32))
+          << isa_name(isa) << " block " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcr::simd

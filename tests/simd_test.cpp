@@ -1,0 +1,287 @@
+// The rcr::simd contract, pinned per kernel: every vector width produces
+// bits identical to a plain scalar loop, including the masked tails that a
+// non-multiple-of-L trip count leaves behind. Each test runs the public
+// entry point under force_isa() for every ISA the build and CPU provide
+// and compares against an independently written reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
+#include "stream/sketch.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rcr::simd {
+namespace {
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> isas;
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kAvx512})
+    if (isa_available(isa)) isas.push_back(isa);
+  return isas;
+}
+
+struct ForcedIsa {
+  explicit ForcedIsa(Isa isa) { force_isa(isa); }
+  ~ForcedIsa() { clear_isa_override(); }
+};
+
+// Row counts that land on and around every lane width's block boundary,
+// so both the full-block body and the masked tail get exercised.
+constexpr std::size_t kRowCounts[] = {0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 100};
+// Option counts across the mask word, including the full 64-bit width.
+constexpr std::size_t kOptionCounts[] = {1, 5, 8, 12, 13, 64};
+
+struct MultiSelectRows {
+  std::vector<std::int32_t> codes;
+  std::vector<std::uint64_t> masks;
+  std::vector<std::uint8_t> missing;
+  std::vector<double> weights;
+};
+
+MultiSelectRows make_rows(std::size_t n, std::size_t n_opts,
+                          std::uint64_t seed) {
+  MultiSelectRows r;
+  Rng rng(seed);
+  const std::uint64_t opt_mask =
+      n_opts >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n_opts) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool row_missing = rng.next_double() < 0.1;
+    r.codes.push_back(rng.next_double() < 0.07
+                          ? -1
+                          : static_cast<std::int32_t>(rng.next_below(4)));
+    r.masks.push_back(row_missing ? 0 : (rng.next_u64() & opt_mask));
+    r.missing.push_back(row_missing ? 1 : 0);
+    r.weights.push_back(rng.next_double() < 0.05
+                            ? std::numeric_limits<double>::quiet_NaN()
+                            : rng.next_double() * 2.0 + 0.25);
+  }
+  return r;
+}
+
+TEST(SimdKernelsTest, TallyMultiselectMatchesScalarReference) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t n_opts : kOptionCounts) {
+      const MultiSelectRows r = make_rows(n, n_opts, 11 * n + n_opts);
+      const std::size_t cells = 4 * n_opts;
+
+      std::vector<std::uint64_t> want(cells, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (r.codes[i] < 0) continue;
+        for (std::size_t o = 0; o < n_opts; ++o)
+          want[static_cast<std::size_t>(r.codes[i]) * n_opts + o] +=
+              (r.masks[i] >> o) & 1u;
+      }
+
+      for (const Isa isa : available_isas()) {
+        ForcedIsa forced(isa);
+        std::vector<std::uint64_t> got(cells, 0);
+        tally_multiselect(r.codes.data(), r.masks.data(), 0, n, n_opts,
+                          got.data());
+        EXPECT_EQ(got, want) << isa_name(isa) << " n=" << n
+                             << " n_opts=" << n_opts;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, TallyOptionsMatchesScalarReference) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t n_opts : kOptionCounts) {
+      const MultiSelectRows r = make_rows(n, n_opts, 31 * n + n_opts);
+
+      std::vector<std::uint64_t> want(n_opts, 0);
+      std::size_t want_missing = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (r.missing[i] != 0) ++want_missing;
+        for (std::size_t o = 0; o < n_opts; ++o)
+          want[o] += (r.masks[i] >> o) & 1u;
+      }
+
+      for (const Isa isa : available_isas()) {
+        ForcedIsa forced(isa);
+        std::vector<std::uint64_t> got(n_opts, 0);
+        const std::size_t got_missing = tally_options(
+            r.masks.data(), r.missing.data(), 0, n, n_opts, got.data());
+        EXPECT_EQ(got, want) << isa_name(isa) << " n=" << n
+                             << " n_opts=" << n_opts;
+        EXPECT_EQ(got_missing, want_missing);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, AddWeightedMultiselectMatchesScalarBitwise) {
+  for (const std::size_t n : kRowCounts) {
+    for (const std::size_t n_opts : kOptionCounts) {
+      const MultiSelectRows r = make_rows(n, n_opts, 17 * n + n_opts);
+      const std::size_t cells = 4 * n_opts;
+
+      // The scalar contract: skip unanswered / missing / NaN-weight rows,
+      // then cells[code * n_opts + o] += w for every set bit, in row order.
+      std::vector<double> want(cells, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (r.codes[i] < 0 || r.missing[i] != 0) continue;
+        const double w = r.weights[i];
+        if (std::isnan(w)) continue;
+        for (std::size_t o = 0; o < n_opts; ++o)
+          if ((r.masks[i] >> o) & 1u)
+            want[static_cast<std::size_t>(r.codes[i]) * n_opts + o] += w;
+      }
+
+      for (const Isa isa : available_isas()) {
+        ForcedIsa forced(isa);
+        std::vector<double> got(cells, 0.0);
+        add_weighted_multiselect(r.codes.data(), r.masks.data(),
+                                 r.missing.data(), r.weights.data(), 0, n,
+                                 n_opts, got.data());
+        for (std::size_t c = 0; c < cells; ++c)
+          ASSERT_EQ(got[c], want[c]) << isa_name(isa) << " n=" << n
+                                     << " n_opts=" << n_opts << " cell " << c;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, AddWeightedMultiselectRejectsNegativeWeights) {
+  const std::int32_t code = 0;
+  const std::uint64_t mask = 1;
+  const std::uint8_t missing = 0;
+  const double w = -0.5;
+  double cell = 0.0;
+  for (const Isa isa : available_isas()) {
+    ForcedIsa forced(isa);
+    EXPECT_THROW(
+        add_weighted_multiselect(&code, &mask, &missing, &w, 0, 1, 1, &cell),
+        rcr::Error)
+        << isa_name(isa);
+  }
+}
+
+TEST(SimdKernelsTest, Mix64MapMatchesScalarMix) {
+  Rng rng(404);
+  for (const std::size_t n : kRowCounts) {
+    std::vector<std::uint64_t> in(n);
+    for (auto& v : in) v = rng.next_u64();
+    const std::uint64_t salt = rng.next_u64();
+
+    std::vector<std::uint64_t> want(n);
+    for (std::size_t i = 0; i < n; ++i) want[i] = stream::mix64(in[i] ^ salt);
+
+    for (const Isa isa : available_isas()) {
+      ForcedIsa forced(isa);
+      std::vector<std::uint64_t> got(n, 0);
+      mix64_map(in.data(), n, salt, got.data());
+      EXPECT_EQ(got, want) << isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Mix64CombineMatchesScalarChain) {
+  Rng rng(405);
+  for (const std::size_t n : kRowCounts) {
+    std::vector<std::uint64_t> h0(n), cells(n);
+    for (auto& v : h0) v = rng.next_u64();
+    for (auto& v : cells) v = rng.next_u64();
+
+    std::vector<std::uint64_t> want = h0;
+    for (std::size_t i = 0; i < n; ++i)
+      want[i] = stream::mix64(want[i] ^ cells[i]);
+
+    for (const Isa isa : available_isas()) {
+      ForcedIsa forced(isa);
+      std::vector<std::uint64_t> got = h0;
+      mix64_combine(got.data(), cells.data(), n);
+      EXPECT_EQ(got, want) << isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, UnitDoublesMatchScalarConvention) {
+  Rng rng(406);
+  for (const std::size_t n : kRowCounts) {
+    std::vector<std::uint64_t> in(n);
+    for (auto& v : in) v = rng.next_u64();
+
+    std::vector<double> want(n);
+    for (std::size_t i = 0; i < n; ++i)
+      want[i] = static_cast<double>(in[i] >> 11) * 0x1.0p-53;
+
+    for (const Isa isa : available_isas()) {
+      ForcedIsa forced(isa);
+      std::vector<double> got(n, -1.0);
+      unit_doubles_from_u64(in.data(), n, got.data());
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(got[i], want[i]) << isa_name(isa) << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+// Sub-range [lo, hi) addressing — the engine hands kernels shard slices,
+// not whole columns.
+TEST(SimdKernelsTest, KernelsHonorSubrangeBounds) {
+  const std::size_t n = 50;
+  const std::size_t n_opts = 13;
+  const MultiSelectRows r = make_rows(n, n_opts, 777);
+  const std::size_t lo = 9, hi = 37;  // both off any lane boundary
+  const std::size_t cells = 4 * n_opts;
+
+  std::vector<std::uint64_t> want(cells, 0);
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (r.codes[i] < 0) continue;
+    for (std::size_t o = 0; o < n_opts; ++o)
+      want[static_cast<std::size_t>(r.codes[i]) * n_opts + o] +=
+          (r.masks[i] >> o) & 1u;
+  }
+  for (const Isa isa : available_isas()) {
+    ForcedIsa forced(isa);
+    std::vector<std::uint64_t> got(cells, 0);
+    tally_multiselect(r.codes.data(), r.masks.data(), lo, hi, n_opts,
+                      got.data());
+    EXPECT_EQ(got, want) << isa_name(isa);
+  }
+}
+
+// --- Dispatch ---------------------------------------------------------------
+
+TEST(SimdDispatchTest, NamesAndLaneCounts) {
+  EXPECT_STREQ(isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::kSse2), "sse2");
+  EXPECT_STREQ(isa_name(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(isa_name(Isa::kAvx512), "avx512");
+  EXPECT_EQ(isa_lanes(Isa::kScalar), 1u);
+  EXPECT_EQ(isa_lanes(Isa::kSse2), 2u);
+  EXPECT_EQ(isa_lanes(Isa::kAvx2), 4u);
+  EXPECT_EQ(isa_lanes(Isa::kAvx512), 8u);
+}
+
+TEST(SimdDispatchTest, ScalarIsAlwaysAvailable) {
+  EXPECT_TRUE(isa_available(Isa::kScalar));
+}
+
+TEST(SimdDispatchTest, ForceOverridesAndClearRestores) {
+  const Isa native = active_isa();
+  EXPECT_TRUE(isa_available(native));
+  for (const Isa isa : available_isas()) {
+    force_isa(isa);
+    EXPECT_EQ(active_isa(), isa);
+  }
+  clear_isa_override();
+  EXPECT_EQ(active_isa(), native);
+}
+
+TEST(SimdDispatchTest, DescribeNamesTheActiveIsa) {
+  force_isa(Isa::kScalar);
+  EXPECT_EQ(describe(), "scalar lanes=1");
+  clear_isa_override();
+  const std::string d = describe();
+  EXPECT_NE(d.find(isa_name(active_isa())), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcr::simd
