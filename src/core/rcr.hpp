@@ -17,6 +17,8 @@
 //   query    — fused aggregation engine (one sharded scan per query batch)
 //   stream   — mergeable one-pass sketches (moments, quantiles, heavy
 //              hitters, distinct counts, reservoir, streaming crosstabs)
+//   serve    — long-lived analytics server (result cache, request
+//              coalescing/batching, SLO admission, local + TCP transports)
 //   survey   — questionnaire schema, validation, raking, Likert
 //   synth    — calibrated synthetic respondent generator
 //   trend    — two-wave share trends, adoption curves
@@ -42,6 +44,9 @@
 #include "report/experiment.hpp"
 #include "report/series.hpp"
 #include "report/table.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "sim/cluster.hpp"
 #include "sim/network.hpp"
 #include "sim/scaling.hpp"

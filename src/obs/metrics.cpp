@@ -155,6 +155,29 @@ std::size_t bucket_for(double value) noexcept {
   return static_cast<std::size_t>(it - kBounds.begin());
 }
 
+// Rank-interpolated percentile over a plain bucket-count array, clamped to
+// [clamp_lo, clamp_hi] — shared by the lifetime and window paths.
+double percentile_of(const std::array<std::uint64_t, Histogram::kBuckets>& b,
+                     std::uint64_t n, double q, double clamp_lo,
+                     double clamp_hi) noexcept {
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(b[i]);
+    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+      const double lo = i == 0 ? 0.0 : kBounds[i - 1];
+      const double hi = i < kBounds.size() ? kBounds[i] : clamp_hi;
+      const double frac = (target - cumulative) / in_bucket;
+      const double est = lo + frac * (hi - lo);
+      return std::clamp(est, clamp_lo, clamp_hi);
+    }
+    cumulative += in_bucket;
+  }
+  return clamp_hi;
+}
+
 }  // namespace
 
 void Histogram::record(double value) noexcept {
@@ -175,27 +198,47 @@ double Histogram::max() const noexcept {
 }
 
 double Histogram::percentile(double q) const noexcept {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(n);
-  double cumulative = 0.0;
+  std::array<std::uint64_t, kBuckets> counts;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  return percentile_of(counts, count(), q, min(), max());
+}
+
+HistogramSample Histogram::window_snapshot(const std::string& name) {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  std::array<std::uint64_t, kBuckets> delta;
+  std::uint64_t n = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    const double in_bucket =
-        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
-    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
-      const double lo = i == 0 ? 0.0 : kBounds[i - 1];
-      const double hi = i < kBounds.size() ? kBounds[i] : max();
-      const double frac = (target - cumulative) / in_bucket;
-      const double est = lo + frac * (hi - lo);
-      return std::clamp(est, min(), max());
-    }
-    cumulative += in_bucket;
+    const std::uint64_t cur = buckets_[i].load(std::memory_order_relaxed);
+    delta[i] = cur - window_base_[i];
+    n += delta[i];
+    window_base_[i] = cur;
   }
-  return max();
+  const double cur_sum = sum_.load(std::memory_order_relaxed);
+  HistogramSample s;
+  s.name = name;
+  s.count = n;
+  s.sum = cur_sum - window_sum_base_;
+  window_sum_base_ = cur_sum;
+  if (n == 0) return s;
+  // Window min/max from the occupied delta-bucket bounds (see header).
+  std::size_t first = kBuckets, last = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    if (delta[i] > 0) {
+      if (first == kBuckets) first = i;
+      last = i;
+    }
+  s.min = first == 0 ? 0.0 : kBounds[first - 1];
+  s.max = last < kBounds.size() ? kBounds[last]
+                                : max();  // overflow bucket: lifetime max
+  s.p50 = percentile_of(delta, n, 0.50, s.min, s.max);
+  s.p95 = percentile_of(delta, n, 0.95, s.min, s.max);
+  s.p99 = percentile_of(delta, n, 0.99, s.min, s.max);
+  return s;
 }
 
 void Histogram::reset() noexcept {
+  std::lock_guard<std::mutex> lock(window_mutex_);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
@@ -203,6 +246,8 @@ void Histogram::reset() noexcept {
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+  window_base_.fill(0);
+  window_sum_base_ = 0.0;
 }
 
 // --- Registry ---------------------------------------------------------------

@@ -194,6 +194,18 @@ class Histogram {
   // q in [0, 1]; returns 0 when empty.
   double percentile(double q) const noexcept;
 
+  // Per-interval view: statistics over the values recorded since the
+  // previous window_snapshot() call, after which a new window begins.
+  // Lifetime count/sum/percentiles are unaffected — the window is a delta
+  // of the cumulative bucket counts, so the hot record() path pays nothing
+  // for it. Because the exact per-window min/max are not tracked, the
+  // window's min/max (and therefore its percentile clamp) come from the
+  // bounds of the lowest/highest occupied delta bucket — within one bucket
+  // ratio (1.5x) of the true values, same as the percentile estimate
+  // itself. Serialized internally; callers may snapshot from any thread,
+  // but concurrent callers split the stream between their windows.
+  HistogramSample window_snapshot(const std::string& name = "");
+
   void reset() noexcept;
 
  private:
@@ -203,6 +215,11 @@ class Histogram {
   // Infinity sentinels; the accessors report 0 while count_ == 0.
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  // Cumulative state as of the last window_snapshot(); guarded by
+  // window_mutex_ (cold path only — record() never touches these).
+  std::mutex window_mutex_;
+  std::array<std::uint64_t, kBuckets> window_base_{};
+  double window_sum_base_ = 0.0;
 };
 
 // Throughput: how many events happened and how long the producing code was
@@ -288,6 +305,11 @@ class Histogram {
   double min() const noexcept { return 0.0; }
   double max() const noexcept { return 0.0; }
   double percentile(double) const noexcept { return 0.0; }
+  HistogramSample window_snapshot(const std::string& name = "") {
+    HistogramSample s;
+    s.name = name;
+    return s;
+  }
   void reset() noexcept {}
 };
 

@@ -1,0 +1,62 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+
+namespace rcr::serve {
+
+ResultCache::ResultCache(std::size_t capacity)
+    : per_shard_(std::max<std::size_t>(1, (capacity + kShards - 1) / kShards)),
+      shards_(kShards) {}
+
+CachedBody ResultCache::find(std::uint64_t key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) return nullptr;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  return it->second->body;
+}
+
+void ResultCache::insert(std::uint64_t key, std::uint64_t epoch,
+                         CachedBody body) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    it->second->body = std::move(body);
+    it->second->epoch = epoch;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.push_front(Entry{key, epoch, std::move(body)});
+  s.index.emplace(key, s.lru.begin());
+  while (s.lru.size() > per_shard_) {
+    s.index.erase(s.lru.back().key);
+    s.lru.pop_back();
+  }
+}
+
+void ResultCache::invalidate_epoch(std::uint64_t epoch) {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (auto it = s.lru.begin(); it != s.lru.end();) {
+      if (it->epoch == epoch) {
+        s.index.erase(it->key);
+        it = s.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.lru.size();
+  }
+  return total;
+}
+
+}  // namespace rcr::serve

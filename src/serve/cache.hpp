@@ -1,0 +1,73 @@
+// Result cache for the serving layer: fingerprint -> encoded result body.
+//
+// A served result is an immutable byte string (protocol.hpp encodes engine
+// answers with bit-pattern doubles), so the cache stores
+// shared_ptr<const vector> values: a hit hands back a reference under a
+// shard lock and the bytes stay alive however long the responder needs
+// them, even if the entry is evicted mid-flight.
+//
+// The key is the full 64-bit (epoch, canonical spec) XXH64 fingerprint.
+// The table is sharded by the key's low bits — requests for different keys
+// take different locks — and each shard runs an independent LRU over its
+// slice of the capacity. Hot keys (the head of the Zipf popularity curve)
+// therefore stay resident while the long tail cycles through, and a shard
+// never touches its siblings' locks. Hash-collision false sharing of an
+// entry would serve the wrong bytes, so the full key is stored and
+// compared, not just its bucket.
+//
+// invalidate_epoch exists for snapshot turnover: retiring an epoch drops
+// every entry fingerprinted against it (the epoch seeds the fingerprint,
+// so entries record their epoch explicitly alongside the key).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace rcr::serve {
+
+using CachedBody = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+class ResultCache {
+ public:
+  // `capacity` is the total entry budget across shards (min 1 per shard).
+  explicit ResultCache(std::size_t capacity);
+
+  // nullptr on miss; on hit the entry moves to the front of its shard LRU.
+  CachedBody find(std::uint64_t key);
+
+  // Inserts (or refreshes) the entry, evicting the shard's least recently
+  // used entries over budget.
+  void insert(std::uint64_t key, std::uint64_t epoch, CachedBody body);
+
+  // Drops every entry recorded under `epoch`.
+  void invalidate_epoch(std::uint64_t epoch);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return per_shard_ * kShards; }
+
+ private:
+  static constexpr std::size_t kShards = 16;  // power of two
+
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t epoch;
+    CachedBody body;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_for(std::uint64_t key) { return shards_[key & (kShards - 1)]; }
+
+  std::size_t per_shard_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace rcr::serve

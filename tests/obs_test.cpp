@@ -125,6 +125,66 @@ TEST(ObsHistogramTest, EmptyHistogramReportsZeros) {
   EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
 }
 
+TEST(ObsHistogramWindowTest, WindowSeesOnlyItsOwnInterval) {
+  Histogram h;
+  // Interval 1: slow requests.
+  for (int i = 0; i < 100; ++i) h.record(100.0);
+  auto w1 = h.window_snapshot("lat");
+  EXPECT_EQ(w1.name, "lat");
+  EXPECT_EQ(w1.count, 100u);
+  EXPECT_DOUBLE_EQ(w1.sum, 100.0 * 100.0);
+  EXPECT_GE(w1.p99, 100.0 / 1.5);
+  EXPECT_LE(w1.p99, 100.0 * 1.5);
+
+  // Interval 2: fast requests. A lifetime p99 would still sit near 100ms
+  // (100 of 200 samples are slow); the window must report ~1ms.
+  for (int i = 0; i < 100; ++i) h.record(1.0);
+  const auto w2 = h.window_snapshot();
+  EXPECT_EQ(w2.count, 100u);
+  EXPECT_DOUBLE_EQ(w2.sum, 100.0);
+  EXPECT_LE(w2.p99, 1.0 * 1.5);
+  EXPECT_GE(h.percentile(0.99), 100.0 / 1.5);  // lifetime unaffected
+
+  // Interval 3: nothing happened.
+  const auto w3 = h.window_snapshot();
+  EXPECT_EQ(w3.count, 0u);
+  EXPECT_DOUBLE_EQ(w3.sum, 0.0);
+  EXPECT_DOUBLE_EQ(w3.p99, 0.0);
+
+  // Lifetime state never re-windows.
+  EXPECT_EQ(h.count(), 200u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10100.0);
+}
+
+TEST(ObsHistogramWindowTest, WindowPercentilesWithinOneBucketRatio) {
+  Histogram h;
+  for (int i = 0; i < 500; ++i) h.record(3.0);  // pre-window noise
+  h.window_snapshot();
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const auto w = h.window_snapshot();
+  EXPECT_EQ(w.count, 1000u);
+  EXPECT_GE(w.p50, 500.0 / 1.5);
+  EXPECT_LE(w.p50, 500.0 * 1.5);
+  EXPECT_GE(w.p99, 990.0 / 1.5);
+  EXPECT_LE(w.p99, 1000.0 * 1.5);
+  EXPECT_LE(w.p50, w.p95);
+  EXPECT_LE(w.p95, w.p99);
+  // Window min/max come from occupied bucket bounds: same 1.5x guarantee.
+  EXPECT_LE(w.min, 1.0);
+  EXPECT_GE(w.max, 1000.0 / 1.5);
+}
+
+TEST(ObsHistogramWindowTest, ResetRestartsTheWindowBase) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(5.0);
+  h.window_snapshot();
+  h.reset();
+  for (int i = 0; i < 3; ++i) h.record(7.0);
+  const auto w = h.window_snapshot();
+  EXPECT_EQ(w.count, 3u);
+  EXPECT_DOUBLE_EQ(w.sum, 21.0);
+}
+
 TEST(ObsMeterTest, RateIsCountOverBusyTime) {
   Meter m;
   m.add(100, 2.0);
