@@ -1,0 +1,83 @@
+#include "core/incr_study.hpp"
+
+#include <utility>
+
+#include "data/snapshot.hpp"
+#include "synth/domain.hpp"
+#include "util/error.hpp"
+
+namespace rcr::core {
+
+IncrStudy::IncrStudy(IncrStudyConfig config)
+    : config_(std::move(config)),
+      engine_(std::make_unique<incr::IncrementalEngine>(
+          synth::instrument().make_table())) {
+  // The same eleven registrations, in the same order, as Study's fused
+  // cold scan (study.cpp fused_aggregates) — the order fixes the cell
+  // layout, and matching it keeps every per-cut double bit-comparable.
+  ct_career_ =
+      engine_->add_crosstab(synth::col::kField, synth::col::kCareerStage);
+  ct_langs_ = engine_->add_crosstab_multiselect(synth::col::kField,
+                                                synth::col::kLanguages);
+  ct_se_ = engine_->add_crosstab_multiselect(synth::col::kField,
+                                             synth::col::kSePractices);
+  sh_langs_ = engine_->add_option_shares(synth::col::kLanguages);
+  sh_se_ = engine_->add_option_shares(synth::col::kSePractices);
+  sh_res_ = engine_->add_option_shares(synth::col::kParallelResources);
+  sh_aware_ = engine_->add_option_shares(synth::col::kToolsAware);
+  sh_used_ = engine_->add_option_shares(synth::col::kToolsUsed);
+  sh_gpu_ = engine_->add_category_shares(synth::col::kGpuUsage);
+  ans_langs_ =
+      engine_->add_group_answered(synth::col::kField, synth::col::kLanguages);
+  ans_se_ =
+      engine_->add_group_answered(synth::col::kField, synth::col::kSePractices);
+}
+
+std::size_t IncrStudy::run(const CutCallback& on_cut) {
+  if (!config_.snapshot_path.empty()) {
+    data::for_each_snapshot_block(
+        config_.snapshot_path,
+        [&](const data::Table& block, std::size_t /*first_row*/) {
+          ingest(block);
+          if (on_cut) on_cut(aggregates(), rows());
+        });
+  } else {
+    synth::generate_blocks(
+        {config_.wave, config_.respondents, config_.seed, config_.pool,
+         config_.nonresponse_strength},
+        config_.block_rows,
+        [&](data::Table block, std::size_t /*first_row*/) {
+          ingest(block);
+          if (on_cut) on_cut(aggregates(), rows());
+        });
+  }
+  return rows();
+}
+
+void IncrStudy::ingest(const data::Table& block) {
+  engine_->append_block(block, config_.pool);
+  ++blocks_;
+}
+
+const WaveAggregates& IncrStudy::aggregates() {
+  if (!built_ || built_at_rows_ != engine_->row_count()) {
+    current_.field_by_career = engine_->result(ct_career_).crosstab;
+    current_.field_by_languages = engine_->result(ct_langs_).crosstab;
+    current_.field_by_se = engine_->result(ct_se_).crosstab;
+    current_.languages = engine_->result(sh_langs_).shares;
+    current_.se_practices = engine_->result(sh_se_).shares;
+    current_.parallel_resources = engine_->result(sh_res_).shares;
+    current_.tools_aware = engine_->result(sh_aware_).shares;
+    current_.tools_used = engine_->result(sh_used_).shares;
+    current_.gpu_usage = engine_->result(sh_gpu_).shares;
+    current_.field_answered_languages = engine_->result(ans_langs_).group_counts;
+    current_.field_answered_se = engine_->result(ans_se_).group_counts;
+    built_ = true;
+    built_at_rows_ = engine_->row_count();
+  }
+  return current_;
+}
+
+std::size_t IncrStudy::rows() const { return engine_->row_count(); }
+
+}  // namespace rcr::core

@@ -17,6 +17,8 @@
 //   query    — fused aggregation engine (one sharded scan per query batch)
 //   stream   — mergeable one-pass sketches (moments, quantiles, heavy
 //              hitters, distinct counts, reservoir, streaming crosstabs)
+//   incr     — incremental delta-merge engine (O(delta) query updates,
+//              bitwise-equal to a cold recompute at every cut)
 //   serve    — long-lived analytics server (result cache, request
 //              coalescing/batching, SLO admission, local + TCP transports)
 //   survey   — questionnaire schema, validation, raking, Likert
@@ -28,8 +30,10 @@
 #pragma once
 
 #include "core/experiments.hpp"
+#include "core/incr_study.hpp"
 #include "core/stream_study.hpp"
 #include "core/study.hpp"
+#include "incr/engine.hpp"
 #include "data/crosstab.hpp"
 #include "data/csv.hpp"
 #include "data/recode.hpp"

@@ -1,15 +1,11 @@
 #include "query/engine.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "parallel/algorithms.hpp"
-#include "simd/kernels.hpp"
-#include "stats/ci.hpp"
 #include "util/error.hpp"
 
 namespace rcr::query {
@@ -32,52 +28,11 @@ EngineMetrics& metrics() {
   return m;
 }
 
-// How each accumulator cell combines across shards. Sum cells start at 0,
-// min/max cells at ±inf; both merge order-insensitively cell-wise, and the
-// merge still runs in shard-index order so every cell is reproducible.
-enum class CellOp : std::uint8_t { kSum, kMin, kMax };
-
-// A registered query with its columns resolved to raw spans and its slice
-// of the flat accumulator. Resolution happens once per run() — zero per-row
-// name or map lookups afterwards.
-struct Resolved {
-  // Mirrors QueryEngine::Kind (kept as int to stay private to the engine).
-  int kind = 0;
-  std::span<const std::int32_t> codes_a;    // categorical primary
-  std::span<const std::int32_t> codes_b;    // categorical secondary
-  std::span<const std::uint64_t> masks;     // multi-select masks
-  std::span<const std::uint8_t> ms_missing; // multi-select missing flags
-  std::span<const double> values;           // numeric values / ext weights
-  std::span<const double> weights;          // hoisted weight column (may be empty)
-  std::span<const double> b_values;         // numeric answered column
-  std::span<const std::uint8_t> b_ms_missing;
-  data::ColumnKind b_kind = data::ColumnKind::kNumeric;
-  std::uint64_t option_bit = 0;             // weighted option share
-  std::size_t base = 0;                     // offset into the flat accumulator
-  std::size_t cells = 0;
-  std::size_t cols_dim = 0;                 // crosstab column count
-};
-
-double row_weight_or_skip(std::span<const double> weights, std::size_t i,
-                          bool& skip) {
-  // Matches the direct builders: missing weight drops the row, a negative
-  // weight is a hard error (safe to throw here even on a pool worker — the
-  // pool rethrows the first task exception on the calling thread).
-  const double w = weights[i];
-  if (data::NumericColumn::is_missing(w)) {
-    skip = true;
-    return 0.0;
-  }
-  RCR_CHECK_MSG(w >= 0.0, "weights must be non-negative");
-  skip = false;
-  return w;
-}
-
 }  // namespace
 
 QueryEngine::QueryEngine(const data::Table& table) : table_(table) {}
 
-QueryId QueryEngine::push_spec(Spec spec) {
+QueryId QueryEngine::push_spec(QuerySpec spec) {
   specs_.push_back(std::move(spec));
   ran_ = false;
   return specs_.size() - 1;
@@ -91,7 +46,7 @@ QueryId QueryEngine::add_crosstab(
   RCR_CHECK_MSG(rows.category_count() > 0 && cols.category_count() > 0,
                 "crosstab needs non-empty category sets");
   if (weight_column) table_.numeric(*weight_column);  // validate name + kind
-  return push_spec({Kind::kCrosstab, row_column, col_column, weight_column,
+  return push_spec({SpecKind::kCrosstab, row_column, col_column, weight_column,
                     {}, {}, 0.95});
 }
 
@@ -103,21 +58,22 @@ QueryId QueryEngine::add_crosstab_multiselect(
   RCR_CHECK_MSG(rows.category_count() > 0 && opts.option_count() > 0,
                 "crosstab needs non-empty category/option sets");
   if (weight_column) table_.numeric(*weight_column);
-  return push_spec({Kind::kCrosstabMultiselect, row_column, option_column,
+  return push_spec({SpecKind::kCrosstabMultiselect, row_column, option_column,
                     weight_column, {}, {}, 0.95});
 }
 
 QueryId QueryEngine::add_category_shares(const std::string& column,
                                          double confidence) {
   table_.categorical(column);
-  return push_spec({Kind::kCategoryShares, column, {}, {}, {}, {}, confidence});
+  return push_spec(
+      {SpecKind::kCategoryShares, column, {}, {}, {}, {}, confidence});
 }
 
 QueryId QueryEngine::add_option_shares(const std::string& option_column,
                                        double confidence) {
   table_.multiselect(option_column);
   return push_spec(
-      {Kind::kOptionShares, option_column, {}, {}, {}, {}, confidence});
+      {SpecKind::kOptionShares, option_column, {}, {}, {}, {}, confidence});
 }
 
 QueryId QueryEngine::add_weighted_option_share(
@@ -128,13 +84,14 @@ QueryId QueryEngine::add_weighted_option_share(
                 "weight vector does not match table rows");
   RCR_CHECK_MSG(col.find_option(option_label) >= 0,
                 "unknown option '" + option_label + "'");
-  return push_spec({Kind::kWeightedOptionShare, option_column, {}, {},
+  return push_spec({SpecKind::kWeightedOptionShare, option_column, {}, {},
                     option_label, weights, confidence});
 }
 
 QueryId QueryEngine::add_numeric_summary(const std::string& column) {
   table_.numeric(column);
-  return push_spec({Kind::kNumericSummary, column, {}, {}, {}, {}, 0.95});
+  return push_spec(
+      {SpecKind::kNumericSummary, column, {}, {}, {}, {}, 0.95});
 }
 
 QueryId QueryEngine::add_group_answered(const std::string& group_column,
@@ -143,339 +100,42 @@ QueryId QueryEngine::add_group_answered(const std::string& group_column,
   RCR_CHECK_MSG(groups.category_count() > 0,
                 "group_answered needs a non-empty category set");
   table_.kind(answered_column);  // validates the column exists
-  return push_spec({Kind::kGroupAnswered, group_column, answered_column, {},
-                    {}, {}, 0.95});
+  return push_spec({SpecKind::kGroupAnswered, group_column, answered_column,
+                    {}, {}, {}, 0.95});
 }
 
 void QueryEngine::run(parallel::ThreadPool* pool) {
   obs::ScopedTimer run_timer(metrics().run_ms);
-  table_.validate_rectangular();
   const std::size_t n = table_.row_count();
 
-  // --- Plan: resolve every query to raw spans and a flat-accumulator slice.
-  std::vector<Resolved> plan;
-  plan.reserve(specs_.size());
-  std::vector<CellOp> ops;
-  std::size_t total_cells = 0;
-  for (const Spec& spec : specs_) {
-    Resolved q;
-    q.kind = static_cast<int>(spec.kind);
-    q.base = total_cells;
-    switch (spec.kind) {
-      case Kind::kCrosstab: {
-        const auto& rows = table_.categorical(spec.a);
-        const auto& cols = table_.categorical(spec.b);
-        q.codes_a = rows.codes();
-        q.codes_b = cols.codes();
-        q.cols_dim = cols.category_count();
-        q.cells = rows.category_count() * cols.category_count();
-        break;
-      }
-      case Kind::kCrosstabMultiselect: {
-        const auto& rows = table_.categorical(spec.a);
-        const auto& opts = table_.multiselect(spec.b);
-        q.codes_a = rows.codes();
-        q.masks = opts.masks();
-        q.ms_missing = opts.missing_flags();
-        q.cols_dim = opts.option_count();
-        q.cells = rows.category_count() * opts.option_count();
-        break;
-      }
-      case Kind::kCategoryShares: {
-        const auto& col = table_.categorical(spec.a);
-        q.codes_a = col.codes();
-        q.cells = col.category_count() + 1;  // counts..., answered total
-        break;
-      }
-      case Kind::kOptionShares: {
-        const auto& col = table_.multiselect(spec.a);
-        q.masks = col.masks();
-        q.ms_missing = col.missing_flags();
-        q.cells = col.option_count() + 1;  // counts..., answered total
-        break;
-      }
-      case Kind::kWeightedOptionShare: {
-        const auto& col = table_.multiselect(spec.a);
-        q.masks = col.masks();
-        q.ms_missing = col.missing_flags();
-        q.values = spec.ext_weights;
-        q.option_bit = std::uint64_t{1} << static_cast<std::uint64_t>(
-                           col.find_option(spec.option_label));
-        q.cells = 3;  // wnum, wden, wden2
-        break;
-      }
-      case Kind::kNumericSummary: {
-        q.values = table_.numeric(spec.a).values();
-        q.cells = 4;  // count, sum, min, max
-        break;
-      }
-      case Kind::kGroupAnswered: {
-        const auto& groups = table_.categorical(spec.a);
-        q.codes_a = groups.codes();
-        q.b_kind = table_.kind(spec.b);
-        switch (q.b_kind) {
-          case data::ColumnKind::kNumeric:
-            q.b_values = table_.numeric(spec.b).values();
-            break;
-          case data::ColumnKind::kCategorical:
-            q.codes_b = table_.categorical(spec.b).codes();
-            break;
-          case data::ColumnKind::kMultiSelect:
-            q.b_ms_missing = table_.multiselect(spec.b).missing_flags();
-            break;
-        }
-        q.cells = groups.category_count();
-        break;
-      }
-    }
-    // Weight columns are resolved once per run and the span shared by every
-    // query that names the same column (spans into the same storage).
-    if (spec.weight) q.weights = table_.numeric(*spec.weight).values();
-    total_cells += q.cells;
-    ops.resize(total_cells, CellOp::kSum);
-    if (spec.kind == Kind::kNumericSummary) {
-      ops[q.base + 2] = CellOp::kMin;
-      ops[q.base + 3] = CellOp::kMax;
-    }
-    plan.push_back(q);
-  }
+  const BatchPlan plan(table_, specs_);
+  const std::size_t cell_count = plan.cell_count();
 
-  const auto make_identity = [&] {
-    std::vector<double> acc(total_cells, 0.0);
-    for (std::size_t i = 0; i < total_cells; ++i) {
-      if (ops[i] == CellOp::kMin)
-        acc[i] = std::numeric_limits<double>::infinity();
-      else if (ops[i] == CellOp::kMax)
-        acc[i] = -std::numeric_limits<double>::infinity();
-    }
-    return acc;
-  };
-
-  // One shard's pass: every query's kernel sweeps [lo, hi) while those rows
-  // are cache-resident — the fused scan.
-  const auto scan_shard = [&](std::size_t lo, std::size_t hi) {
-    std::vector<double> acc = make_identity();
-    for (const Resolved& q : plan) {
-      double* cells = acc.data() + q.base;
-      switch (static_cast<Kind>(q.kind)) {
-        case Kind::kCrosstab: {
-          const bool weighted = !q.weights.empty();
-          for (std::size_t i = lo; i < hi; ++i) {
-            const std::int32_t r = q.codes_a[i], c = q.codes_b[i];
-            if (r < 0 || c < 0) continue;
-            double w = 1.0;
-            if (weighted) {
-              bool skip = false;
-              w = row_weight_or_skip(q.weights, i, skip);
-              if (skip) continue;
-            }
-            cells[static_cast<std::size_t>(r) * q.cols_dim +
-                  static_cast<std::size_t>(c)] += w;
-          }
-          break;
-        }
-        // The multi-select kernels lean on the storage invariant that a
-        // missing row is an all-zero mask: tallying every option of a zero
-        // mask adds nothing, so the per-option loop needs no per-row flag
-        // branch. Both forms run through rcr::simd at the dispatched lane
-        // width: unweighted cells tally as integers (exact in double below
-        // 2^53); weighted cells add a bitwise select of w or +0.0 per
-        // option (`w * bit` without the multiply), and += 0.0 on a
-        // non-negative accumulator is a bitwise no-op — so every width
-        // reproduces the reference builders' per-selection adds bit for
-        // bit (pinned by the determinism suite).
-        case Kind::kCrosstabMultiselect: {
-          const bool weighted = !q.weights.empty();
-          if (!weighted) {
-            std::vector<std::uint64_t> tallies(q.cells, 0);
-            simd::tally_multiselect(q.codes_a.data(), q.masks.data(), lo, hi,
-                                    q.cols_dim, tallies.data());
-            for (std::size_t cell = 0; cell < q.cells; ++cell)
-              cells[cell] += static_cast<double>(tallies[cell]);
-            break;
-          }
-          // The kernel inlines row_weight_or_skip's contract: NaN weight
-          // drops the row, negative throws.
-          simd::add_weighted_multiselect(q.codes_a.data(), q.masks.data(),
-                                         q.ms_missing.data(),
-                                         q.weights.data(), lo, hi,
-                                         q.cols_dim, cells);
-          break;
-        }
-        // Both share kinds tally the answered total as an integer and fold
-        // it in once per shard: the per-row `+= 1.0` it replaces is a
-        // serial FP dependency chain the whole scan stalls on, and integer
-        // counts below 2^53 are exact in double under any order, so the
-        // bits cannot differ.
-        case Kind::kCategoryShares: {
-          std::size_t missing = 0;
-          for (std::size_t i = lo; i < hi; ++i) {
-            const std::int32_t c = q.codes_a[i];
-            if (c < 0) { ++missing; continue; }
-            cells[static_cast<std::size_t>(c)] += 1.0;
-          }
-          cells[q.cells - 1] += static_cast<double>(hi - lo - missing);
-          break;
-        }
-        case Kind::kOptionShares: {
-          const std::size_t n_opts = q.cells - 1;
-          std::uint64_t tallies[data::MultiSelectColumn::kMaxOptions] = {};
-          const std::size_t missing = simd::tally_options(
-              q.masks.data(), q.ms_missing.data(), lo, hi, n_opts, tallies);
-          for (std::size_t o = 0; o < n_opts; ++o)
-            cells[o] += static_cast<double>(tallies[o]);
-          cells[q.cells - 1] += static_cast<double>(hi - lo - missing);
-          break;
-        }
-        case Kind::kWeightedOptionShare: {
-          for (std::size_t i = lo; i < hi; ++i) {
-            if (q.ms_missing[i] != 0) continue;
-            const double w = q.values[i];
-            RCR_CHECK_MSG(w >= 0.0, "weights must be non-negative");
-            cells[1] += w;
-            cells[2] += w * w;
-            if ((q.masks[i] & q.option_bit) != 0) cells[0] += w;
-          }
-          break;
-        }
-        case Kind::kNumericSummary: {
-          for (std::size_t i = lo; i < hi; ++i) {
-            const double v = q.values[i];
-            if (data::NumericColumn::is_missing(v)) continue;
-            cells[0] += 1.0;
-            cells[1] += v;
-            cells[2] = std::min(cells[2], v);
-            cells[3] = std::max(cells[3], v);
-          }
-          break;
-        }
-        case Kind::kGroupAnswered: {
-          for (std::size_t i = lo; i < hi; ++i) {
-            const std::int32_t g = q.codes_a[i];
-            if (g < 0) continue;
-            bool answered = true;
-            switch (q.b_kind) {
-              case data::ColumnKind::kNumeric:
-                answered = !data::NumericColumn::is_missing(q.b_values[i]);
-                break;
-              case data::ColumnKind::kCategorical:
-                answered = q.codes_b[i] >= 0;
-                break;
-              case data::ColumnKind::kMultiSelect:
-                answered = q.b_ms_missing[i] == 0;
-                break;
-            }
-            if (answered) cells[static_cast<std::size_t>(g)] += 1.0;
-          }
-          break;
-        }
-      }
-    }
-    return acc;
-  };
-
-  // --- Execute: pure-function shard layout; pooled and serial paths walk
+  // --- Execute: fixed-stride shard layout; pooled and serial paths walk
   // --- identical shards and merge in identical index order.
-  const std::size_t grain = std::max(
-      kMinShardRows, (n + parallel::kReduceChunkTarget - 1) /
-                         parallel::kReduceChunkTarget);
-  const auto layout = parallel::chunk_layout(0, n, grain);
-  std::vector<std::vector<double>> partials(layout.chunks);
-  if (pool != nullptr && layout.chunks > 1) {
-    parallel::parallel_for_chunks(
-        *pool, 0, n,
-        [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
-          partials[chunk] = scan_shard(lo, hi);
-        },
-        {parallel::Schedule::kStatic, grain});
+  const std::size_t shards = (n + kShardRows - 1) / kShardRows;
+  std::vector<std::vector<double>> partials(shards);
+  const auto scan_shard = [&](std::size_t k) {
+    std::vector<double> part(cell_count);
+    plan.init_cells(part);
+    plan.scan(k * kShardRows, std::min(n, (k + 1) * kShardRows), part);
+    partials[k] = std::move(part);
+  };
+  if (pool != nullptr && shards > 1) {
+    parallel::parallel_for(*pool, 0, shards,
+                           [&](std::size_t k) { scan_shard(k); });
   } else {
-    for (std::size_t k = 0; k < layout.chunks; ++k) {
-      const auto [lo, hi] = layout.bounds(k);
-      partials[k] = scan_shard(lo, hi);
-    }
+    for (std::size_t k = 0; k < shards; ++k) scan_shard(k);
   }
 
-  std::vector<double> acc = make_identity();
+  std::vector<double> acc(cell_count);
+  plan.init_cells(acc);
   {
     obs::ScopedTimer merge_timer(metrics().merge_ms);
-    for (const std::vector<double>& part : partials) {
-      for (std::size_t i = 0; i < total_cells; ++i) {
-        switch (ops[i]) {
-          case CellOp::kSum: acc[i] += part[i]; break;
-          case CellOp::kMin: acc[i] = std::min(acc[i], part[i]); break;
-          case CellOp::kMax: acc[i] = std::max(acc[i], part[i]); break;
-        }
-      }
-    }
+    for (const std::vector<double>& part : partials) plan.merge(acc, part);
   }
 
-  // --- Build the typed results from the merged cells.
-  results_.assign(specs_.size(), Result{});
-  for (std::size_t qi = 0; qi < specs_.size(); ++qi) {
-    const Spec& spec = specs_[qi];
-    const Resolved& q = plan[qi];
-    const double* cells = acc.data() + q.base;
-    Result& res = results_[qi];
-    switch (spec.kind) {
-      case Kind::kCrosstab:
-      case Kind::kCrosstabMultiselect: {
-        const auto& rows = table_.categorical(spec.a);
-        res.crosstab.row_labels = rows.categories();
-        res.crosstab.col_labels = spec.kind == Kind::kCrosstab
-                                      ? table_.categorical(spec.b).categories()
-                                      : table_.multiselect(spec.b).options();
-        res.crosstab.counts = stats::Contingency(
-            res.crosstab.row_labels.size(), res.crosstab.col_labels.size());
-        for (std::size_t r = 0; r < res.crosstab.row_labels.size(); ++r)
-          for (std::size_t c = 0; c < res.crosstab.col_labels.size(); ++c)
-            res.crosstab.counts.at(r, c) = cells[r * q.cols_dim + c];
-        break;
-      }
-      case Kind::kCategoryShares:
-      case Kind::kOptionShares: {
-        const double total = cells[q.cells - 1];
-        RCR_CHECK_MSG(total > 0.0,
-                      spec.kind == Kind::kCategoryShares
-                          ? "category_shares: no answered rows"
-                          : "option_shares: no answered rows");
-        res.shares.reserve(q.cells - 1);
-        for (std::size_t o = 0; o + 1 < q.cells; ++o) {
-          data::OptionShare share;
-          share.label = spec.kind == Kind::kCategoryShares
-                            ? table_.categorical(spec.a).category(o)
-                            : table_.multiselect(spec.a).option(o);
-          share.count = cells[o];
-          share.total = total;
-          share.share = stats::wilson_ci(cells[o], total, spec.confidence);
-          res.shares.push_back(std::move(share));
-        }
-        break;
-      }
-      case Kind::kWeightedOptionShare: {
-        const double wnum = cells[0], wden = cells[1], wden2 = cells[2];
-        RCR_CHECK_MSG(wden > 0.0, "no answered rows with positive weight");
-        res.weighted.label = spec.option_label;
-        res.weighted.count = wnum;
-        res.weighted.total = wden;
-        const double effective_n = wden * wden / wden2;
-        res.weighted.share = stats::weighted_proportion_ci(
-            wnum, wden, effective_n, spec.confidence);
-        break;
-      }
-      case Kind::kNumericSummary: {
-        res.numeric.count = cells[0];
-        res.numeric.sum = cells[1];
-        const bool empty = cells[0] == 0.0;
-        res.numeric.min = empty ? data::NumericColumn::missing() : cells[2];
-        res.numeric.max = empty ? data::NumericColumn::missing() : cells[3];
-        break;
-      }
-      case Kind::kGroupAnswered: {
-        res.group_counts.assign(cells, cells + q.cells);
-        break;
-      }
-    }
-  }
+  results_ = plan.build(acc);
   ran_ = true;
 
   metrics().runs.add(1);
@@ -485,8 +145,7 @@ void QueryEngine::run(parallel::ThreadPool* pool) {
   metrics().naive_equivalent.add(specs_.size());
 }
 
-const QueryEngine::Result& QueryEngine::result_of(QueryId id,
-                                                  Kind kind) const {
+const QueryResult& QueryEngine::result_of(QueryId id, SpecKind kind) const {
   RCR_CHECK_MSG(ran_, "QueryEngine::run() has not been called");
   RCR_CHECK_MSG(id < specs_.size(), "unknown query id");
   RCR_CHECK_MSG(specs_[id].kind == kind, "query id refers to another kind");
@@ -496,8 +155,8 @@ const QueryEngine::Result& QueryEngine::result_of(QueryId id,
 const data::LabeledCrosstab& QueryEngine::crosstab(QueryId id) const {
   RCR_CHECK_MSG(ran_, "QueryEngine::run() has not been called");
   RCR_CHECK_MSG(id < specs_.size(), "unknown query id");
-  RCR_CHECK_MSG(specs_[id].kind == Kind::kCrosstab ||
-                    specs_[id].kind == Kind::kCrosstabMultiselect,
+  RCR_CHECK_MSG(specs_[id].kind == SpecKind::kCrosstab ||
+                    specs_[id].kind == SpecKind::kCrosstabMultiselect,
                 "query id refers to another kind");
   return results_[id].crosstab;
 }
@@ -505,22 +164,33 @@ const data::LabeledCrosstab& QueryEngine::crosstab(QueryId id) const {
 const std::vector<data::OptionShare>& QueryEngine::shares(QueryId id) const {
   RCR_CHECK_MSG(ran_, "QueryEngine::run() has not been called");
   RCR_CHECK_MSG(id < specs_.size(), "unknown query id");
-  RCR_CHECK_MSG(specs_[id].kind == Kind::kCategoryShares ||
-                    specs_[id].kind == Kind::kOptionShares,
+  RCR_CHECK_MSG(specs_[id].kind == SpecKind::kCategoryShares ||
+                    specs_[id].kind == SpecKind::kOptionShares,
                 "query id refers to another kind");
   return results_[id].shares;
 }
 
 const data::OptionShare& QueryEngine::weighted_share(QueryId id) const {
-  return result_of(id, Kind::kWeightedOptionShare).weighted;
+  return result_of(id, SpecKind::kWeightedOptionShare).weighted;
 }
 
 const NumericSummary& QueryEngine::numeric(QueryId id) const {
-  return result_of(id, Kind::kNumericSummary).numeric;
+  return result_of(id, SpecKind::kNumericSummary).numeric;
 }
 
 const std::vector<double>& QueryEngine::group_answered(QueryId id) const {
-  return result_of(id, Kind::kGroupAnswered).group_counts;
+  return result_of(id, SpecKind::kGroupAnswered).group_counts;
+}
+
+const QueryResult& QueryEngine::raw_result(QueryId id) const {
+  RCR_CHECK_MSG(ran_, "QueryEngine::run() has not been called");
+  RCR_CHECK_MSG(id < specs_.size(), "unknown query id");
+  return results_[id];
+}
+
+SpecKind QueryEngine::kind_of(QueryId id) const {
+  RCR_CHECK_MSG(id < specs_.size(), "unknown query id");
+  return specs_[id].kind;
 }
 
 }  // namespace rcr::query

@@ -13,26 +13,27 @@
 //   engine.run(pool);                     // one sharded scan, all queries
 //   engine.crosstab(ct); engine.shares(ls);
 //
-// Execution model. The row range splits via parallel::chunk_layout with a
-// grain that is a pure function of the row count (never the pool), and each
-// shard accumulates every query's cells into one flat partial vector while
-// the shard's rows are cache-resident. Partials merge cell-wise in shard
-// index order, so results are bitwise identical run-to-run and across
-// thread counts — the serial (pool == nullptr) path walks the exact same
-// layout. Tables at or below kMinShardRows run as a single shard, which
-// makes every query — including arbitrarily-weighted sums — carry exactly
-// the serial builders' left-to-right association; above that, count-style
-// accumulators stay exact (integer counts are associative in double below
-// 2^53) while fractional weighted sums reassociate at shard boundaries,
-// deterministically (same caveat StreamingCrosstab documents).
+// Execution model. Rows shard at the fixed kShardRows stride (shard k is
+// [k·kShardRows, min(n, (k+1)·kShardRows)) — a pure function of the row
+// index, never of the row count or the pool), and each shard accumulates
+// every query's cells into one flat partial vector while the shard's rows
+// are cache-resident. Partials merge cell-wise in shard index order, so
+// results are bitwise identical run-to-run and across thread counts — the
+// serial (pool == nullptr) path walks the exact same layout. Because the
+// stride is append-invariant (new rows only ever extend the ragged tail
+// shard), the incremental engine (rcr::incr) reproduces these exact bits
+// by extending partials block by block. Tables at or below kShardRows run
+// as a single shard, which makes every query — including arbitrarily-
+// weighted sums — carry exactly the serial builders' left-to-right
+// association; above that, count-style accumulators stay exact (integer
+// counts are associative in double below 2^53) while fractional weighted
+// sums reassociate at shard boundaries, deterministically (same caveat
+// StreamingCrosstab documents).
 //
-// Per-query kernels read hoisted raw spans (codes/masks/values): no per-row
-// name lookup, no per-row virtual dispatch. Multi-select cells tally with
-// fixed-trip branchless per-option loops over the raw bitmasks (missing
-// rows are all-zero masks, so no per-row flag branch is needed) instead of
-// the builders' per-option has() probing; integer tallies and w·bit adds
-// keep the results bit-identical to per-selection accumulation. Queries
-// naming the same weight column share one name→span resolution.
+// The plan/scan/merge/build machinery itself lives in query/partials.hpp
+// (BatchPlan) so other schedulers — the incremental engine, the snapshot
+// page walker — can drive the same kernels; this class owns registration,
+// validation, the shard schedule, and result storage.
 //
 // Instrumented through rcr::obs: query.runs / query.queries / query.rows,
 // query.run.ms / query.merge.ms, and the fused-vs-naive scan counters
@@ -50,24 +51,13 @@
 #include "data/crosstab.hpp"
 #include "data/table.hpp"
 #include "parallel/thread_pool.hpp"
+#include "query/partials.hpp"
 
 namespace rcr::query {
 
-// Tables at or below this row count run as one shard: every result then
-// reproduces the serial builders' association bit-for-bit, weights included.
-inline constexpr std::size_t kMinShardRows = 4096;
-
-// One-pass summary of a numeric column (missing = NaN rows are skipped).
-struct NumericSummary {
-  double count = 0.0;  // non-missing rows (integer-valued)
-  double sum = 0.0;
-  double min = 0.0;    // NaN when count == 0
-  double max = 0.0;    // NaN when count == 0
-
-  double mean() const { return count > 0.0 ? sum / count : 0.0; }
-};
-
-using QueryId = std::size_t;
+// Historical name for the single-shard threshold; the stride now lives in
+// partials.hpp as kShardRows (the two are one constant).
+inline constexpr std::size_t kMinShardRows = kShardRows;
 
 class QueryEngine {
  public:
@@ -110,42 +100,18 @@ class QueryEngine {
   const data::OptionShare& weighted_share(QueryId id) const;
   const NumericSummary& numeric(QueryId id) const;
   const std::vector<double>& group_answered(QueryId id) const;
+  // The untyped result record (all kinds) — what serve's encoders and the
+  // incremental engine's equivalence tests compare against.
+  const QueryResult& raw_result(QueryId id) const;
+  SpecKind kind_of(QueryId id) const;
 
  private:
-  enum class Kind {
-    kCrosstab,
-    kCrosstabMultiselect,
-    kCategoryShares,
-    kOptionShares,
-    kWeightedOptionShare,
-    kNumericSummary,
-    kGroupAnswered,
-  };
-
-  struct Spec {
-    Kind kind;
-    std::string a;                      // primary column
-    std::string b;                      // secondary column (crosstabs, denominators)
-    std::optional<std::string> weight;  // weight column (crosstabs)
-    std::string option_label;           // weighted option share
-    std::span<const double> ext_weights;
-    double confidence = 0.95;
-  };
-
-  struct Result {
-    data::LabeledCrosstab crosstab;
-    std::vector<data::OptionShare> shares;
-    data::OptionShare weighted;
-    NumericSummary numeric;
-    std::vector<double> group_counts;
-  };
-
-  QueryId push_spec(Spec spec);
-  const Result& result_of(QueryId id, Kind kind) const;
+  QueryId push_spec(QuerySpec spec);
+  const QueryResult& result_of(QueryId id, SpecKind kind) const;
 
   const data::Table& table_;
-  std::vector<Spec> specs_;
-  std::vector<Result> results_;
+  std::vector<QuerySpec> specs_;
+  std::vector<QueryResult> results_;
   bool ran_ = false;
 };
 

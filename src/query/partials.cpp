@@ -1,0 +1,342 @@
+#include "query/partials.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "simd/kernels.hpp"
+#include "stats/ci.hpp"
+#include "util/error.hpp"
+
+namespace rcr::query {
+
+namespace {
+
+double row_weight_or_skip(std::span<const double> weights, std::size_t i,
+                          bool& skip) {
+  // Matches the direct builders: missing weight drops the row, a negative
+  // weight is a hard error (safe to throw here even on a pool worker — the
+  // pool rethrows the first task exception on the calling thread).
+  const double w = weights[i];
+  if (data::NumericColumn::is_missing(w)) {
+    skip = true;
+    return 0.0;
+  }
+  RCR_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+  skip = false;
+  return w;
+}
+
+}  // namespace
+
+BatchPlan::BatchPlan(const data::Table& table, std::span<const QuerySpec> specs)
+    : table_(table), specs_(specs.begin(), specs.end()) {
+  table_.validate_rectangular();
+  plan_.reserve(specs_.size());
+  for (const QuerySpec& spec : specs_) {
+    Resolved q;
+    q.kind = spec.kind;
+    q.base = total_cells_;
+    switch (spec.kind) {
+      case SpecKind::kCrosstab: {
+        const auto& rows = table_.categorical(spec.a);
+        const auto& cols = table_.categorical(spec.b);
+        q.codes_a = rows.codes();
+        q.codes_b = cols.codes();
+        q.cols_dim = cols.category_count();
+        q.cells = rows.category_count() * cols.category_count();
+        break;
+      }
+      case SpecKind::kCrosstabMultiselect: {
+        const auto& rows = table_.categorical(spec.a);
+        const auto& opts = table_.multiselect(spec.b);
+        q.codes_a = rows.codes();
+        q.masks = opts.masks();
+        q.ms_missing = opts.missing_flags();
+        q.cols_dim = opts.option_count();
+        q.cells = rows.category_count() * opts.option_count();
+        break;
+      }
+      case SpecKind::kCategoryShares: {
+        const auto& col = table_.categorical(spec.a);
+        q.codes_a = col.codes();
+        q.cells = col.category_count() + 1;  // counts..., answered total
+        break;
+      }
+      case SpecKind::kOptionShares: {
+        const auto& col = table_.multiselect(spec.a);
+        q.masks = col.masks();
+        q.ms_missing = col.missing_flags();
+        q.cells = col.option_count() + 1;  // counts..., answered total
+        break;
+      }
+      case SpecKind::kWeightedOptionShare: {
+        const auto& col = table_.multiselect(spec.a);
+        RCR_CHECK_MSG(spec.ext_weights.size() == col.size(),
+                      "weight vector does not match table rows");
+        const int option = col.find_option(spec.option_label);
+        RCR_CHECK_MSG(option >= 0,
+                      "unknown option '" + spec.option_label + "'");
+        q.masks = col.masks();
+        q.ms_missing = col.missing_flags();
+        q.values = spec.ext_weights;
+        q.option_bit = std::uint64_t{1} << static_cast<std::uint64_t>(option);
+        q.cells = 3;  // wnum, wden, wden2
+        break;
+      }
+      case SpecKind::kNumericSummary: {
+        q.values = table_.numeric(spec.a).values();
+        q.cells = 4;  // count, sum, min, max
+        break;
+      }
+      case SpecKind::kGroupAnswered: {
+        const auto& groups = table_.categorical(spec.a);
+        q.codes_a = groups.codes();
+        q.b_kind = table_.kind(spec.b);
+        switch (q.b_kind) {
+          case data::ColumnKind::kNumeric:
+            q.b_values = table_.numeric(spec.b).values();
+            break;
+          case data::ColumnKind::kCategorical:
+            q.codes_b = table_.categorical(spec.b).codes();
+            break;
+          case data::ColumnKind::kMultiSelect:
+            q.b_ms_missing = table_.multiselect(spec.b).missing_flags();
+            break;
+        }
+        q.cells = groups.category_count();
+        break;
+      }
+    }
+    // Weight columns are resolved once per plan and the span shared by every
+    // query that names the same column (spans into the same storage).
+    if (spec.weight) q.weights = table_.numeric(*spec.weight).values();
+    total_cells_ += q.cells;
+    ops_.resize(total_cells_, CellOp::kSum);
+    if (spec.kind == SpecKind::kNumericSummary) {
+      ops_[q.base + 2] = CellOp::kMin;
+      ops_[q.base + 3] = CellOp::kMax;
+    }
+    plan_.push_back(q);
+  }
+}
+
+void BatchPlan::init_cells(std::span<double> cells) const {
+  RCR_CHECK_MSG(cells.size() == total_cells_, "cell buffer size mismatch");
+  for (std::size_t i = 0; i < total_cells_; ++i) {
+    switch (ops_[i]) {
+      case CellOp::kSum: cells[i] = 0.0; break;
+      case CellOp::kMin: cells[i] = std::numeric_limits<double>::infinity(); break;
+      case CellOp::kMax: cells[i] = -std::numeric_limits<double>::infinity(); break;
+    }
+  }
+}
+
+void BatchPlan::scan(std::size_t lo, std::size_t hi,
+                     std::span<double> cells_out) const {
+  RCR_CHECK_MSG(cells_out.size() == total_cells_, "cell buffer size mismatch");
+  for (const Resolved& q : plan_) {
+    double* cells = cells_out.data() + q.base;
+    switch (q.kind) {
+      case SpecKind::kCrosstab: {
+        const bool weighted = !q.weights.empty();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::int32_t r = q.codes_a[i], c = q.codes_b[i];
+          if (r < 0 || c < 0) continue;
+          double w = 1.0;
+          if (weighted) {
+            bool skip = false;
+            w = row_weight_or_skip(q.weights, i, skip);
+            if (skip) continue;
+          }
+          cells[static_cast<std::size_t>(r) * q.cols_dim +
+                static_cast<std::size_t>(c)] += w;
+        }
+        break;
+      }
+      // The multi-select kernels lean on the storage invariant that a
+      // missing row is an all-zero mask: tallying every option of a zero
+      // mask adds nothing, so the per-option loop needs no per-row flag
+      // branch. Both forms run through rcr::simd at the dispatched lane
+      // width: unweighted cells tally as integers (exact in double below
+      // 2^53); weighted cells add a bitwise select of w or +0.0 per
+      // option (`w * bit` without the multiply), and += 0.0 on a
+      // non-negative accumulator is a bitwise no-op — so every width
+      // reproduces the reference builders' per-selection adds bit for
+      // bit (pinned by the determinism suite).
+      case SpecKind::kCrosstabMultiselect: {
+        const bool weighted = !q.weights.empty();
+        if (!weighted) {
+          std::vector<std::uint64_t> tallies(q.cells, 0);
+          simd::tally_multiselect(q.codes_a.data(), q.masks.data(), lo, hi,
+                                  q.cols_dim, tallies.data());
+          for (std::size_t cell = 0; cell < q.cells; ++cell)
+            cells[cell] += static_cast<double>(tallies[cell]);
+          break;
+        }
+        // The kernel inlines row_weight_or_skip's contract: NaN weight
+        // drops the row, negative throws.
+        simd::add_weighted_multiselect(q.codes_a.data(), q.masks.data(),
+                                       q.ms_missing.data(),
+                                       q.weights.data(), lo, hi,
+                                       q.cols_dim, cells);
+        break;
+      }
+      // Both share kinds tally the answered total as an integer and fold
+      // it in once per scan call: the per-row `+= 1.0` it replaces is a
+      // serial FP dependency chain the whole scan stalls on, and integer
+      // counts below 2^53 are exact in double under any order, so the
+      // bits cannot differ.
+      case SpecKind::kCategoryShares: {
+        std::size_t missing = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::int32_t c = q.codes_a[i];
+          if (c < 0) { ++missing; continue; }
+          cells[static_cast<std::size_t>(c)] += 1.0;
+        }
+        cells[q.cells - 1] += static_cast<double>(hi - lo - missing);
+        break;
+      }
+      case SpecKind::kOptionShares: {
+        const std::size_t n_opts = q.cells - 1;
+        std::uint64_t tallies[data::MultiSelectColumn::kMaxOptions] = {};
+        const std::size_t missing = simd::tally_options(
+            q.masks.data(), q.ms_missing.data(), lo, hi, n_opts, tallies);
+        for (std::size_t o = 0; o < n_opts; ++o)
+          cells[o] += static_cast<double>(tallies[o]);
+        cells[q.cells - 1] += static_cast<double>(hi - lo - missing);
+        break;
+      }
+      case SpecKind::kWeightedOptionShare: {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (q.ms_missing[i] != 0) continue;
+          const double w = q.values[i];
+          RCR_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+          cells[1] += w;
+          cells[2] += w * w;
+          if ((q.masks[i] & q.option_bit) != 0) cells[0] += w;
+        }
+        break;
+      }
+      case SpecKind::kNumericSummary: {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double v = q.values[i];
+          if (data::NumericColumn::is_missing(v)) continue;
+          cells[0] += 1.0;
+          cells[1] += v;
+          cells[2] = std::min(cells[2], v);
+          cells[3] = std::max(cells[3], v);
+        }
+        break;
+      }
+      case SpecKind::kGroupAnswered: {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::int32_t g = q.codes_a[i];
+          if (g < 0) continue;
+          bool answered = true;
+          switch (q.b_kind) {
+            case data::ColumnKind::kNumeric:
+              answered = !data::NumericColumn::is_missing(q.b_values[i]);
+              break;
+            case data::ColumnKind::kCategorical:
+              answered = q.codes_b[i] >= 0;
+              break;
+            case data::ColumnKind::kMultiSelect:
+              answered = q.b_ms_missing[i] == 0;
+              break;
+          }
+          if (answered) cells[static_cast<std::size_t>(g)] += 1.0;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void BatchPlan::merge(std::span<double> into,
+                      std::span<const double> part) const {
+  RCR_CHECK_MSG(into.size() == total_cells_ && part.size() == total_cells_,
+                "cell buffer size mismatch");
+  for (std::size_t i = 0; i < total_cells_; ++i) {
+    switch (ops_[i]) {
+      case CellOp::kSum: into[i] += part[i]; break;
+      case CellOp::kMin: into[i] = std::min(into[i], part[i]); break;
+      case CellOp::kMax: into[i] = std::max(into[i], part[i]); break;
+    }
+  }
+}
+
+std::vector<QueryResult> BatchPlan::build(std::span<const double> acc) const {
+  RCR_CHECK_MSG(acc.size() == total_cells_, "cell buffer size mismatch");
+  std::vector<QueryResult> results(specs_.size());
+  for (std::size_t qi = 0; qi < specs_.size(); ++qi) {
+    const QuerySpec& spec = specs_[qi];
+    const Resolved& q = plan_[qi];
+    const double* cells = acc.data() + q.base;
+    QueryResult& res = results[qi];
+    switch (spec.kind) {
+      case SpecKind::kCrosstab:
+      case SpecKind::kCrosstabMultiselect: {
+        const auto& rows = table_.categorical(spec.a);
+        res.crosstab.row_labels = rows.categories();
+        res.crosstab.col_labels =
+            spec.kind == SpecKind::kCrosstab
+                ? table_.categorical(spec.b).categories()
+                : table_.multiselect(spec.b).options();
+        res.crosstab.counts = stats::Contingency(
+            res.crosstab.row_labels.size(), res.crosstab.col_labels.size());
+        for (std::size_t r = 0; r < res.crosstab.row_labels.size(); ++r)
+          for (std::size_t c = 0; c < res.crosstab.col_labels.size(); ++c)
+            res.crosstab.counts.at(r, c) = cells[r * q.cols_dim + c];
+        break;
+      }
+      case SpecKind::kCategoryShares:
+      case SpecKind::kOptionShares: {
+        const double total = cells[q.cells - 1];
+        RCR_CHECK_MSG(total > 0.0,
+                      spec.kind == SpecKind::kCategoryShares
+                          ? "category_shares: no answered rows"
+                          : "option_shares: no answered rows");
+        res.shares.reserve(q.cells - 1);
+        for (std::size_t o = 0; o + 1 < q.cells; ++o) {
+          data::OptionShare share;
+          share.label = spec.kind == SpecKind::kCategoryShares
+                            ? table_.categorical(spec.a).category(o)
+                            : table_.multiselect(spec.a).option(o);
+          share.count = cells[o];
+          share.total = total;
+          share.share = stats::wilson_ci(cells[o], total, spec.confidence);
+          res.shares.push_back(std::move(share));
+        }
+        break;
+      }
+      case SpecKind::kWeightedOptionShare: {
+        const double wnum = cells[0], wden = cells[1], wden2 = cells[2];
+        RCR_CHECK_MSG(wden > 0.0, "no answered rows with positive weight");
+        res.weighted.label = spec.option_label;
+        res.weighted.count = wnum;
+        res.weighted.total = wden;
+        const double effective_n = wden * wden / wden2;
+        res.weighted.share = stats::weighted_proportion_ci(
+            wnum, wden, effective_n, spec.confidence);
+        break;
+      }
+      case SpecKind::kNumericSummary: {
+        res.numeric.count = cells[0];
+        res.numeric.sum = cells[1];
+        const bool empty = cells[0] == 0.0;
+        res.numeric.min = empty ? data::NumericColumn::missing() : cells[2];
+        res.numeric.max = empty ? data::NumericColumn::missing() : cells[3];
+        break;
+      }
+      case SpecKind::kGroupAnswered: {
+        res.group_counts.assign(cells, cells + q.cells);
+        break;
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace rcr::query

@@ -328,30 +328,33 @@ query::QueryId register_spec(query::QueryEngine& engine,
 std::vector<std::uint8_t> encode_result_body(const query::QueryEngine& engine,
                                              query::QueryId id,
                                              const QuerySpec& spec) {
+  return encode_result_body(engine.raw_result(id), spec);
+}
+
+std::vector<std::uint8_t> encode_result_body(const query::QueryResult& result,
+                                             const QuerySpec& spec) {
   std::vector<std::uint8_t> out;
   Writer w(out);
   w.u8(static_cast<std::uint8_t>(spec.kind));
   switch (spec.kind) {
     case QueryKind::kCrosstab:
     case QueryKind::kCrosstabMultiselect:
-      write_crosstab(w, engine.crosstab(id));
+      write_crosstab(w, result.crosstab);
       break;
     case QueryKind::kCategoryShares:
     case QueryKind::kOptionShares:
-      write_shares(w, engine.shares(id));
+      write_shares(w, result.shares);
       break;
     case QueryKind::kNumericSummary: {
-      const auto& n = engine.numeric(id);
-      w.f64(n.count);
-      w.f64(n.sum);
-      w.f64(n.min);
-      w.f64(n.max);
+      w.f64(result.numeric.count);
+      w.f64(result.numeric.sum);
+      w.f64(result.numeric.min);
+      w.f64(result.numeric.max);
       break;
     }
     case QueryKind::kGroupAnswered: {
-      const auto& counts = engine.group_answered(id);
-      w.u32(static_cast<std::uint32_t>(counts.size()));
-      for (double c : counts) w.f64(c);
+      w.u32(static_cast<std::uint32_t>(result.group_counts.size()));
+      for (double c : result.group_counts) w.f64(c);
       break;
     }
   }

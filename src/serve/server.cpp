@@ -23,15 +23,44 @@ struct Metrics {
   obs::Counter& batches = obs::registry().counter("serve.batches");
   obs::Counter& batch_queries =
       obs::registry().counter("serve.batch.queries");
+  obs::Counter& deltas = obs::registry().counter("serve.deltas");
+  obs::Counter& delta_refreshed =
+      obs::registry().counter("serve.delta.refreshed");
   obs::Gauge& inflight = obs::registry().gauge("serve.inflight");
   obs::Gauge& admit_limit = obs::registry().gauge("serve.admit.limit");
   obs::Histogram& request_ms = obs::registry().histogram("serve.request.ms");
   obs::Histogram& batch_ms = obs::registry().histogram("serve.batch.ms");
+  obs::Histogram& delta_ms = obs::registry().histogram("serve.delta.ms");
 };
 
 Metrics& metrics() {
   static Metrics m;
   return m;
+}
+
+// register_spec's twin for the incremental engine: every servable wire
+// kind maps (the external-weight-span kind has no wire form — see the
+// protocol header — so the lineage can always maintain served specs).
+query::QueryId register_incr_spec(incr::IncrementalEngine& engine,
+                                  const QuerySpec& spec) {
+  const std::optional<std::string> weight =
+      spec.weight.empty() ? std::nullopt
+                          : std::optional<std::string>(spec.weight);
+  switch (spec.kind) {
+    case QueryKind::kCrosstab:
+      return engine.add_crosstab(spec.a, spec.b, weight);
+    case QueryKind::kCrosstabMultiselect:
+      return engine.add_crosstab_multiselect(spec.a, spec.b, weight);
+    case QueryKind::kCategoryShares:
+      return engine.add_category_shares(spec.a, spec.confidence);
+    case QueryKind::kOptionShares:
+      return engine.add_option_shares(spec.a, spec.confidence);
+    case QueryKind::kNumericSummary:
+      return engine.add_numeric_summary(spec.a);
+    case QueryKind::kGroupAnswered:
+      return engine.add_group_answered(spec.a, spec.b);
+  }
+  throw InvalidInputError("serve: unknown query kind");
 }
 
 }  // namespace
@@ -64,7 +93,89 @@ void Server::retire_snapshot(std::uint64_t epoch) {
     std::lock_guard<std::mutex> lock(epochs_mutex_);
     epochs_.erase(epoch);
   }
+  {
+    std::lock_guard<std::mutex> lock(lineage_mutex_);
+    lineages_.erase(epoch);
+  }
   cache_.invalidate_epoch(epoch);
+}
+
+std::size_t Server::append_delta(std::uint64_t base_epoch,
+                                 std::uint64_t new_epoch,
+                                 const data::Table& block) {
+  Metrics& m = metrics();
+  obs::ScopedTimer timer(m.delta_ms);
+  // Admin plane: one delta at a time. Request handling stays live — it
+  // only ever touches epochs_mutex_, the cache shards, and ep->m briefly.
+  std::lock_guard<std::mutex> admin(lineage_mutex_);
+
+  const auto base = find_epoch(base_epoch);
+  RCR_CHECK_MSG(base != nullptr, "serve: unknown snapshot epoch " +
+                                     std::to_string(base_epoch));
+  RCR_CHECK_MSG(find_epoch(new_epoch) == nullptr,
+                "serve: epoch already registered (snapshots are immutable)");
+
+  std::vector<QuerySpec> served;
+  std::vector<std::uint64_t> served_keys;
+  {
+    std::lock_guard<std::mutex> lock(base->m);
+    served = base->served_specs;
+  }
+
+  // (Re)build the lineage when it doesn't exist yet or the base epoch has
+  // served specs the engine never registered (late specs went through the
+  // cold batch path): register everything served and catch up with ONE
+  // scan of the base table. Otherwise this delta costs O(block rows).
+  Lineage& lin = lineages_[base_epoch];
+  if (!lin.engine || lin.specs != served) {
+    lin.engine = std::make_unique<incr::IncrementalEngine>(base->table);
+    lin.specs = served;
+    lin.ids.clear();
+    lin.ids.reserve(served.size());
+    for (const QuerySpec& spec : served)
+      lin.ids.push_back(register_incr_spec(*lin.engine, spec));
+    lin.engine->append_block(base->table, config_.pool);
+  }
+  lin.engine->append_block(block, config_.pool);
+
+  data::Table merged = base->table;  // deep copy; base stays pinned as-is
+  merged.append_rows(block);
+
+  // Refresh every served spec from the incremental partials and insert
+  // under the NEW epoch's fingerprints before the epoch is visible — a
+  // reader can never observe the new epoch cold for a served spec.
+  std::size_t refreshed = 0;
+  served_keys.reserve(lin.specs.size());
+  for (std::size_t i = 0; i < lin.specs.size(); ++i) {
+    const std::uint64_t key = fingerprint(new_epoch, lin.specs[i]);
+    auto body = std::make_shared<const std::vector<std::uint8_t>>(
+        encode_result_body(lin.engine->result(lin.ids[i]), lin.specs[i]));
+    cache_.insert(key, new_epoch, std::move(body));
+    served_keys.push_back(key);
+    ++refreshed;
+  }
+
+  register_snapshot(new_epoch, std::move(merged));
+  {
+    // The new epoch inherits the served set (it answered all of it at
+    // birth, via the pre-warmed cache), so the next delta refreshes the
+    // same specs without a rebuild.
+    const auto ep = find_epoch(new_epoch);
+    std::lock_guard<std::mutex> lock(ep->m);
+    ep->served_specs = lin.specs;
+    ep->served_keys = std::move(served_keys);
+  }
+
+  // The lineage advances: its engine now holds partials for new_epoch's
+  // rows. Keep it under the new head; the base keeps serving reads but
+  // accepts no further deltas on this lineage.
+  auto node = lineages_.extract(base_epoch);
+  node.key() = new_epoch;
+  lineages_.insert(std::move(node));
+
+  m.deltas.add(1);
+  m.delta_refreshed.add(refreshed);
+  return refreshed;
 }
 
 std::vector<std::uint64_t> Server::epochs() const {
@@ -243,6 +354,16 @@ void Server::execute_batch(Epoch& ep, std::vector<PendingQuery>& batch) {
       auto body = std::make_shared<const std::vector<std::uint8_t>>(
           encode_result_body(engine, *ids[i], batch[i].spec));
       cache_.insert(batch[i].key, ep.id, body);
+      {
+        // Record the spec as served (deduped by fingerprint): the set
+        // append_delta refreshes when this epoch grows a delta.
+        std::lock_guard<std::mutex> lock(ep.m);
+        if (std::find(ep.served_keys.begin(), ep.served_keys.end(),
+                      batch[i].key) == ep.served_keys.end()) {
+          ep.served_keys.push_back(batch[i].key);
+          ep.served_specs.push_back(batch[i].spec);
+        }
+      }
       {
         std::lock_guard<std::mutex> lock(inflight_mutex_);
         inflight_map_.erase(batch[i].key);

@@ -16,6 +16,16 @@
 //                       previous engine pass ran; everyone else waits on
 //                       their flight. No timers: batches form exactly from
 //                       natural concurrency.
+//   0. delta epochs   — append_delta() mints a new epoch as a delta on an
+//                       existing one: the appended block feeds a per-
+//                       lineage incr::IncrementalEngine (O(block rows)),
+//                       and every result the base epoch ever served is
+//                       re-encoded from the refreshed partials and
+//                       inserted into the cache under the new epoch's
+//                       fingerprints BEFORE the epoch becomes visible —
+//                       readers never see the new epoch cold, and the old
+//                       epoch stays registered (PR 8's pinning), so
+//                       in-flight readers keep a consistent cut.
 //   4. admission      — a request that misses while the miss queue
 //                       (in-flight misses, waiters included) has reached
 //                       the admitted-limit budget is refused with an
@@ -54,6 +64,7 @@
 #include <vector>
 
 #include "data/table.hpp"
+#include "incr/engine.hpp"
 #include "obs/metrics.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
@@ -86,6 +97,20 @@ class Server {
   // Drops the snapshot and every cached result fingerprinted against it.
   // In-flight batches keep the table alive until they finish.
   void retire_snapshot(std::uint64_t epoch);
+
+  // Mints `new_epoch` as a delta on `base_epoch`: the new snapshot is the
+  // base table plus `block`'s rows, but instead of recomputing, every spec
+  // the base epoch ever served is refreshed in O(block rows) through the
+  // lineage's incremental engine and cached under the new epoch before it
+  // becomes visible (a reader can never find the new epoch cold for those
+  // specs). Refreshed bodies are byte-identical to a cold engine run on
+  // the merged table — the incremental partials reproduce the cold bits
+  // exactly. The base epoch stays registered; retire it separately once
+  // its readers drain. Returns the number of cache entries refreshed.
+  // Specs first requested on the new epoch miss into the normal cold
+  // batch path and join the lineage at its next delta.
+  std::size_t append_delta(std::uint64_t base_epoch, std::uint64_t new_epoch,
+                           const data::Table& block);
 
   std::vector<std::uint64_t> epochs() const;
 
@@ -139,9 +164,22 @@ class Server {
   struct Epoch {
     std::uint64_t id = 0;
     data::Table table;
-    std::mutex m;  // guards pending + runner_active
+    std::mutex m;  // guards pending + runner_active + served_*
     std::vector<PendingQuery> pending;
     bool runner_active = false;
+    // Every distinct spec this epoch answered successfully (canonicalized,
+    // deduped by fingerprint) — what append_delta refreshes.
+    std::vector<QuerySpec> served_specs;
+    std::vector<std::uint64_t> served_keys;
+  };
+
+  // The incremental state advancing one snapshot lineage: an engine
+  // holding partials for the head epoch's served specs. Keyed by head
+  // epoch; append_delta moves it base -> new.
+  struct Lineage {
+    std::unique_ptr<incr::IncrementalEngine> engine;
+    std::vector<QuerySpec> specs;       // engine registration order
+    std::vector<query::QueryId> ids;    // parallel to specs
   };
 
   std::shared_ptr<Epoch> find_epoch(std::uint64_t epoch) const;
@@ -157,6 +195,11 @@ class Server {
 
   mutable std::mutex epochs_mutex_;
   std::map<std::uint64_t, std::shared_ptr<Epoch>> epochs_;
+
+  // Admin plane: serializes append_delta / lineage rebuilds. Never held
+  // while waiting on a request-plane lock other than a brief ep->m.
+  std::mutex lineage_mutex_;
+  std::map<std::uint64_t, Lineage> lineages_;
 
   std::mutex inflight_mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> inflight_map_;

@@ -7,22 +7,38 @@
 #include "obs/timer.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/philox.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/special.hpp"
 #include "util/error.hpp"
-#include "util/rng.hpp"
 
 namespace rcr::stats {
 
 namespace {
 
-// Mixes the master seed with the replicate index so each replicate has an
-// independent, order-free stream.
-std::uint64_t replicate_seed(std::uint64_t master, std::size_t index) {
-  std::uint64_t z = master ^ (0x9E3779B97F4A7C15ULL * (index + 1));
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+// Replicate b resamples from Philox substream b of the master seed —
+// counter-based splitting gives every replicate an independent, order-free
+// stream by construction (no per-replicate hash reseeding, no sequential
+// state to fork), which is what makes the fan-out identical whether the
+// replicates run serially or sharded across a pool.
+//
+// Lemire unbiased reduction over the substream: the raw draws fill in one
+// vectorized batch, then the rare rejected lanes redraw scalar from the
+// stream's tail. Both replicate paths (generic and fast-mean) draw indices
+// through this one helper, so bootstrap(data, mean-lambda) stays
+// bit-identical to bootstrap_mean(data).
+void fill_indices(std::uint64_t master, std::size_t replicate,
+                  std::uint64_t bound, std::span<std::uint64_t> out) {
+  simd::Philox rng(master, static_cast<std::uint64_t>(replicate));
+  rng.fill_u64(out);
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (std::uint64_t& o : out) {
+    std::uint64_t x = o;
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    while (static_cast<std::uint64_t>(m) < threshold)
+      m = static_cast<__uint128_t>(rng.next_u64()) * bound;
+    o = static_cast<std::uint64_t>(m >> 64);
+  }
 }
 
 // Reusable per-worker buffers; which ones a replicate touches depends on
@@ -36,12 +52,11 @@ struct Workspace {
 // former one-draw-per-element loop), materialize the resample, and hand it
 // to the arbitrary statistic.
 double generic_replicate(std::span<const double> data,
-                         const Statistic& statistic, std::uint64_t seed,
-                         Workspace& ws) {
-  Rng rng(seed);
+                         const Statistic& statistic, std::uint64_t master,
+                         std::size_t replicate, Workspace& ws) {
   const std::size_t n = data.size();
   ws.indices.resize(n);
-  rng.fill_below(n, ws.indices);
+  fill_indices(master, replicate, n, ws.indices);
   ws.values.resize(n);
   for (std::size_t i = 0; i < n; ++i)
     ws.values[i] = data[ws.indices[i]];
@@ -53,12 +68,11 @@ double generic_replicate(std::span<const double> data,
 // Neumaier compensated summation over the resample in index order, then one
 // divide — so the replicate value is bit-identical to the generic path's
 // statistic(resample) without ever materializing the resample.
-double mean_replicate(std::span<const double> data, std::uint64_t seed,
-                      Workspace& ws) {
-  Rng rng(seed);
+double mean_replicate(std::span<const double> data, std::uint64_t master,
+                      std::size_t replicate, Workspace& ws) {
   const std::size_t n = data.size();
   ws.indices.resize(n);
-  rng.fill_below(n, ws.indices);
+  fill_indices(master, replicate, n, ws.indices);
   double s = 0.0, c = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     const double v = data[ws.indices[i]];
@@ -100,14 +114,13 @@ BootstrapResult bootstrap_core(std::span<const double> data,
           [&](std::size_t lo, std::size_t hi) {
             Workspace ws;
             for (std::size_t b = lo; b < hi; ++b) {
-              result.replicates[b] =
-                  replicate(replicate_seed(options.seed, b), ws);
+              result.replicates[b] = replicate(options.seed, b, ws);
             }
           });
     } else {
       Workspace ws;
       for (std::size_t b = 0; b < options.replicates; ++b) {
-        result.replicates[b] = replicate(replicate_seed(options.seed, b), ws);
+        result.replicates[b] = replicate(options.seed, b, ws);
       }
     }
   }
@@ -189,18 +202,19 @@ BootstrapResult bootstrap_core(std::span<const double> data,
 BootstrapResult bootstrap(std::span<const double> data,
                           const Statistic& statistic,
                           const BootstrapOptions& options) {
-  return bootstrap_core(data, statistic, options,
-                        [&](std::uint64_t seed, Workspace& ws) {
-                          return generic_replicate(data, statistic, seed, ws);
-                        });
+  return bootstrap_core(
+      data, statistic, options,
+      [&](std::uint64_t master, std::size_t b, Workspace& ws) {
+        return generic_replicate(data, statistic, master, b, ws);
+      });
 }
 
 BootstrapResult bootstrap_mean(std::span<const double> data,
                                const BootstrapOptions& options) {
   return bootstrap_core(
       data, [](std::span<const double> x) { return mean(x); }, options,
-      [&](std::uint64_t seed, Workspace& ws) {
-        return mean_replicate(data, seed, ws);
+      [&](std::uint64_t master, std::size_t b, Workspace& ws) {
+        return mean_replicate(data, master, b, ws);
       });
 }
 

@@ -1,9 +1,10 @@
 // Nonparametric bootstrap engine.
 //
 // Resampling is embarrassingly parallel, so the engine optionally fans the
-// replicates out over a ThreadPool; each replicate derives its own RNG from
-// the master seed + replicate index, making results identical whether run
-// serially or on any thread count.
+// replicates out over a ThreadPool; replicate b draws from simd::Philox
+// substream b of the master seed (counter-based splitting — no hash
+// reseeding), making results identical whether run serially or on any
+// thread count.
 #pragma once
 
 #include <cstddef>

@@ -63,6 +63,14 @@ class TableSketch {
   // accumulations identical to the single-stream build).
   void ingest(const data::Table& block, std::size_t first_row);
 
+  // Tail-append convenience: ingest `block` as the rows immediately after
+  // everything seen so far (first_row = rows()). This is the form the
+  // incremental query engine uses, so one append advances the exact
+  // partials and the sketches in lockstep.
+  void ingest(const data::Table& block) {
+    ingest(block, static_cast<std::size_t>(rows_));
+  }
+
   // Folds a shard's sketch into this one. Options must match.
   void merge(const TableSketch& other);
 

@@ -9,6 +9,7 @@
 
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/philox.hpp"
 #include "util/rng.hpp"
 
 namespace rcr::synth {
@@ -29,6 +30,20 @@ std::uint64_t respondent_seed(std::uint64_t master, std::size_t index) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+// Candidate c's response coin: one draw from simd::Philox substream c of
+// the coin-masked master seed — counter-based splitting in place of a
+// per-candidate hash reseed. Same degenerate-p contract as Rng::bernoulli
+// (propensities at the clamp rails consume no draw). generate_wave and
+// generate_blocks flip coins through this one helper, so their row
+// sequences stay byte-identical.
+bool responds(std::uint64_t master, std::size_t candidate, double propensity) {
+  if (propensity <= 0.0) return false;
+  if (propensity >= 1.0) return true;
+  simd::Philox coin(master ^ 0xC0FFEEULL,
+                    static_cast<std::uint64_t>(candidate));
+  return coin.next_double() < propensity;
 }
 
 // Plain-value form of one generated respondent; appended to the table
@@ -309,8 +324,8 @@ data::Table generate_wave(const GeneratorConfig& config) {
       const double propensity =
           clamp01(0.6 + config.nonresponse_strength *
                             1.6 * (candidate.intensity - 0.5));
-      Rng coin(respondent_seed(config.seed ^ 0xC0FFEEULL, c));
-      if (coin.bernoulli(propensity)) raws.push_back(std::move(candidate));
+      if (responds(config.seed, c, propensity))
+        raws.push_back(std::move(candidate));
     }
   }
 
@@ -359,8 +374,7 @@ void generate_blocks(
     Raw candidate = generate_one(p, respondent_seed(config.seed, c));
     const double propensity = clamp01(
         0.6 + config.nonresponse_strength * 1.6 * (candidate.intensity - 0.5));
-    Rng coin(respondent_seed(config.seed ^ 0xC0FFEEULL, c));
-    if (!coin.bernoulli(propensity)) continue;
+    if (!responds(config.seed, c, propensity)) continue;
     raws.push_back(std::move(candidate));
     ++accepted;
     if (raws.size() == block_rows || accepted == config.respondents) {

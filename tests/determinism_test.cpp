@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "data/table.hpp"
+#include "incr/engine.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "query/engine.hpp"
@@ -375,6 +376,107 @@ TEST(DeterminismTest, PhiloxFillsAreSimdWidthInvariant) {
   EXPECT_EQ(got_u64, want_u64);
   for (std::size_t i = 0; i < want_f64.size(); ++i)
     ASSERT_EQ(bits_of(got_f64[i]), bits_of(want_f64[i])) << "i=" << i;
+}
+
+// --- Incremental delta-merge ------------------------------------------------
+// The incremental engine's O(delta) appends carry the full contract: at
+// EVERY block cut the live results fingerprint-match a cold QueryEngine
+// recompute over all rows so far, for thread counts 0/1/2/8 and with the
+// SIMD kernels forced scalar (the partial scans ride the same kernels the
+// cold engine does, so a width or scheduling leak would surface here).
+TEST(DeterminismTest, IncrementalCutsMatchColdRecomputeAcrossPoolsAndWidths) {
+  const std::size_t n = 20000;  // 5 fixed-stride shards
+  data::Table t;
+  auto& group = t.add_categorical("group", {"g0", "g1", "g2", "g3"});
+  auto& picks = t.add_multiselect("picks", {"p0", "p1", "p2", "p3", "p4"});
+  auto& value = t.add_numeric("value");
+  auto& weight = t.add_numeric("weight");
+  Rng rng(1212);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_double() < 0.05) group.push_missing();
+    else group.push_code(static_cast<std::int32_t>(rng.next_below(4)));
+    if (rng.next_double() < 0.08) picks.push_missing();
+    else picks.push_mask(rng.next_u64() & 0x1FULL);
+    value.push(rng.normal() * 1e3 + rng.next_double());
+    weight.push(rng.next_double() * 2.0 + 0.25);
+  }
+
+  // Registration shared by both engines; the fingerprint folds every
+  // result double of the batch.
+  const auto register_batch = [](auto& engine) {
+    engine.add_crosstab("group", "group",
+                        std::optional<std::string>{"weight"});
+    engine.add_crosstab_multiselect("group", "picks");
+    engine.add_option_shares("picks");
+    engine.add_numeric_summary("value");
+  };
+  const auto fold_results = [&](const query::QueryResult& ct,
+                                const query::QueryResult& ms,
+                                const query::QueryResult& os,
+                                const query::QueryResult& ns) {
+    std::uint64_t fp = 0;
+    const auto fold = [&](double v) {
+      fp = fp * 0x9E3779B97F4A7C15ULL + bits_of(v);
+    };
+    for (const auto* x : {&ct.crosstab, &ms.crosstab})
+      for (std::size_t r = 0; r < x->counts.rows(); ++r)
+        for (std::size_t c = 0; c < x->counts.cols(); ++c)
+          fold(x->counts.at(r, c));
+    for (const auto& s : os.shares) {
+      fold(s.count);
+      fold(s.total);
+      fold(s.share.lo);
+      fold(s.share.hi);
+    }
+    fold(ns.numeric.sum);
+    fold(ns.numeric.min);
+    fold(ns.numeric.max);
+    return fp;
+  };
+
+  const std::size_t block = 1537;  // ragged: every append resumes mid-shard
+  const auto incremental_cut_fps = [&](parallel::ThreadPool* pool) {
+    incr::IncrementalEngine engine(t);
+    register_batch(engine);
+    std::vector<std::uint64_t> fps;
+    for (std::size_t lo = 0; lo < n; lo += block) {
+      engine.append_block(t.slice(lo, std::min(n, lo + block)), pool);
+      fps.push_back(fold_results(engine.result(0), engine.result(1),
+                                 engine.result(2), engine.result(3)));
+    }
+    return fps;
+  };
+  const auto cold_fp = [&](std::size_t rows, parallel::ThreadPool* pool) {
+    const data::Table prefix = t.slice(0, rows);
+    query::QueryEngine engine(prefix);
+    register_batch(engine);
+    engine.run(pool);
+    return fold_results(engine.raw_result(0), engine.raw_result(1),
+                        engine.raw_result(2), engine.raw_result(3));
+  };
+
+  // Reference: forced-scalar serial incremental walk, checked cut by cut
+  // against the forced-scalar serial cold recompute.
+  std::vector<std::uint64_t> reference;
+  {
+    ForcedIsa scalar(simd::Isa::kScalar);
+    reference = incremental_cut_fps(nullptr);
+    std::size_t cut = 0;
+    for (std::size_t lo = 0; lo < n; lo += block, ++cut)
+      ASSERT_EQ(reference[cut], cold_fp(std::min(n, lo + block), nullptr))
+          << "scalar serial cut " << cut;
+  }
+
+  // Native width, every pool size: same fingerprints at every cut, and the
+  // pooled cold recompute agrees at the final cut.
+  EXPECT_EQ(incremental_cut_fps(nullptr), reference) << "native serial";
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    EXPECT_EQ(incremental_cut_fps(&pool), reference)
+        << "threads=" << threads;
+    EXPECT_EQ(cold_fp(n, &pool), reference.back())
+        << "cold, threads=" << threads;
+  }
 }
 
 // Repeated pooled runs are stable too (no hidden global state).

@@ -1,0 +1,331 @@
+// Incremental engine contract: every registered query's answer after any
+// sequence of appended blocks is bitwise-equal to a cold QueryEngine
+// recompute over the concatenation of those blocks — for any block
+// partition (including mid-shard resumes), any thread count, with the
+// attached TableSketch advancing in lockstep, and with blocks sourced from
+// the generator or streamed page-granularly from an on-disk snapshot.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/incr_study.hpp"
+#include "core/study.hpp"
+#include "data/snapshot.hpp"
+#include "data/table.hpp"
+#include "incr/engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "query/engine.hpp"
+#include "stream/table_sketch.hpp"
+#include "synth/domain.hpp"
+#include "synth/generator.hpp"
+#include "util/error.hpp"
+
+namespace rcr::incr {
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+void expect_crosstab_bits(const data::LabeledCrosstab& a,
+                          const data::LabeledCrosstab& b) {
+  ASSERT_EQ(a.row_labels, b.row_labels);
+  ASSERT_EQ(a.col_labels, b.col_labels);
+  ASSERT_EQ(a.counts.rows(), b.counts.rows());
+  ASSERT_EQ(a.counts.cols(), b.counts.cols());
+  for (std::size_t r = 0; r < a.counts.rows(); ++r)
+    for (std::size_t c = 0; c < a.counts.cols(); ++c)
+      ASSERT_EQ(bits_of(a.counts.at(r, c)), bits_of(b.counts.at(r, c)))
+          << "cell (" << r << "," << c << ")";
+}
+
+void expect_shares_bits(const std::vector<data::OptionShare>& a,
+                        const std::vector<data::OptionShare>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].label, b[i].label);
+    ASSERT_EQ(bits_of(a[i].count), bits_of(b[i].count)) << a[i].label;
+    ASSERT_EQ(bits_of(a[i].total), bits_of(b[i].total)) << a[i].label;
+    ASSERT_EQ(bits_of(a[i].share.estimate), bits_of(b[i].share.estimate));
+    ASSERT_EQ(bits_of(a[i].share.lo), bits_of(b[i].share.lo));
+    ASSERT_EQ(bits_of(a[i].share.hi), bits_of(b[i].share.hi));
+  }
+}
+
+void expect_counts_bits(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(bits_of(a[i]), bits_of(b[i])) << "index " << i;
+}
+
+// The registration set exercised against every cold reference: all six
+// servable kinds plus a weight-column crosstab and a numeric summary.
+struct Ids {
+  query::QueryId ct, ct_weighted, ct_multi, cat, opt, num, ans;
+};
+
+template <typename Engine>
+Ids register_standard(Engine& engine) {
+  Ids ids;
+  ids.ct = engine.add_crosstab(synth::col::kField, synth::col::kCareerStage);
+  ids.ct_weighted = engine.add_crosstab(
+      synth::col::kField, synth::col::kCareerStage, synth::col::kDatasetGb);
+  ids.ct_multi = engine.add_crosstab_multiselect(synth::col::kField,
+                                                 synth::col::kLanguages);
+  ids.cat = engine.add_category_shares(synth::col::kGpuUsage);
+  ids.opt = engine.add_option_shares(synth::col::kSePractices);
+  ids.num = engine.add_numeric_summary(synth::col::kYearsProgramming);
+  ids.ans =
+      engine.add_group_answered(synth::col::kField, synth::col::kLanguages);
+  return ids;
+}
+
+// Compares every registered answer on `engine` against a cold QueryEngine
+// run over `reference` (the concatenation of all appended blocks so far).
+void expect_matches_cold(IncrementalEngine& engine, const Ids& ids,
+                         const data::Table& reference,
+                         parallel::ThreadPool* pool = nullptr) {
+  query::QueryEngine cold(reference);
+  const Ids cold_ids = register_standard(cold);
+  cold.run(pool);
+  expect_crosstab_bits(engine.result(ids.ct).crosstab,
+                       cold.raw_result(cold_ids.ct).crosstab);
+  expect_crosstab_bits(engine.result(ids.ct_weighted).crosstab,
+                       cold.raw_result(cold_ids.ct_weighted).crosstab);
+  expect_crosstab_bits(engine.result(ids.ct_multi).crosstab,
+                       cold.raw_result(cold_ids.ct_multi).crosstab);
+  expect_shares_bits(engine.result(ids.cat).shares,
+                     cold.raw_result(cold_ids.cat).shares);
+  expect_shares_bits(engine.result(ids.opt).shares,
+                     cold.raw_result(cold_ids.opt).shares);
+  const auto& ni = engine.result(ids.num).numeric;
+  const auto& nc = cold.raw_result(cold_ids.num).numeric;
+  ASSERT_EQ(bits_of(ni.count), bits_of(nc.count));
+  ASSERT_EQ(bits_of(ni.sum), bits_of(nc.sum));
+  ASSERT_EQ(bits_of(ni.min), bits_of(nc.min));
+  ASSERT_EQ(bits_of(ni.max), bits_of(nc.max));
+  expect_counts_bits(engine.result(ids.ans).group_counts,
+                     cold.raw_result(cold_ids.ans).group_counts);
+}
+
+data::Table test_wave(std::size_t n, std::uint64_t seed = 11) {
+  return synth::generate_wave({synth::Wave::k2024, n, seed});
+}
+
+TEST(IncrementalEngineTest, RegistrationSealsOnFirstAppend) {
+  const data::Table wave = test_wave(300);
+  IncrementalEngine engine(wave);
+  register_standard(engine);
+  engine.append_block(wave.slice(0, 100));
+  EXPECT_THROW(engine.add_category_shares(synth::col::kGpuUsage), Error);
+  EXPECT_THROW(engine.add_option_shares(synth::col::kLanguages), Error);
+}
+
+TEST(IncrementalEngineTest, ExternalWeightSpanRejected) {
+  const data::Table wave = test_wave(50);
+  IncrementalEngine engine(wave);
+  const std::vector<double> w(50, 1.0);
+  EXPECT_THROW(
+      engine.add_weighted_option_share(synth::col::kLanguages, "Python", w),
+      Error);
+}
+
+TEST(IncrementalEngineTest, SchemaMismatchRejected) {
+  const data::Table wave = test_wave(100);
+  IncrementalEngine engine(wave);
+  engine.add_category_shares(synth::col::kGpuUsage);
+  data::Table other;
+  other.add_numeric("x");
+  EXPECT_THROW(engine.append_block(other), Error);
+}
+
+TEST(IncrementalEngineTest, ValidatesSpecsAgainstSchema) {
+  const data::Table wave = test_wave(10);
+  IncrementalEngine engine(wave);
+  EXPECT_THROW(engine.add_category_shares("no_such_column"), Error);
+  EXPECT_THROW(engine.add_numeric_summary(synth::col::kField), Error);
+}
+
+TEST(IncrementalEngineTest, ZeroRowBlockIsANoOp) {
+  const data::Table wave = test_wave(500);
+  IncrementalEngine engine(wave);
+  const Ids ids = register_standard(engine);
+  engine.append_block(wave.slice(0, 500));
+  engine.append_block(wave.slice(0, 0));
+  EXPECT_EQ(engine.row_count(), 500u);
+  expect_matches_cold(engine, ids, wave);
+}
+
+// The core contract: every cut, over an adversarial block partition that
+// starts mid-shard, crosses shard boundaries, and lands exactly on them,
+// matches the cold engine bit for bit.
+TEST(IncrementalEngineTest, EveryCutMatchesColdEngineBitwise) {
+  const std::size_t n = 10000;  // spans 3 fixed-stride shards
+  const data::Table wave = test_wave(n);
+  IncrementalEngine engine(wave);
+  const Ids ids = register_standard(engine);
+
+  const std::size_t sizes[] = {1, 7, 497, 3591, 4096, 953, 855};
+  std::size_t consumed = 0, i = 0;
+  while (consumed < n) {
+    const std::size_t take = std::min(sizes[i++ % 7], n - consumed);
+    engine.append_block(wave.slice(consumed, consumed + take));
+    consumed += take;
+    ASSERT_EQ(engine.row_count(), consumed);
+    expect_matches_cold(engine, ids, wave.slice(0, consumed));
+  }
+}
+
+TEST(IncrementalEngineTest, PoolSizeIsInvariantAtEveryCut) {
+  const std::size_t n = 12000;
+  const data::Table wave = test_wave(n, 23);
+  parallel::ThreadPool pool2(2), pool8(8);
+
+  IncrementalEngine serial(wave), par2(wave), par8(wave);
+  const Ids ids = register_standard(serial);
+  register_standard(par2);
+  register_standard(par8);
+
+  for (std::size_t lo = 0; lo < n; lo += 1000) {
+    const data::Table block = wave.slice(lo, std::min(n, lo + 1000));
+    serial.append_block(block, nullptr);
+    par2.append_block(block, &pool2);
+    par8.append_block(block, &pool8);
+    expect_crosstab_bits(serial.result(ids.ct_weighted).crosstab,
+                         par2.result(ids.ct_weighted).crosstab);
+    expect_crosstab_bits(serial.result(ids.ct_weighted).crosstab,
+                         par8.result(ids.ct_weighted).crosstab);
+    expect_shares_bits(serial.result(ids.opt).shares,
+                       par8.result(ids.opt).shares);
+  }
+  expect_matches_cold(par8, ids, wave, &pool8);
+}
+
+TEST(IncrementalEngineTest, AttachedSketchAdvancesInLockstep) {
+  const std::size_t n = 3000;
+  const data::Table wave = test_wave(n, 5);
+
+  stream::TableSketchOptions options;
+  options.crosstabs = {{synth::col::kField, synth::col::kLanguages}};
+  options.reservoir_column = synth::col::kDatasetGb;
+
+  IncrementalEngine engine(wave);
+  engine.add_category_shares(synth::col::kGpuUsage);
+  engine.attach_sketch(options);
+
+  stream::TableSketch reference(wave, options);
+  for (std::size_t lo = 0; lo < n; lo += 701) {
+    const data::Table block = wave.slice(lo, std::min(n, lo + 701));
+    engine.append_block(block);
+    reference.ingest(block, lo);
+  }
+
+  const stream::TableSketch& sketch = engine.sketch();
+  EXPECT_EQ(sketch.rows(), reference.rows());
+  EXPECT_EQ(sketch.blocks(), reference.blocks());
+  expect_counts_bits(sketch.category_counts(synth::col::kGpuUsage),
+                     reference.category_counts(synth::col::kGpuUsage));
+  expect_counts_bits(sketch.option_counts(synth::col::kLanguages),
+                     reference.option_counts(synth::col::kLanguages));
+  ASSERT_EQ(bits_of(sketch.answered(synth::col::kLanguages)),
+            bits_of(reference.answered(synth::col::kLanguages)));
+}
+
+TEST(IncrementalEngineTest, SketchRequiresAttachBeforeAppend) {
+  const data::Table wave = test_wave(20);
+  IncrementalEngine engine(wave);
+  EXPECT_THROW(engine.sketch(), Error);
+  engine.append_block(wave);
+  EXPECT_THROW(engine.attach_sketch(), Error);
+}
+
+// Snapshot pages stream through for_each_snapshot_block without ever
+// materializing the whole table, and the streamed blocks drive the
+// incremental engine to the same bits as the cold engine on the full wave.
+TEST(IncrementalEngineTest, SnapshotBlocksStreamToTheSameBits) {
+  const std::size_t n = 5000;
+  const data::Table wave = test_wave(n, 17);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "incr_test_snapshot.rcr")
+          .string();
+  data::SnapshotWriteOptions write_options;
+  write_options.page_rows = 777;  // ragged page grid -> ragged blocks
+  data::write_snapshot(wave, path, write_options);
+
+  IncrementalEngine engine(wave);
+  const Ids ids = register_standard(engine);
+  std::size_t blocks = 0, rows_seen = 0;
+  const std::size_t total = data::for_each_snapshot_block(
+      path, [&](const data::Table& block, std::size_t first_row) {
+        ASSERT_EQ(first_row, rows_seen);  // in order, gap-free
+        ASSERT_GT(block.row_count(), 0u);
+        ASSERT_LE(block.row_count(), 777u);
+        engine.append_block(block);
+        rows_seen += block.row_count();
+        ++blocks;
+      });
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(rows_seen, n);
+  EXPECT_GE(blocks, n / 777);
+  expect_matches_cold(engine, ids, wave);
+}
+
+// The continuously-ingesting study: its live aggregates equal Study's cold
+// fused scan of the same wave at the final cut, and every intermediate cut
+// is consistent (denominators equal the rows ingested so far).
+TEST(IncrStudyTest, FinalCutMatchesColdStudyAggregates) {
+  core::StudyConfig cold_config;
+  cold_config.n_2024 = 650;
+  cold_config.seed = 7;
+  const core::Study study(cold_config);
+
+  core::IncrStudyConfig config;
+  config.wave = synth::Wave::k2024;
+  config.respondents = 650;
+  config.seed = 7 ^ 0xA5A5A5A5ULL;  // Study's wave-2024 seed derivation
+  config.block_rows = 97;
+  core::IncrStudy incremental(config);
+
+  std::size_t cuts = 0;
+  std::size_t last_rows = 0;
+  const std::size_t rows =
+      incremental.run([&](const core::WaveAggregates& cut, std::size_t seen) {
+        ++cuts;
+        ASSERT_GT(seen, last_rows);
+        last_rows = seen;
+        // Denominator consistency at every cut: no multiselect answer count
+        // can exceed the rows ingested so far.
+        for (const auto& share : cut.languages) ASSERT_LE(share.total, seen);
+      });
+
+  EXPECT_EQ(rows, 650u);
+  EXPECT_EQ(cuts, (650 + 96) / 97);
+  EXPECT_EQ(incremental.blocks(), cuts);
+
+  const core::WaveAggregates& live = incremental.aggregates();
+  const core::WaveAggregates& cold = study.aggregates2024();
+  expect_crosstab_bits(live.field_by_career, cold.field_by_career);
+  expect_crosstab_bits(live.field_by_languages, cold.field_by_languages);
+  expect_crosstab_bits(live.field_by_se, cold.field_by_se);
+  expect_shares_bits(live.languages, cold.languages);
+  expect_shares_bits(live.se_practices, cold.se_practices);
+  expect_shares_bits(live.parallel_resources, cold.parallel_resources);
+  expect_shares_bits(live.tools_aware, cold.tools_aware);
+  expect_shares_bits(live.tools_used, cold.tools_used);
+  expect_shares_bits(live.gpu_usage, cold.gpu_usage);
+  expect_counts_bits(live.field_answered_languages,
+                     cold.field_answered_languages);
+  expect_counts_bits(live.field_answered_se, cold.field_answered_se);
+}
+
+}  // namespace
+}  // namespace rcr::incr

@@ -504,6 +504,144 @@ TEST(ServeTest, RetiringASnapshotDropsItsCachedResults) {
   EXPECT_EQ(server.handle({kEpoch + 1, spec}).type, MsgType::kResult);
 }
 
+// --- delta epochs ------------------------------------------------------------
+
+TEST(ServeDeltaTest, AppendDeltaValidatesItsEpochs) {
+  Server server;
+  server.register_snapshot(kEpoch, shared_table());
+  const data::Table block = make_table(100);
+  EXPECT_THROW(server.append_delta(kEpoch + 5, kEpoch + 6, block), Error);
+  EXPECT_THROW(server.append_delta(kEpoch, kEpoch, block), Error);
+}
+
+// The delta contract, across thread counts: after K appended blocks, every
+// spec the base epoch served comes back from the new epoch as a cache hit
+// (no engine run — the refresh pre-warmed it) with bytes equal to a cold
+// direct engine run on the fully-merged table, and the base epoch keeps
+// serving its own consistent cut.
+TEST(ServeDeltaTest, RefreshedEpochsMatchColdEngineOnTheMergedTable) {
+  const std::size_t base_rows = 9000, block_rows = 1000;
+  const data::Table full = make_table(12000);
+  const data::Table base = full.slice(0, base_rows);
+  const auto specs = all_kind_specs();
+
+  const auto run_scenario = [&](parallel::ThreadPool* pool) {
+    ServerConfig cfg;
+    cfg.pool = pool;
+    Server server(cfg);
+    server.register_snapshot(kEpoch, base);
+    // Serve every spec once so the base epoch records them.
+    std::vector<std::vector<std::uint8_t>> base_bodies;
+    for (const auto& spec : specs) {
+      const Response resp = server.handle({kEpoch, spec});
+      EXPECT_EQ(resp.type, MsgType::kResult);
+      base_bodies.push_back(resp.body);
+    }
+
+    std::vector<std::vector<std::uint8_t>> delta_bodies;
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      const std::size_t hi = base_rows + k * block_rows;
+      const std::size_t refreshed = server.append_delta(
+          kEpoch + k - 1, kEpoch + k, full.slice(hi - block_rows, hi));
+      EXPECT_EQ(refreshed, specs.size()) << "delta " << k;
+      for (const auto& spec : specs) {
+        const auto runs_before = engine_runs();
+        const Response resp = server.handle({kEpoch + k, spec});
+        EXPECT_EQ(resp.type, MsgType::kResult);
+        EXPECT_EQ(engine_runs(), runs_before)
+            << "refresh should pre-warm the cache, delta " << k;
+        delta_bodies.push_back(resp.body);
+      }
+    }
+
+    // The base epoch still serves its original cut.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const Response resp = server.handle({kEpoch, specs[i]});
+      EXPECT_EQ(resp.type, MsgType::kResult);
+      EXPECT_EQ(resp.body, base_bodies[i]);
+    }
+    return delta_bodies;
+  };
+
+  // Serial reference pinned against the cold single-spec engine...
+  const auto serial = run_scenario(nullptr);
+  std::size_t at = 0;
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    const data::Table merged = full.slice(0, base_rows + k * block_rows);
+    for (const auto& spec : specs) {
+      SCOPED_TRACE("delta " + std::to_string(k));
+      EXPECT_EQ(serial[at++], cold_engine_body(merged, spec));
+    }
+  }
+  // ...and thread counts cannot reach the bytes.
+  for (const std::size_t threads : {2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    EXPECT_EQ(run_scenario(&pool), serial) << threads << " threads";
+  }
+}
+
+// A spec first requested on a delta epoch misses into the cold batch path
+// (correct bytes immediately) and joins the refresh set at the next delta.
+TEST(ServeDeltaTest, LateSpecBackfillsColdThenJoinsTheLineage) {
+  const data::Table full = make_table(11000);
+  Server server;
+  server.register_snapshot(kEpoch, full.slice(0, 9000));
+
+  const auto early = spec_of(QueryKind::kCrosstab, "field", "career", "w");
+  const auto late = spec_of(QueryKind::kOptionShares, "langs", "", "", 0.90);
+  ASSERT_EQ(server.handle({kEpoch, early}).type, MsgType::kResult);
+
+  // Delta 1 refreshes only the spec the base epoch served.
+  EXPECT_EQ(server.append_delta(kEpoch, kEpoch + 1, full.slice(9000, 10000)),
+            1u);
+  const data::Table merged1 = full.slice(0, 10000);
+  EXPECT_EQ(server.handle({kEpoch + 1, early}).body,
+            cold_engine_body(merged1, early));
+  // The late spec misses cold and still serves the correct cut.
+  const Response first_late = server.handle({kEpoch + 1, late});
+  ASSERT_EQ(first_late.type, MsgType::kResult);
+  EXPECT_EQ(first_late.body, cold_engine_body(merged1, late));
+
+  // Delta 2 refreshes both: the late spec joined the lineage.
+  EXPECT_EQ(
+      server.append_delta(kEpoch + 1, kEpoch + 2, full.slice(10000, 11000)),
+      2u);
+  const data::Table merged2 = full.slice(0, 11000);
+  const auto runs_before = engine_runs();
+  const Response early2 = server.handle({kEpoch + 2, early});
+  const Response late2 = server.handle({kEpoch + 2, late});
+  EXPECT_EQ(engine_runs(), runs_before);  // both were pre-warmed
+  EXPECT_EQ(early2.body, cold_engine_body(merged2, early));
+  EXPECT_EQ(late2.body, cold_engine_body(merged2, late));
+}
+
+// Retiring a delta's base epoch leaves the new epoch fully servable (the
+// lineage rides with the head, and the head owns its own table copy).
+TEST(ServeDeltaTest, RetiringTheBaseKeepsTheDeltaEpochLive) {
+  const data::Table full = make_table(9500);
+  Server server;
+  server.register_snapshot(kEpoch, full.slice(0, 9000));
+  const auto spec = spec_of(QueryKind::kCrosstabMultiselect, "field", "langs",
+                            "w");
+  ASSERT_EQ(server.handle({kEpoch, spec}).type, MsgType::kResult);
+  ASSERT_EQ(server.append_delta(kEpoch, kEpoch + 1, full.slice(9000, 9500)),
+            1u);
+
+  server.retire_snapshot(kEpoch);
+  EXPECT_EQ(server.epochs(), std::vector<std::uint64_t>{kEpoch + 1});
+  EXPECT_EQ(server.handle({kEpoch, spec}).type, MsgType::kError);
+  EXPECT_EQ(server.handle({kEpoch + 1, spec}).body,
+            cold_engine_body(full, spec));
+  // The lineage survives retirement of its ancestor: the next delta still
+  // refreshes incrementally on top of the head epoch.
+  const data::Table more = make_table(9750).slice(9500, 9750);
+  EXPECT_EQ(server.append_delta(kEpoch + 1, kEpoch + 2, more), 1u);
+  data::Table merged = full;
+  merged.append_rows(more);
+  EXPECT_EQ(server.handle({kEpoch + 2, spec}).body,
+            cold_engine_body(merged, spec));
+}
+
 TEST(ResultCacheTest, PerShardLruEvictsTheColdTail) {
   ResultCache cache(16);  // 16 shards -> one entry per shard
   EXPECT_EQ(cache.capacity(), 16u);
