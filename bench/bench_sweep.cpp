@@ -1,0 +1,129 @@
+// Scenario-sweep macrobench + reproducibility gate.
+//
+// Runs the standard rcr::sweep catalog (Amdahl ablations, queue policies,
+// network contention, interpolated populations, beta-trait variants) on
+// the benchmark pool and then REPLAYS every cell twice before any timing
+// is reported:
+//
+//   * once serially (pool = nullptr) — the provenance stamps a thread
+//     count, but fingerprints must be pool-invariant like every engine in
+//     the repo;
+//   * once from the recorded provenance — a fresh run_cell under the
+//     recorded master seed must reproduce each cell's fingerprint bit for
+//     bit. This is the module's whole contract: seed + config hash IS the
+//     result.
+//
+// Any diverging fingerprint fails the run with exit code 2 and
+// "verified_replay": false in the report. The checked-in BENCH_sweep.json
+// baseline records the catalog's fingerprints, so CI also catches silent
+// cross-commit drift in any scenario engine.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "simd/dispatch.hpp"
+#include "sweep/scenarios.hpp"
+#include "sweep/sweep.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+double best_of(int runs, const auto& pass) {
+  double best = 1e300;
+  for (int r = 0; r < runs; ++r) {
+    rcr::Stopwatch sw;
+    pass();
+    best = std::min(best, sw.elapsed_seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t threads = 8;
+  std::uint64_t seed = 7;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+  const std::string simd = rcr::simd::describe();
+  std::fprintf(stderr, "bench_sweep: seed=%llu threads=%zu simd=%s\n",
+               static_cast<unsigned long long>(seed), threads, simd.c_str());
+
+  rcr::parallel::ThreadPool pool(threads == 0 ? 1 : threads);
+  rcr::sweep::SweepConfig cfg;
+  cfg.seed = seed;
+  cfg.pool = threads == 0 ? nullptr : &pool;
+
+  const auto cells = rcr::sweep::standard_catalog();
+  const auto results = rcr::sweep::run_sweep(cells, cfg);
+
+  // --- Reproducibility gate before any timing.
+  bool verified_replay = true;
+  rcr::sweep::SweepConfig serial_cfg;
+  serial_cfg.seed = seed;
+  serial_cfg.pool = nullptr;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Pool invariance: the serial replay must land on the same bits.
+    const auto serial = rcr::sweep::run_cell(cells[i], serial_cfg);
+    if (serial.fingerprint != results[i].fingerprint) {
+      std::fprintf(stderr, "bench_sweep: POOL DIVERGENCE cell=%s\n",
+                   cells[i].id.c_str());
+      verified_replay = false;
+    }
+    // Provenance replay: reconstruct the sweep config purely from the
+    // recorded provenance and re-run the cell.
+    rcr::sweep::SweepConfig replay_cfg;
+    replay_cfg.seed = results[i].provenance.master_seed;
+    replay_cfg.pool = cfg.pool;
+    const auto replay = rcr::sweep::run_cell(cells[i], replay_cfg);
+    if (replay.fingerprint != results[i].fingerprint ||
+        replay.provenance.cell_seed != results[i].provenance.cell_seed ||
+        replay.provenance.config_hash != results[i].provenance.config_hash) {
+      std::fprintf(stderr, "bench_sweep: REPLAY DIVERGENCE cell=%s\n",
+                   cells[i].id.c_str());
+      verified_replay = false;
+    }
+  }
+
+  const double sweep_s = best_of(
+      3, [&] { (void)rcr::sweep::run_sweep(cells, cfg); });
+
+  std::string json = "{\n  \"benchmark\": \"sweep\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"simd\": \"%s\",\n  \"seed\": %" PRIu64
+                ",\n  \"threads\": %zu,\n  \"cells\": %zu,\n"
+                "  \"sweep_ms\": %.3f,\n"
+                "  \"verified_replay\": %s,\n  \"results\": [\n",
+                simd.c_str(), seed, threads, cells.size(), sweep_s * 1e3,
+                verified_replay ? "true" : "false");
+  json += buf;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json += "    " + rcr::sweep::render_cell_json(results[i]);
+    json += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_sweep: cannot open %s\n", out_path);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(rcr::sweep::render_sweep_table(results).c_str(), stderr);
+  std::fputs(json.c_str(), stdout);
+  return verified_replay ? 0 : 2;
+}

@@ -33,8 +33,15 @@ std::string run_f8_dataset_size(const Study& study);
 std::string run_f9_nonresponse(const Study& study);
 std::string run_f10_panel_transitions(const Study& study);
 
+// Longitudinal extension (registered only for studies with 3+ waves):
+// piecewise N-wave trend batteries per indicator family, one Holm family
+// spanning every overall chi-square and every adjacent-segment z-test.
+std::string run_l1_multiwave_trends(const Study& study);
+
 // Registers all experiments against one shared Study (captured by
-// reference; the Study must outlive the registry).
+// reference; the Study must outlive the registry). Two-wave studies get
+// the classic 18 tables/figures; studies with 3+ waves additionally get
+// the longitudinal L-series.
 void register_all_experiments(report::ExperimentRegistry& registry,
                               const Study& study);
 

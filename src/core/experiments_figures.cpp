@@ -494,6 +494,71 @@ std::string run_f10_panel_transitions(const Study& study) {
   return out;
 }
 
+std::string run_l1_multiwave_trends(const Study& study) {
+  const std::size_t waves = study.wave_count();
+  std::string out = "Piecewise longitudinal trends across " +
+                    std::to_string(waves) +
+                    " waves. Per indicator: one overall chi-square "
+                    "(did the share move at all) plus adjacent-wave "
+                    "z-tests; every p of the battery is Holm-adjusted "
+                    "as ONE family per indicator group.\n";
+  std::vector<double> years;
+  for (std::size_t w = 0; w < waves; ++w) years.push_back(study.wave_year(w));
+
+  struct Family {
+    const char* name;
+    const std::vector<data::OptionShare>& (*pick)(const WaveAggregates&);
+  };
+  const Family families[] = {
+      {"Languages",
+       [](const WaveAggregates& a) -> const std::vector<data::OptionShare>& {
+         return a.languages;
+       }},
+      {"SE practices",
+       [](const WaveAggregates& a) -> const std::vector<data::OptionShare>& {
+         return a.se_practices;
+       }},
+      {"Parallel resources",
+       [](const WaveAggregates& a) -> const std::vector<data::OptionShare>& {
+         return a.parallel_resources;
+       }},
+  };
+  for (const auto& family : families) {
+    std::vector<std::vector<data::OptionShare>> shares;
+    for (std::size_t w = 0; w < waves; ++w)
+      shares.push_back(family.pick(study.aggregates(w)));
+    const auto battery = trend::multi_wave_option_battery(years, shares);
+
+    std::vector<std::string> header{"Indicator"};
+    for (double y : years) header.push_back(format_double(y, 0));
+    header.insert(header.end(), {"Overall p(adj)", "Direction", "Segments"});
+    report::TextTable t(header);
+    for (const auto& tr : battery) {
+      std::vector<std::string> row{tr.indicator};
+      for (std::size_t w = 0; w < waves; ++w)
+        row.push_back(format_percent(tr.share(w), 1));
+      row.push_back(report::p_cell(tr.overall_p_adjusted));
+      row.push_back(trend::direction_label(tr.direction));
+      // Compact per-segment view: sign of the move when its adjusted p
+      // clears 0.05, '.' otherwise.
+      std::string segs;
+      for (std::size_t s = 0; s < tr.segments.size(); ++s) {
+        if (tr.segment_p_adjusted[s] < 0.05)
+          segs += tr.segments[s].diff > 0 ? '+' : '-';
+        else
+          segs += '.';
+      }
+      row.push_back(segs);
+      t.add_row(row);
+    }
+    out += "\n" + std::string(family.name) + "\n" + t.render();
+  }
+  out += "\nSegment key: one glyph per adjacent-wave pair, '+'/'-' = "
+         "Holm-significant rise/fall over that segment, '.' = no "
+         "adjusted evidence of movement within the segment.\n";
+  return out;
+}
+
 void register_all_experiments(report::ExperimentRegistry& registry,
                               const Study& study) {
   const auto add = [&](const char* id, const char* kind, const char* title,
@@ -530,6 +595,12 @@ void register_all_experiments(report::ExperimentRegistry& registry,
   add("F9", "figure", "Nonresponse bias vs raking repair", run_f9_nonresponse);
   add("F10", "figure", "Panel transitions with McNemar tests",
       run_f10_panel_transitions);
+  // Longitudinal series: only meaningful (and only registered) when the
+  // study actually has intermediate waves; two-wave studies keep the
+  // classic 18-experiment registry byte-for-byte.
+  if (study.wave_count() >= 3)
+    add("L1", "table", "Piecewise N-wave trend batteries per indicator",
+        run_l1_multiwave_trends);
 }
 
 }  // namespace rcr::core

@@ -189,12 +189,11 @@ std::string run_t6_significance(const Study& study) {
   // the direct compare_option path would have re-scanned both waves once
   // per indicator (29 scans each).
   std::vector<trend::ShareTrend> all;
+  // Validated pairing: the share vectors come from per-wave engine scans,
+  // so the labels are checked pairwise instead of trusting raw indices.
   const auto collect = [&](const std::vector<data::OptionShare>& s2011,
                            const std::vector<data::OptionShare>& s2024) {
-    for (std::size_t o = 0; o < s2011.size(); ++o)
-      all.push_back(trend::trend_from_counts(
-          s2011[o].label, s2011[o].count, s2011[o].total, s2024[o].count,
-          s2024[o].total));
+    trend::append_share_trends(all, s2011, s2024);
   };
   const auto& a2011 = study.aggregates2011();
   const auto& a2024 = study.aggregates2024();

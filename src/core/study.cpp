@@ -5,6 +5,7 @@
 #include "synth/calibration.hpp"
 #include "synth/domain.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace rcr::core {
 
@@ -50,55 +51,105 @@ WaveAggregates fused_aggregates(const data::Table& wave,
   return a;
 }
 
+// Default per-wave seed salt. Indices 0 and 1 reproduce the legacy
+// 2011/2024 generator streams bit-for-bit; later waves derive an
+// independent stream from their calendar year.
+std::uint64_t default_salt(std::size_t index, double year) {
+  if (index == 0) return 0;
+  if (index == 1) return 0xA5A5A5A5ULL;
+  return xxhash64(&year, sizeof year, 0x5EEDF00DULL + index);
+}
+
+// The study's wave list: explicit specs, or the classic 2011→2024 pair
+// built from the legacy config fields.
+std::vector<WaveSpec> resolve_specs(const StudyConfig& config) {
+  std::vector<WaveSpec> specs = config.waves;
+  if (specs.empty()) {
+    specs.push_back(
+        {synth::kYear2011, config.n_2011, config.snapshot_2011, false, 0});
+    specs.push_back(
+        {synth::kYear2024, config.n_2024, config.snapshot_2024, true, 0});
+  }
+  RCR_CHECK_MSG(specs.size() >= 2, "a study needs at least two waves");
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    WaveSpec& spec = specs[w];
+    if (spec.seed_salt == 0) spec.seed_salt = default_salt(w, spec.year);
+    RCR_CHECK_MSG(spec.n > 0 || !spec.snapshot.empty(),
+                  "wave " + std::to_string(w) +
+                      " needs respondents or a snapshot path");
+    if (w > 0)
+      RCR_CHECK_MSG(spec.year > specs[w - 1].year,
+                    "study waves must be strictly time-ordered");
+  }
+  return specs;
+}
+
+data::Table materialize_wave(const WaveSpec& spec, const StudyConfig& config) {
+  if (!spec.snapshot.empty()) return data::read_snapshot(spec.snapshot);
+  // Anchor years get the calibrated anchor sets verbatim (interpolated_params
+  // returns them exactly), so this one code path is byte-identical to the
+  // legacy params_for-driven generation for 2011 and 2024 waves.
+  const synth::WaveParams params = synth::interpolated_params(spec.year);
+  synth::GeneratorConfig gc;
+  gc.wave = params.wave;
+  gc.respondents = spec.n;
+  gc.seed = config.seed ^ spec.seed_salt;
+  gc.pool = config.pool;
+  gc.params = &params;
+  return synth::generate_wave(gc);
+}
+
 }  // namespace
 
 Study::Study(const StudyConfig& config)
-    : config_(config),
-      wave2011_(config.snapshot_2011.empty()
-                    ? synth::generate_wave({synth::Wave::k2011, config.n_2011,
-                                            config.seed, config.pool})
-                    : data::read_snapshot(config.snapshot_2011)),
-      wave2024_(config.snapshot_2024.empty()
-                    ? synth::generate_wave(
-                          {synth::Wave::k2024, config.n_2024,
-                           config.seed ^ 0xA5A5A5A5ULL, config.pool})
-                    : data::read_snapshot(config.snapshot_2024)) {}
+    : config_(config), specs_(resolve_specs(config)) {
+  waves_.reserve(specs_.size());
+  for (const WaveSpec& spec : specs_)
+    waves_.push_back(materialize_wave(spec, config_));
+  weights_.resize(specs_.size());
+  aggregates_.resize(specs_.size());
+}
 
-const survey::RakingResult& Study::weights2024() const {
-  if (!weights2024_) {
-    // Population targets: the calibrated strata mixes are, by construction,
-    // the truth the sample was drawn from.
-    const auto& p = synth::params_for(synth::Wave::k2024);
+const WaveSpec& Study::wave_spec(std::size_t w) const {
+  RCR_CHECK_MSG(w < specs_.size(), "wave index out of range");
+  return specs_[w];
+}
+
+const data::Table& Study::wave(std::size_t w) const {
+  RCR_CHECK_MSG(w < waves_.size(), "wave index out of range");
+  return waves_[w];
+}
+
+const survey::RakingResult& Study::weights(std::size_t w) const {
+  RCR_CHECK_MSG(w < waves_.size(), "wave index out of range");
+  if (!weights_[w]) {
+    // Population targets: the calibrated strata mixes of the wave's year
+    // are, by construction, the truth the sample was drawn from.
+    const synth::WaveParams p = synth::interpolated_params(specs_[w].year);
     survey::MarginTarget field_target{synth::col::kField, {}};
     for (std::size_t f = 0; f < synth::fields().size(); ++f)
       field_target.shares[synth::fields()[f]] = p.field_mix[f];
     survey::MarginTarget career_target{synth::col::kCareerStage, {}};
     for (std::size_t c = 0; c < synth::career_stages().size(); ++c)
       career_target.shares[synth::career_stages()[c]] = p.career_mix[c];
-    weights2024_ = std::make_unique<survey::RakingResult>(
-        survey::rake_weights(wave2024_, {field_target, career_target}));
+    weights_[w] = std::make_unique<survey::RakingResult>(
+        survey::rake_weights(waves_[w], {field_target, career_target}));
   }
-  return *weights2024_;
+  return *weights_[w];
 }
 
-const WaveAggregates& Study::aggregates2011() const {
-  if (!aggregates2011_)
-    aggregates2011_ = std::make_unique<WaveAggregates>(
-        fused_aggregates(wave2011_, config_.pool));
-  return *aggregates2011_;
-}
-
-const WaveAggregates& Study::aggregates2024() const {
-  if (!aggregates2024_)
-    aggregates2024_ = std::make_unique<WaveAggregates>(
-        fused_aggregates(wave2024_, config_.pool));
-  return *aggregates2024_;
+const WaveAggregates& Study::aggregates(std::size_t w) const {
+  RCR_CHECK_MSG(w < waves_.size(), "wave index out of range");
+  if (!aggregates_[w])
+    aggregates_[w] = std::make_unique<WaveAggregates>(
+        fused_aggregates(waves_[w], config_.pool));
+  return *aggregates_[w];
 }
 
 const WaveAggregates& Study::aggregates_for(const data::Table& wave) const {
-  RCR_CHECK_MSG(&wave == &wave2011_ || &wave == &wave2024_,
-                "aggregates_for: not one of the study's waves");
-  return &wave == &wave2011_ ? aggregates2011() : aggregates2024();
+  for (std::size_t w = 0; w < waves_.size(); ++w)
+    if (&wave == &waves_[w]) return aggregates(w);
+  throw Error("aggregates_for: not one of the study's waves");
 }
 
 const char* rung_label(ParallelRung r) {

@@ -1,6 +1,14 @@
-// Study: the end-to-end object of the reproduction — both survey waves plus
+// Study: the end-to-end object of the reproduction — every survey wave plus
 // the machinery to analyze them. Examples, benches, and integration tests
 // all start here.
+//
+// A study holds N >= 2 time-ordered waves described by WaveSpec entries
+// (calendar year, size or snapshot path, per-wave raking). The historical
+// two-wave 2011→2024 shape is the default configuration, and the legacy
+// wave2011()/wave2024()/aggregates2011()/... accessors survive as thin
+// shims over wave indices 0 and 1 — their outputs are byte-identical to
+// the pre-N-wave code (same generator streams, same seeds, same fused
+// aggregate scans).
 #pragma once
 
 #include <cstdint>
@@ -16,18 +24,44 @@
 
 namespace rcr::core {
 
+// One wave of a longitudinal study.
+struct WaveSpec {
+  double year = 2024.0;   // calendar year; waves must be strictly ordered
+  std::size_t n = 0;      // respondents to synthesize (ignored with snapshot)
+  // When non-empty, the wave is loaded from an rcr::data snapshot
+  // (data/snapshot.hpp, memory-mapped zero-copy) instead of being
+  // synthesized; n and the seed are ignored for that wave. A snapshot
+  // written from a generated wave reloads it bitwise, so every downstream
+  // aggregate is byte-identical to the synthesized run.
+  std::string snapshot;
+  // Whether this wave's estimates should be raked against the calibrated
+  // population margins (weights(w) computes lazily either way; the flag
+  // records the study design, e.g. "the 2024 revisit is raked").
+  bool rake = false;
+  // Seed salt XORed into StudyConfig.seed for this wave's generator
+  // stream. 0 applies the default rule, which reproduces the legacy
+  // streams exactly: wave 0 draws from the seed itself, wave 1 from
+  // seed ^ 0xA5A5A5A5, and waves 2+ from a year-derived hash (so every
+  // wave is an independent sample).
+  std::uint64_t seed_salt = 0;
+};
+
 struct StudyConfig {
   std::size_t n_2011 = 120;   // 2011 field study reached ~10^2 researchers
   std::size_t n_2024 = 650;   // the revisit reaches a larger population
   std::uint64_t seed = 7;
   rcr::parallel::ThreadPool* pool = nullptr;
-  // When non-empty, the wave is loaded from an rcr::data snapshot
-  // (data/snapshot.hpp, memory-mapped zero-copy) instead of being
-  // synthesized; n/seed are ignored for that wave. A snapshot written from
-  // a generated wave reloads it bitwise, so every downstream aggregate is
-  // byte-identical to the synthesized run.
+  // Legacy two-wave snapshot paths (see WaveSpec::snapshot).
   std::string snapshot_2011;
   std::string snapshot_2024;
+  // N-wave form: when non-empty these specs define the study and the
+  // legacy fields above are ignored. Empty (the default) maps to the
+  // classic pair {2011, n_2011, snapshot_2011} / {2024, n_2024,
+  // snapshot_2024, rake}. Waves at the anchor years synthesize from the
+  // calibrated anchor parameters; intermediate years interpolate
+  // (synth::interpolated_params), so a 3+-wave study tracks the same
+  // secular drift the two anchors pin down.
+  std::vector<WaveSpec> waves;
 };
 
 // Every standard aggregate of one wave that the reproduced tables/figures
@@ -56,27 +90,36 @@ class Study {
   explicit Study(const StudyConfig& config = {});
 
   const StudyConfig& config() const { return config_; }
-  const data::Table& wave2011() const { return wave2011_; }
-  const data::Table& wave2024() const { return wave2024_; }
 
-  // Raking weights for the 2024 wave against the calibrated population
-  // field/career mix (computed on first use).
-  const survey::RakingResult& weights2024() const;
+  // --- N-wave surface -------------------------------------------------------
+  std::size_t wave_count() const { return waves_.size(); }
+  const WaveSpec& wave_spec(std::size_t w) const;
+  double wave_year(std::size_t w) const { return wave_spec(w).year; }
+  const data::Table& wave(std::size_t w) const;
 
-  // Fused per-wave aggregates, computed on first use by one engine scan on
-  // the configured pool (results are pool-size invariant).
-  const WaveAggregates& aggregates2011() const;
-  const WaveAggregates& aggregates2024() const;
-  // The cache for whichever of the two waves `wave` is (by identity).
+  // Fused aggregates of wave `w`, computed on first use by one engine scan
+  // on the configured pool (results are pool-size invariant).
+  const WaveAggregates& aggregates(std::size_t w) const;
+
+  // Raking weights for wave `w` against the calibrated population
+  // field/career mix of its calendar year (computed on first use).
+  const survey::RakingResult& weights(std::size_t w) const;
+
+  // --- Legacy two-wave shims (wave indices 0 and 1) -------------------------
+  const data::Table& wave2011() const { return wave(0); }
+  const data::Table& wave2024() const { return wave(1); }
+  const survey::RakingResult& weights2024() const { return weights(1); }
+  const WaveAggregates& aggregates2011() const { return aggregates(0); }
+  const WaveAggregates& aggregates2024() const { return aggregates(1); }
+  // The cache for whichever of the study's waves `wave` is (by identity).
   const WaveAggregates& aggregates_for(const data::Table& wave) const;
 
  private:
   StudyConfig config_;
-  data::Table wave2011_;
-  data::Table wave2024_;
-  mutable std::unique_ptr<survey::RakingResult> weights2024_;
-  mutable std::unique_ptr<WaveAggregates> aggregates2011_;
-  mutable std::unique_ptr<WaveAggregates> aggregates2024_;
+  std::vector<WaveSpec> specs_;      // resolved (salts applied)
+  std::vector<data::Table> waves_;
+  mutable std::vector<std::unique_ptr<survey::RakingResult>> weights_;
+  mutable std::vector<std::unique_ptr<WaveAggregates>> aggregates_;
 };
 
 // --- Derived indicators shared by several experiments ----------------------

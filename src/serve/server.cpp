@@ -107,7 +107,10 @@ std::size_t Server::append_delta(std::uint64_t base_epoch,
   obs::ScopedTimer timer(m.delta_ms);
   // Admin plane: one delta at a time. Request handling stays live — it
   // only ever touches epochs_mutex_, the cache shards, and ep->m briefly.
-  std::lock_guard<std::mutex> admin(lineage_mutex_);
+  // The O(delta) scan below runs on a privately-extracted Lineage;
+  // lineage_mutex_ is taken only for the extract and the final publish,
+  // so retire_snapshot never stalls behind an in-flight delta.
+  std::lock_guard<std::mutex> admin(delta_mutex_);
 
   const auto base = find_epoch(base_epoch);
   RCR_CHECK_MSG(base != nullptr, "serve: unknown snapshot epoch " +
@@ -122,11 +125,22 @@ std::size_t Server::append_delta(std::uint64_t base_epoch,
     served = base->served_specs;
   }
 
+  // Pull the base lineage out of the shared map; the rebuild and the
+  // incremental append below own it privately, off every shared lock.
+  Lineage lin;
+  {
+    std::lock_guard<std::mutex> lock(lineage_mutex_);
+    const auto it = lineages_.find(base_epoch);
+    if (it != lineages_.end()) {
+      lin = std::move(it->second);
+      lineages_.erase(it);
+    }
+  }
+
   // (Re)build the lineage when it doesn't exist yet or the base epoch has
   // served specs the engine never registered (late specs went through the
   // cold batch path): register everything served and catch up with ONE
   // scan of the base table. Otherwise this delta costs O(block rows).
-  Lineage& lin = lineages_[base_epoch];
   if (!lin.engine || lin.specs != served) {
     lin.engine = std::make_unique<incr::IncrementalEngine>(base->table);
     lin.specs = served;
@@ -167,11 +181,12 @@ std::size_t Server::append_delta(std::uint64_t base_epoch,
   }
 
   // The lineage advances: its engine now holds partials for new_epoch's
-  // rows. Keep it under the new head; the base keeps serving reads but
+  // rows. Publish it under the new head; the base keeps serving reads but
   // accepts no further deltas on this lineage.
-  auto node = lineages_.extract(base_epoch);
-  node.key() = new_epoch;
-  lineages_.insert(std::move(node));
+  {
+    std::lock_guard<std::mutex> lock(lineage_mutex_);
+    lineages_[new_epoch] = std::move(lin);
+  }
 
   m.deltas.add(1);
   m.delta_refreshed.add(refreshed);

@@ -196,8 +196,14 @@ class Server {
   mutable std::mutex epochs_mutex_;
   std::map<std::uint64_t, std::shared_ptr<Epoch>> epochs_;
 
-  // Admin plane: serializes append_delta / lineage rebuilds. Never held
-  // while waiting on a request-plane lock other than a brief ep->m.
+  // Admin plane: serializes whole append_delta calls (one delta at a
+  // time). Nothing else ever takes it, so holding it across the O(delta)
+  // rebuild/refresh work blocks only other admins.
+  std::mutex delta_mutex_;
+  // Guards the lineages_ map itself — held only for the brief extract /
+  // publish of a Lineage entry, never across the incremental scan, so
+  // retire_snapshot (and anything else touching the map) never waits on
+  // an in-flight delta's O(block rows) work.
   std::mutex lineage_mutex_;
   std::map<std::uint64_t, Lineage> lineages_;
 

@@ -77,17 +77,16 @@ double simulate_fork_join(std::span<const double> task_durations,
   RCR_CHECK_MSG(serial_seconds >= 0.0 && barrier_seconds >= 0.0,
                 "negative overhead");
   // Greedy list scheduling: always hand the next task to the earliest-free
-  // core. A min-heap of core-free times implements this exactly.
+  // core. A min-heap of core-free times implements this exactly. The heap
+  // is seeded with min(cores, tasks) slots, so whenever the loop runs it is
+  // non-empty — with more cores than tasks every task simply lands on its
+  // own core at time 0.
   std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
   for (std::size_t c = 0; c < std::min(cores, task_durations.size()); ++c)
     free_at.push(0.0);
   double makespan = 0.0;
   for (double d : task_durations) {
     RCR_CHECK_MSG(d >= 0.0, "negative task duration");
-    if (free_at.empty()) {  // more cores than tasks
-      makespan = std::max(makespan, d);
-      continue;
-    }
     const double start = free_at.top();
     free_at.pop();
     const double finish = start + d;

@@ -1,0 +1,254 @@
+#include "sweep/scenarios.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "query/engine.hpp"
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+#include "sim/scaling.hpp"
+#include "simd/philox.hpp"
+#include "synth/calibration.hpp"
+#include "synth/domain.hpp"
+#include "synth/generator.hpp"
+#include "synth/traffic.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rcr::sweep {
+
+namespace {
+
+std::string num(double v) {
+  // Canonical short rendering for config strings (which get hashed):
+  // trailing zeros trimmed so 0.05 renders identically everywhere.
+  std::string s = format_double(v, 6);
+  while (s.find('.') != std::string::npos && (s.back() == '0')) s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+double find_option_share(const std::vector<data::OptionShare>& shares,
+                         const std::string& label) {
+  for (const auto& s : shares)
+    if (s.label == label) return s.share.estimate;
+  throw Error("sweep: option '" + label + "' missing from shares");
+}
+
+}  // namespace
+
+std::vector<CellSpec> amdahl_ablation_grid() {
+  std::vector<CellSpec> cells;
+  const double serial_fractions[] = {0.01, 0.05};
+  const std::size_t core_counts[] = {8, 64};
+  struct Ablation {
+    const char* name;
+    sim::ModelAblation switches;
+  };
+  const Ablation ablations[] = {
+      {"full", {true, true}},
+      {"no_bandwidth", {false, true}},
+      {"no_barriers", {true, false}},
+  };
+  for (double f : serial_fractions) {
+    for (std::size_t p : core_counts) {
+      for (const Ablation& ab : ablations) {
+        CellSpec c;
+        c.scenario = "amdahl_ablation";
+        c.id = "amdahl_f" + num(f) + "_p" + std::to_string(p) + "_" + ab.name;
+        c.config = "scenario=amdahl_ablation serial_fraction=" + num(f) +
+                   " cores=" + std::to_string(p) +
+                   " ablation=" + ab.name +
+                   " work_ops=1e9 bytes_per_flop=0.5 barriers=4"
+                   " tasks_per_core=4 jitter=0.2";
+        c.run = [f, p, ab](const CellContext& ctx) {
+          sim::MachineModel machine;
+          sim::WorkloadModel work;
+          work.work_ops = 1e9;
+          work.serial_fraction = f;
+          work.bytes_per_flop = 0.5;
+          work.barriers = 4;
+          const double predicted =
+              sim::predict_time_ablated(machine, work, p, ab.switches);
+          // DES cross-check on the same workload: jittered task list,
+          // deterministic under the cell seed.
+          const auto durations =
+              sim::make_task_durations(machine, work, p * 4, 0.2, ctx.seed);
+          const double serial_s =
+              work.serial_fraction * work.work_ops /
+              (machine.core_gflops * 1e9);
+          const double des = sim::simulate_fork_join(durations, p, serial_s);
+          return std::vector<Metric>{
+              {"predicted_seconds", predicted},
+              {"des_makespan_seconds", des},
+              {"amdahl_ideal_speedup", sim::amdahl_speedup(f, p)},
+              {"gustafson_speedup", sim::gustafson_speedup(f, p)},
+          };
+        };
+        cells.push_back(std::move(c));
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<CellSpec> queue_policy_grid() {
+  std::vector<CellSpec> cells;
+  const double loads_per_hour[] = {20.0, 40.0};
+  const sim::SchedulerPolicy policies[] = {
+      sim::SchedulerPolicy::kFcfs,
+      sim::SchedulerPolicy::kEasyBackfill,
+      sim::SchedulerPolicy::kShortestFirst,
+  };
+  for (double rate : loads_per_hour) {
+    for (sim::SchedulerPolicy policy : policies) {
+      CellSpec c;
+      c.scenario = "queue_policy";
+      c.id = std::string("queue_") + sim::scheduler_label(policy) + "_rate" +
+             num(rate);
+      c.config = "scenario=queue_policy policy=" +
+                 std::string(sim::scheduler_label(policy)) +
+                 " arrival_rate_per_hour=" + num(rate) +
+                 " jobs=400 total_cores=256";
+      c.run = [rate, policy](const CellContext& ctx) {
+        sim::JobStreamConfig jc;
+        jc.jobs = 400;
+        jc.arrival_rate_per_hour = rate;
+        jc.seed = ctx.seed;
+        auto jobs = sim::generate_job_stream(jc);
+        const auto m = sim::simulate_cluster(jobs, 256, policy);
+        return std::vector<Metric>{
+            {"mean_wait_seconds", m.mean_wait},
+            {"p95_wait_seconds", m.p95_wait},
+            {"mean_bounded_slowdown", m.mean_bounded_slowdown},
+            {"utilization", m.utilization},
+        };
+      };
+      cells.push_back(std::move(c));
+    }
+  }
+  return cells;
+}
+
+std::vector<CellSpec> network_contention_grid() {
+  std::vector<CellSpec> cells;
+  const double bandwidths_gbs[] = {12.5, 1.25};
+  const double halo_bytes[] = {1e5, 1e6};
+  for (double bw : bandwidths_gbs) {
+    for (double halo : halo_bytes) {
+      CellSpec c;
+      c.scenario = "network_contention";
+      c.id = "network_bw" + num(bw) + "_halo" + num(halo);
+      c.config = "scenario=network_contention bandwidth_gbs=" + num(bw) +
+                 " halo_bytes_per_rank=" + num(halo) +
+                 " latency_us=2 work_ops_total=1e12 ranks=256";
+      c.run = [bw, halo](const CellContext&) {
+        sim::NetworkModel net;
+        net.bandwidth_gbs = bw;
+        sim::DistributedWorkload w;
+        w.halo_bytes_per_rank = halo;
+        return std::vector<Metric>{
+            {"bsp_step_seconds_256", sim::bsp_step_time(net, w, 256)},
+            {"sweet_spot_ranks",
+             static_cast<double>(sim::bsp_sweet_spot(net, w))},
+            {"allreduce_seconds_256", sim::allreduce_time(net, 256, 8.0)},
+        };
+      };
+      cells.push_back(std::move(c));
+    }
+  }
+  return cells;
+}
+
+std::vector<CellSpec> population_grid() {
+  std::vector<CellSpec> cells;
+  const double years[] = {2011.0, 2017.5, 2024.0};
+  for (double year : years) {
+    CellSpec c;
+    c.scenario = "population";
+    c.id = "population_y" + num(year);
+    c.config = "scenario=population year=" + num(year) + " respondents=400";
+    c.run = [year](const CellContext& ctx) {
+      const synth::WaveParams params = synth::interpolated_params(year);
+      synth::GeneratorConfig gc;
+      gc.wave = params.wave;
+      gc.respondents = 400;
+      gc.seed = ctx.seed;
+      gc.pool = ctx.pool;
+      gc.params = &params;
+      const data::Table wave = synth::generate_wave(gc);
+      // One fused engine pass for every aggregate the cell reports.
+      query::QueryEngine engine(wave);
+      const auto langs = engine.add_option_shares(synth::col::kLanguages);
+      const auto se = engine.add_option_shares(synth::col::kSePractices);
+      const auto res =
+          engine.add_option_shares(synth::col::kParallelResources);
+      const auto cores = engine.add_numeric_summary(synth::col::kCoresTypical);
+      engine.run(ctx.pool);
+      const auto& summary = engine.numeric(cores);
+      return std::vector<Metric>{
+          {"python_share",
+           find_option_share(engine.shares(langs), "Python")},
+          {"vcs_share",
+           find_option_share(engine.shares(se), "Version control")},
+          {"gpu_share", find_option_share(engine.shares(res), "GPU")},
+          {"cores_mean", summary.mean()},
+          {"cores_max", summary.max},
+      };
+    };
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+std::vector<CellSpec> beta_trait_grid() {
+  std::vector<CellSpec> cells;
+  struct Shape {
+    double alpha, beta;
+  };
+  const Shape shapes[] = {{2.0, 5.0}, {5.0, 2.0}, {0.5, 0.5}};
+  for (const Shape& sh : shapes) {
+    CellSpec c;
+    c.scenario = "beta_trait";
+    c.id = "beta_a" + num(sh.alpha) + "_b" + num(sh.beta);
+    c.config = "scenario=beta_trait alpha=" + num(sh.alpha) +
+               " beta=" + num(sh.beta) + " draws=4096";
+    c.run = [sh](const CellContext& ctx) {
+      const synth::BetaSampler sampler(sh.alpha, sh.beta);
+      simd::Philox rng(ctx.seed);
+      const std::size_t draws = 4096;
+      double sum = 0.0, sum_sq = 0.0, max_cdf_gap = 0.0;
+      for (std::size_t i = 0; i < draws; ++i) {
+        const double u = rng.next_double();
+        const double x = sampler.sample(u);
+        sum += x;
+        sum_sq += x * x;
+        // Inversion self-check: the CDF at the sample must reproduce the
+        // driving uniform (up to the bisection's terminal bracket).
+        max_cdf_gap = std::max(max_cdf_gap, std::abs(sampler.cdf(x) - u));
+      }
+      const double n = static_cast<double>(draws);
+      const double mean = sum / n;
+      return std::vector<Metric>{
+          {"empirical_mean", mean},
+          {"empirical_variance", sum_sq / n - mean * mean},
+          {"closed_mean", sampler.mean()},
+          {"closed_variance", sampler.variance()},
+          {"max_cdf_gap", max_cdf_gap},
+      };
+    };
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+std::vector<CellSpec> standard_catalog() {
+  std::vector<CellSpec> cells;
+  for (auto grid : {amdahl_ablation_grid(), queue_policy_grid(),
+                    network_contention_grid(), population_grid(),
+                    beta_trait_grid()})
+    for (auto& c : grid) cells.push_back(std::move(c));
+  return cells;
+}
+
+}  // namespace rcr::sweep

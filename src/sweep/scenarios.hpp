@@ -1,0 +1,42 @@
+// The standard scenario catalogs bench_sweep and the examples run.
+//
+// Each grid function expands one scenario family into CellSpecs whose
+// bodies drive the corresponding subsystem deterministically from the
+// cell's derived seed:
+//
+//   * amdahl_ablation_grid  — the analytic scaling model vs the
+//     discrete-event fork-join simulator across serial fractions, core
+//     counts, and F5's ablation switches (drop the bandwidth ceiling /
+//     the barrier term);
+//   * queue_policy_grid     — the batch-cluster simulator across offered
+//     loads and scheduler policies (FCFS / EASY backfill / SJF);
+//   * network_contention_grid — BSP step time and the communication
+//     sweet spot across rank counts, halo sizes, and network bandwidths;
+//   * population_grid       — synthetic survey populations at
+//     interpolated calendar years, aggregated by one fused query engine
+//     scan (key adoption shares + job-width summary);
+//   * beta_trait_grid       — BetaSampler trait-propensity variants
+//     (moments of inverse-CDF draws from Philox substreams), closing the
+//     roadmap's distribution checklist.
+//
+// Config strings are canonical key=value listings: the whole parameter
+// set, in a fixed order — they are hashed into the provenance, so two
+// cells differ iff their configs differ.
+#pragma once
+
+#include <vector>
+
+#include "sweep/sweep.hpp"
+
+namespace rcr::sweep {
+
+std::vector<CellSpec> amdahl_ablation_grid();
+std::vector<CellSpec> queue_policy_grid();
+std::vector<CellSpec> network_contention_grid();
+std::vector<CellSpec> population_grid();
+std::vector<CellSpec> beta_trait_grid();
+
+// All of the above, concatenated — what bench_sweep runs.
+std::vector<CellSpec> standard_catalog();
+
+}  // namespace rcr::sweep

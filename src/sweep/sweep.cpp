@@ -1,0 +1,143 @@
+#include "sweep/sweep.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "parallel/thread_pool.hpp"
+#include "report/table.hpp"
+#include "simd/dispatch.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace rcr::sweep {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+// Shortest decimal that round-trips the double, plus the exact bits — the
+// decimal is for eyes, the bits are the contract.
+void append_metric_json(std::string& out, const Metric& m) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", m.value);
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof m.value);
+  std::memcpy(&bits, &m.value, sizeof bits);
+  out += "{\"name\":\"" + m.name + "\",\"value\":" + buf + ",\"bits\":\"" +
+         hex64(bits) + "\"}";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t config_hash(const std::string& canonical_config) {
+  return xxhash64(canonical_config.data(), canonical_config.size(), 0);
+}
+
+std::uint64_t cell_seed(std::uint64_t master_seed, std::uint64_t cfg_hash) {
+  return xxhash64(&master_seed, sizeof master_seed, cfg_hash);
+}
+
+std::uint64_t fingerprint_metrics(const std::vector<Metric>& metrics) {
+  std::uint64_t h = 0x5EEDC0DEULL;
+  for (const Metric& m : metrics) {
+    h = xxhash64(m.name.data(), m.name.size(), h);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &m.value, sizeof bits);
+    h = xxhash64(&bits, sizeof bits, h);
+  }
+  return h;
+}
+
+CellResult run_cell(const CellSpec& spec, const SweepConfig& config) {
+  RCR_CHECK_MSG(!spec.id.empty(), "sweep cell needs an id");
+  RCR_CHECK_MSG(static_cast<bool>(spec.run), "sweep cell needs a body");
+  CellResult r;
+  r.id = spec.id;
+  r.scenario = spec.scenario;
+  r.config = spec.config;
+  r.provenance.master_seed = config.seed;
+  r.provenance.config_hash = config_hash(spec.config);
+  r.provenance.cell_seed = cell_seed(config.seed, r.provenance.config_hash);
+  r.provenance.threads =
+      config.pool != nullptr ? config.pool->thread_count() : 0;
+  r.provenance.simd_isa = simd::describe();
+  CellContext ctx;
+  ctx.seed = r.provenance.cell_seed;
+  ctx.pool = config.pool;
+  r.metrics = spec.run(ctx);
+  RCR_CHECK_MSG(!r.metrics.empty(), "sweep cell '" + spec.id +
+                                        "' produced no metrics");
+  r.fingerprint = fingerprint_metrics(r.metrics);
+  return r;
+}
+
+std::vector<CellResult> run_sweep(const std::vector<CellSpec>& cells,
+                                  const SweepConfig& config) {
+  std::vector<CellResult> out;
+  out.reserve(cells.size());
+  for (const CellSpec& spec : cells) out.push_back(run_cell(spec, config));
+  return out;
+}
+
+std::string render_cell_json(const CellResult& cell) {
+  std::string out = "{\"id\":\"" + json_escape(cell.id) + "\",\"scenario\":\"" +
+                    json_escape(cell.scenario) + "\",\"config\":\"" +
+                    json_escape(cell.config) + "\",\"provenance\":{";
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "\"master_seed\":%" PRIu64 ",\"cell_seed\":\"%s\","
+                "\"threads\":%zu,",
+                cell.provenance.master_seed,
+                hex64(cell.provenance.cell_seed).c_str(),
+                cell.provenance.threads);
+  out += buf;
+  out += "\"simd_isa\":\"" + json_escape(cell.provenance.simd_isa) +
+         "\",\"config_hash\":\"" + hex64(cell.provenance.config_hash) +
+         "\"},\"metrics\":[";
+  for (std::size_t i = 0; i < cell.metrics.size(); ++i) {
+    if (i > 0) out += ",";
+    append_metric_json(out, cell.metrics[i]);
+  }
+  out += "],\"fingerprint\":\"" + hex64(cell.fingerprint) + "\"}";
+  return out;
+}
+
+std::string render_sweep_json(const std::vector<CellResult>& cells) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out += "  " + render_cell_json(cells[i]);
+    if (i + 1 < cells.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string render_sweep_table(const std::vector<CellResult>& cells) {
+  report::TextTable t({"Cell", "Scenario", "Config", "Metric", "Value",
+                       "Fingerprint"});
+  for (const CellResult& c : cells) {
+    const Metric& head = c.metrics.front();
+    t.add_row({c.id, c.scenario, c.config, head.name,
+               format_double(head.value, 6), hex64(c.fingerprint)});
+  }
+  return t.render();
+}
+
+}  // namespace rcr::sweep

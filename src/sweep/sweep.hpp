@@ -1,0 +1,119 @@
+// rcr::sweep — provenance-stamped scenario sweeps.
+//
+// A sweep is a grid of cells, each a named scenario configuration (an
+// Amdahl ablation point, a queue policy × load point, a synthetic
+// population variant, ...) run as a batch job through the repo's sim /
+// synth / query stack. Every cell's report carries full provenance — the
+// master seed, the cell's derived seed, the thread count, the active SIMD
+// ISA, and a hash of the canonical config string — plus a fingerprint of
+// the metric values (XXH64 over the exact IEEE-754 bit patterns).
+//
+// The reproducibility contract, enforced by bench_sweep and sweep_test:
+// re-running any cell from its recorded provenance (seed + config; thread
+// count is free, because every engine in the repo is bitwise
+// pool-invariant) reproduces its fingerprint exactly. A sweep result that
+// cannot name the bits that produced it is not a result — this module is
+// the paper's "record your computational environment" practice turned
+// into an API.
+//
+// Determinism rules for cell bodies:
+//   * all randomness derives from CellContext::seed (itself
+//     cell_seed(master, config_hash), so cells are independent and
+//     insertion-order-free);
+//   * metrics are pure doubles computed by deterministic engines; no
+//     wall-clock times, host names, or pointers may enter a Metric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rcr::parallel {
+class ThreadPool;
+}
+
+namespace rcr::sweep {
+
+// Everything needed to reproduce one cell's bits.
+struct Provenance {
+  std::uint64_t master_seed = 0;  // the sweep's seed
+  std::uint64_t cell_seed = 0;    // derived: cell_seed(master, config_hash)
+  std::size_t threads = 0;        // pool width the run used (0 = serial)
+  std::string simd_isa;           // active dispatch target (simd::describe)
+  std::uint64_t config_hash = 0;  // XXH64 of the canonical config string
+};
+
+// One named scalar output of a cell.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+// What a cell body receives: its derived seed and the execution pool.
+struct CellContext {
+  std::uint64_t seed = 0;
+  parallel::ThreadPool* pool = nullptr;
+};
+
+// One grid cell: identity, the canonical config string (hashed into the
+// provenance; keep it a full, ordered key=value rendering of every
+// parameter), and the body computing its metrics.
+struct CellSpec {
+  std::string id;        // unique within the sweep, stable across runs
+  std::string scenario;  // catalog family (e.g. "amdahl_ablation")
+  std::string config;    // canonical parameter rendering
+  std::function<std::vector<Metric>(const CellContext&)> run;
+};
+
+struct CellResult {
+  std::string id;
+  std::string scenario;
+  std::string config;
+  Provenance provenance;
+  std::vector<Metric> metrics;
+  std::uint64_t fingerprint = 0;  // fingerprint_metrics(metrics)
+};
+
+struct SweepConfig {
+  std::uint64_t seed = 7;
+  parallel::ThreadPool* pool = nullptr;  // nullptr = serial
+};
+
+// XXH64 of the canonical config string (seedless, so the hash is a pure
+// function of the text).
+std::uint64_t config_hash(const std::string& canonical_config);
+
+// The cell's derived seed: XXH64 over the master seed, keyed by the
+// config hash. Adding, removing, or reordering cells never changes any
+// other cell's stream.
+std::uint64_t cell_seed(std::uint64_t master_seed, std::uint64_t config_hash);
+
+// XXH64 over the metric names and the raw IEEE-754 bit patterns of their
+// values, in order. Bitwise — two runs match iff every metric matches to
+// the last ulp.
+std::uint64_t fingerprint_metrics(const std::vector<Metric>& metrics);
+
+// Runs one cell: derives its seed, executes the body, stamps provenance
+// and fingerprint.
+CellResult run_cell(const CellSpec& spec, const SweepConfig& config);
+
+// Runs every cell in order. (Cells are seed-independent, so any future
+// parallel driver must only preserve result order, not execution order.)
+std::vector<CellResult> run_sweep(const std::vector<CellSpec>& cells,
+                                  const SweepConfig& config);
+
+// --- Reports ----------------------------------------------------------------
+
+// One JSON object per cell: identity, provenance, metrics (decimal value
+// plus exact bit pattern), fingerprint.
+std::string render_cell_json(const CellResult& cell);
+
+// The whole sweep as a JSON array (one render_cell_json per line).
+std::string render_sweep_json(const std::vector<CellResult>& cells);
+
+// Human-readable summary table: one row per cell with its scenario,
+// config, first metric, and fingerprint.
+std::string render_sweep_table(const std::vector<CellResult>& cells);
+
+}  // namespace rcr::sweep

@@ -1,5 +1,7 @@
 #include "synth/calibration.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace rcr::synth {
@@ -116,6 +118,7 @@ WaveParams make_2024() {
   p.years_mu = 1.8;
   p.years_sigma = 0.7;
   p.missing_rate = 0.03;
+  p.trait_boost = 0.06;
   return p;
 }
 
@@ -144,6 +147,52 @@ const WaveParams& params_for(Wave wave) {
     return p;
   }();
   return wave == Wave::k2011 ? w2011 : w2024;
+}
+
+WaveParams interpolated_params(double year) {
+  RCR_CHECK_MSG(std::isfinite(year), "wave year must be finite");
+  // Anchor years return the calibrated sets verbatim: interpolation at the
+  // endpoints must not introduce a+t*(b-a) rounding, or a wave pinned to an
+  // anchor year would drift bitwise from the legacy two-wave path.
+  if (year <= kYear2011) return params_for(Wave::k2011);
+  if (year >= kYear2024) return params_for(Wave::k2024);
+
+  const WaveParams& a = params_for(Wave::k2011);
+  const WaveParams& b = params_for(Wave::k2024);
+  const double t = (year - kYear2011) / (kYear2024 - kYear2011);
+  const auto lerp = [t](double x, double y) { return x + t * (y - x); };
+  const auto lerp_vec = [&](const std::vector<double>& x,
+                            const std::vector<double>& y) {
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = lerp(x[i], y[i]);
+    return out;
+  };
+
+  WaveParams p;
+  p.wave = t < 0.5 ? Wave::k2011 : Wave::k2024;  // nearest anchor, for labels
+  p.field_mix = lerp_vec(a.field_mix, b.field_mix);
+  p.career_mix = lerp_vec(a.career_mix, b.career_mix);
+  p.language_base = lerp_vec(a.language_base, b.language_base);
+  p.resource_base = lerp_vec(a.resource_base, b.resource_base);
+  p.model_base = lerp_vec(a.model_base, b.model_base);
+  p.se_base = lerp_vec(a.se_base, b.se_base);
+  p.tool_aware_base = lerp_vec(a.tool_aware_base, b.tool_aware_base);
+  p.tool_used_given_aware =
+      lerp_vec(a.tool_used_given_aware, b.tool_used_given_aware);
+  p.dataset_log_gb_mu = lerp(a.dataset_log_gb_mu, b.dataset_log_gb_mu);
+  p.dataset_log_gb_sigma =
+      lerp(a.dataset_log_gb_sigma, b.dataset_log_gb_sigma);
+  p.cores_log2_mu = lerp(a.cores_log2_mu, b.cores_log2_mu);
+  p.cores_log2_sd = lerp(a.cores_log2_sd, b.cores_log2_sd);
+  p.time_programming_mean =
+      lerp(a.time_programming_mean, b.time_programming_mean);
+  p.expertise_mean = lerp(a.expertise_mean, b.expertise_mean);
+  p.years_mu = lerp(a.years_mu, b.years_mu);
+  p.years_sigma = lerp(a.years_sigma, b.years_sigma);
+  p.missing_rate = lerp(a.missing_rate, b.missing_rate);
+  p.trait_boost = lerp(a.trait_boost, b.trait_boost);
+  validate(p);
+  return p;
 }
 
 double field_language_multiplier(std::size_t field, std::size_t lang) {

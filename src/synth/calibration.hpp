@@ -64,10 +64,28 @@ struct WaveParams {
 
   // Probability an optional question is left unanswered.
   double missing_rate = 0.03;
+
+  // Additive boost on the latent traits (intensity / HPC exposure / SE
+  // maturity), encoding era-wide computational drift. 0.0 for the 2011
+  // anchor, 0.06 for 2024; interpolated waves blend it like every other
+  // parameter. The generator reads this field instead of branching on
+  // `wave`, so a mid-year parameter set needs no wave enum of its own.
+  double trait_boost = 0.0;
 };
 
 // Immutable parameters for each wave.
 const WaveParams& params_for(Wave wave);
+
+// Calendar years of the two anchor waves.
+inline constexpr double kYear2011 = 2011.0;
+inline constexpr double kYear2024 = 2024.0;
+
+// Parameters for an arbitrary calendar year: linear interpolation of every
+// calibrated quantity between the 2011 and 2024 anchors, clamped outside
+// [2011, 2024]. At the anchor years this returns params_for's values
+// EXACTLY (no a + t*(b-a) float round-trip), so a study wave pinned to
+// 2011 or 2024 synthesizes byte-identically to the two-wave legacy path.
+WaveParams interpolated_params(double year);
 
 // Field-specific multiplier applied to language_base[lang] for respondents
 // in fields()[field]. Encodes e.g. "Social Sci leans R, CS leans C++".

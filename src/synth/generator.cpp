@@ -84,8 +84,9 @@ Raw generate_one(const WaveParams& p, std::uint64_t seed) {
   r.career = static_cast<std::int32_t>(rng.categorical(p.career_mix));
   const auto f = static_cast<std::size_t>(r.field);
 
-  // Latent traits.
-  const double wave_boost = p.wave == Wave::k2024 ? 0.06 : 0.0;
+  // Latent traits. The era boost is a calibrated parameter (0 in 2011,
+  // 0.06 in 2024, blended for interpolated years), not a wave branch.
+  const double wave_boost = p.trait_boost;
   const double intensity =
       clamp01(rng.beta(2.2, 2.2) + field_intensity_shift(f) + wave_boost);
   r.intensity = intensity;
@@ -303,11 +304,17 @@ void check_config(const GeneratorConfig& config) {
                 "nonresponse_strength must lie in [0, 1)");
 }
 
+// The parameter set generation runs under: an explicit override (N-wave
+// studies at interpolated years) or the wave's calibrated anchors.
+const WaveParams& resolved_params(const GeneratorConfig& config) {
+  return config.params != nullptr ? *config.params : params_for(config.wave);
+}
+
 }  // namespace
 
 data::Table generate_wave(const GeneratorConfig& config) {
   check_config(config);
-  const WaveParams& p = params_for(config.wave);
+  const WaveParams& p = resolved_params(config);
 
   std::vector<Raw> raws;
   if (config.nonresponse_strength == 0.0) {
@@ -340,7 +347,7 @@ data::Table generate_range(const GeneratorConfig& config, std::size_t first,
                 "sequence; use generate_blocks for biased sampling");
   RCR_CHECK_MSG(first + count <= config.respondents,
                 "generate_range beyond the configured population");
-  const WaveParams& p = params_for(config.wave);
+  const WaveParams& p = resolved_params(config);
   return table_from_raws(
       fill_raws(p, config.seed, first, count, config.pool));
 }
@@ -364,7 +371,7 @@ void generate_blocks(
 
   // Biased sampling: the same sequential rejection walk generate_wave runs
   // (same candidate order, same cap), emitting every block_rows acceptances.
-  const WaveParams& p = params_for(config.wave);
+  const WaveParams& p = resolved_params(config);
   std::vector<Raw> raws;
   raws.reserve(std::min(block_rows, config.respondents));
   const std::size_t cap = 200 * config.respondents + 1000;

@@ -46,6 +46,12 @@ struct GeneratorConfig {
   // sample over-represents heavy programmers. The F9 methodology
   // experiment quantifies the resulting bias and how much raking repairs.
   double nonresponse_strength = 0.0;
+  // When non-null, this parameter set drives generation instead of
+  // params_for(wave) — how N-wave studies synthesize a wave at an
+  // interpolated calendar year (calibration.hpp interpolated_params).
+  // The pointee must outlive the call. `wave` is ignored for generation
+  // when set (trait drift is a calibrated parameter, not a wave branch).
+  const WaveParams* params = nullptr;
 };
 
 // Generates one wave. The returned table validates cleanly against

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/special.hpp"
 #include "util/error.hpp"
 
 namespace rcr::synth {
@@ -76,6 +77,35 @@ double PoissonSampler::probability(std::size_t k) const {
   double p = p0_;
   for (std::size_t i = 1; i <= k; ++i) p *= lambda_ / static_cast<double>(i);
   return p;
+}
+
+BetaSampler::BetaSampler(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  RCR_CHECK_MSG(alpha > 0.0 && std::isfinite(alpha) && beta > 0.0 &&
+                    std::isfinite(beta),
+                "BetaSampler requires positive finite shape parameters");
+}
+
+double BetaSampler::sample(double u01) const {
+  RCR_CHECK_MSG(u01 >= 0.0 && u01 < 1.0,
+                "BetaSampler draw must lie in [0, 1)");
+  if (u01 == 0.0) return 0.0;
+  // Bisection on the strictly increasing CDF: 64 halvings of [0, 1]
+  // exhaust the double mantissa, so the result is draw-deterministic and
+  // platform-independent (beta_inc itself is pure arithmetic).
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 64; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (stats::beta_inc(alpha_, beta_, mid) < u01)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double BetaSampler::cdf(double x) const {
+  return stats::beta_inc(alpha_, beta_, x);
 }
 
 double log_uniform(double lo, double hi, double u01) {

@@ -87,6 +87,42 @@ class PoissonSampler {
   double p0_;  // e^-lambda, the walk's starting mass
 };
 
+// Beta(alpha, beta) values in [0, 1] by inverse CDF: the draw u is mapped
+// to the x with I_x(alpha, beta) = u, where I is the regularized
+// incomplete beta function (stats::beta_inc), found by bisection — the
+// CDF is continuous and strictly increasing on (0, 1), so ~64 halvings
+// pin x to one double ulp. One draw in, one value out, monotone in u, no
+// rejection loops. This is the population-heterogeneity workhorse the
+// roadmap's distribution checklist closes on: per-respondent adoption
+// propensities, latent trait mixes, and sweep-cell prevalence variants
+// all want a bounded two-parameter shape.
+class BetaSampler {
+ public:
+  // alpha > 0, beta > 0, finite.
+  BetaSampler(double alpha, double beta);
+
+  // Maps one uniform draw u in [0, 1) to a value in [0, 1]; monotone in u.
+  double sample(double u01) const;
+
+  // CDF at x — I_x(alpha, beta); closed-form check target for the tests
+  // (sample() inverts exactly this).
+  double cdf(double x) const;
+
+  // Closed moments the unit tests pin the empirical ones against.
+  double mean() const { return alpha_ / (alpha_ + beta_); }
+  double variance() const {
+    const double s = alpha_ + beta_;
+    return alpha_ * beta_ / (s * s * (s + 1.0));
+  }
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
 // Log-uniform value in [lo, hi) from one uniform draw:
 //   exp(log lo + (log hi - log lo) * u).
 // The scale-free spread for quantities whose order of magnitude, not

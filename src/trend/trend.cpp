@@ -75,21 +75,32 @@ ShareTrend trend_from_counts(const std::string& indicator, double count1,
   return build_trend(indicator, count1, n1, count2, n2, confidence);
 }
 
+void append_share_trends(std::vector<ShareTrend>& out,
+                         const std::vector<data::OptionShare>& wave1,
+                         const std::vector<data::OptionShare>& wave2,
+                         double confidence) {
+  RCR_CHECK_MSG(wave1.size() == wave2.size(),
+                "waves disagree on the option set: " +
+                    std::to_string(wave1.size()) + " vs " +
+                    std::to_string(wave2.size()) + " options");
+  out.reserve(out.size() + wave1.size());
+  for (std::size_t o = 0; o < wave1.size(); ++o) {
+    RCR_CHECK_MSG(wave1[o].label == wave2[o].label,
+                  "waves disagree on the option set at index " +
+                      std::to_string(o) + ": '" + wave1[o].label + "' vs '" +
+                      wave2[o].label + "'");
+    out.push_back(trend_from_counts(wave1[o].label, wave1[o].count,
+                                    wave1[o].total, wave2[o].count,
+                                    wave2[o].total, confidence));
+  }
+}
+
 std::vector<ShareTrend> option_battery_from_shares(
     const std::vector<data::OptionShare>& wave1,
     const std::vector<data::OptionShare>& wave2, double alpha,
     double confidence) {
-  RCR_CHECK_MSG(wave1.size() == wave2.size(),
-                "waves disagree on the option set");
   std::vector<ShareTrend> trends;
-  trends.reserve(wave1.size());
-  for (std::size_t o = 0; o < wave1.size(); ++o) {
-    RCR_CHECK_MSG(wave1[o].label == wave2[o].label,
-                  "waves disagree on the option set");
-    trends.push_back(trend_from_counts(wave1[o].label, wave1[o].count,
-                                       wave1[o].total, wave2[o].count,
-                                       wave2[o].total, confidence));
-  }
+  append_share_trends(trends, wave1, wave2, confidence);
   adjust_and_classify(trends, alpha);
   return trends;
 }
@@ -177,17 +188,132 @@ std::vector<ShareTrend> per_group_trend(const data::Table& wave1,
   const auto& groups2 = wave2.categorical(group_column);
   RCR_CHECK_MSG(groups1.categories() == groups2.categories(),
                 "waves disagree on the categories of '" + group_column + "'");
+  // The gate counts rows that ANSWERED the option column (the header's
+  // contract, and the n the z-test actually runs on) — a group padded with
+  // missing answers must not sneak a tiny-denominator test into the family.
+  const auto answered_rows = [&option_column](const data::Table& g) {
+    const auto& col = g.multiselect(option_column);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < col.size(); ++i)
+      if (!col.is_missing(i)) ++n;
+    return n;
+  };
   std::vector<ShareTrend> trends;
   for (const auto& label : groups1.categories()) {
     const data::Table g1 = wave1.filter_equals(group_column, label);
     const data::Table g2 = wave2.filter_equals(group_column, label);
-    if (g1.row_count() < min_group_n || g2.row_count() < min_group_n)
+    if (answered_rows(g1) < min_group_n || answered_rows(g2) < min_group_n)
       continue;
     auto t = compare_option(g1, g2, option_column, option, confidence);
     t.indicator = label;
     trends.push_back(std::move(t));
   }
   adjust_and_classify(trends, alpha);
+  return trends;
+}
+
+MultiWaveTrend multi_wave_trend_from_counts(const std::string& indicator,
+                                            const std::vector<WaveCount>& waves,
+                                            double confidence) {
+  RCR_CHECK_MSG(waves.size() >= 2, "multi-wave trend '" + indicator +
+                                       "' needs at least two waves");
+  MultiWaveTrend t;
+  t.indicator = indicator;
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    const WaveCount& wc = waves[w];
+    RCR_CHECK_MSG(wc.n > 0.0, "trend '" + indicator + "': wave " +
+                                  std::to_string(w) + " has no answered rows");
+    RCR_CHECK_MSG(wc.count >= 0.0 && wc.count <= wc.n,
+                  "trend '" + indicator + "': wave " + std::to_string(w) +
+                      " count exceeds its answered rows");
+    if (w > 0)
+      RCR_CHECK_MSG(wc.year > waves[w - 1].year,
+                    "trend '" + indicator +
+                        "': waves must be strictly time-ordered");
+    t.years.push_back(wc.year);
+    t.counts.push_back(wc.count);
+    t.ns.push_back(wc.n);
+    t.shares.push_back(stats::wilson_ci(wc.count, wc.n, confidence));
+  }
+  // Piecewise tests; same convention as ShareTrend (p1 = the later wave,
+  // so diff > 0 reads "the share rose over this segment"). With two waves
+  // the single segment IS trend_from_counts's z-test.
+  for (std::size_t s = 0; s + 1 < waves.size(); ++s) {
+    t.segments.push_back(stats::two_proportion_test(
+        waves[s + 1].count, waves[s + 1].n, waves[s].count, waves[s].n,
+        confidence));
+  }
+  t.segment_p_adjusted.assign(t.segments.size(), 1.0);
+  // Overall W×2 chi-square: selected vs not, one row per wave.
+  stats::Contingency table(waves.size(), 2);
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    table.at(w, 0) = waves[w].count;
+    table.at(w, 1) = waves[w].n - waves[w].count;
+  }
+  t.overall = stats::chi_square_independence(table.without_empty_margins());
+  return t;
+}
+
+void adjust_and_classify_multi(std::vector<MultiWaveTrend>& trends,
+                               double alpha, Multiplicity method) {
+  RCR_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+  if (trends.empty()) return;
+  // ONE family across the whole battery: every indicator's overall test
+  // plus all of its segment tests, adjusted together.
+  std::vector<double> raw;
+  for (const auto& t : trends) {
+    raw.push_back(t.overall.p_value);
+    for (const auto& s : t.segments) raw.push_back(s.p_value);
+  }
+  const auto adjusted = method == Multiplicity::kHolm
+                            ? stats::holm_adjust(raw)
+                            : stats::benjamini_hochberg_adjust(raw);
+  std::size_t i = 0;
+  for (auto& t : trends) {
+    t.overall_p_adjusted = adjusted[i++];
+    for (std::size_t s = 0; s < t.segments.size(); ++s)
+      t.segment_p_adjusted[s] = adjusted[i++];
+    if (t.overall_p_adjusted < alpha) {
+      const double net = t.shares.back().estimate - t.shares.front().estimate;
+      t.direction = net > 0.0 ? Direction::kIncrease : Direction::kDecrease;
+    } else {
+      t.direction = Direction::kStable;
+    }
+  }
+}
+
+std::vector<MultiWaveTrend> multi_wave_option_battery(
+    const std::vector<double>& years,
+    const std::vector<std::vector<data::OptionShare>>& waves, double alpha,
+    Multiplicity method, double confidence) {
+  RCR_CHECK_MSG(waves.size() >= 2, "battery needs at least two waves");
+  RCR_CHECK_MSG(years.size() == waves.size(),
+                "battery needs exactly one year per wave");
+  const std::size_t options = waves.front().size();
+  for (std::size_t w = 1; w < waves.size(); ++w) {
+    RCR_CHECK_MSG(waves[w].size() == options,
+                  "wave " + std::to_string(w) +
+                      " disagrees on the option set: " +
+                      std::to_string(waves[w].size()) + " vs " +
+                      std::to_string(options) + " options");
+    for (std::size_t o = 0; o < options; ++o)
+      RCR_CHECK_MSG(waves[w][o].label == waves[0][o].label,
+                    "wave " + std::to_string(w) +
+                        " disagrees on the option set at index " +
+                        std::to_string(o) + ": '" + waves[0][o].label +
+                        "' vs '" + waves[w][o].label + "'");
+  }
+  std::vector<MultiWaveTrend> trends;
+  trends.reserve(options);
+  for (std::size_t o = 0; o < options; ++o) {
+    std::vector<WaveCount> counts;
+    counts.reserve(waves.size());
+    for (std::size_t w = 0; w < waves.size(); ++w)
+      counts.push_back({years[w], waves[w][o].count, waves[w][o].total});
+    trends.push_back(
+        multi_wave_trend_from_counts(waves[0][o].label, counts, confidence));
+  }
+  adjust_and_classify_multi(trends, alpha, method);
   return trends;
 }
 

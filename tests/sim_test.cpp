@@ -184,6 +184,59 @@ TEST(ForkJoinTest, RejectsBadInput) {
   EXPECT_THROW(simulate_fork_join(std::vector<double>{-1.0}, 1), rcr::Error);
 }
 
+// Brute-force reference scheduler: the core-free times as a plain array,
+// each task assigned by a linear scan for the minimum. Same greedy policy
+// the heap implements — but independent code, so the property test below
+// catches any heap bookkeeping slip (the "more cores than tasks" branch
+// the heap path once carried was unreachable precisely because the heap
+// is seeded with min(cores, tasks) slots; this reference pins the
+// behavior that branch claimed to handle).
+double brute_force_list_schedule(const std::vector<double>& tasks,
+                                 std::size_t cores) {
+  std::vector<double> free_at(std::min(cores, tasks.size()), 0.0);
+  double makespan = 0.0;
+  for (double d : tasks) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < free_at.size(); ++c)
+      if (free_at[c] < free_at[best]) best = c;
+    free_at[best] += d;
+    makespan = std::max(makespan, free_at[best]);
+  }
+  return makespan;
+}
+
+TEST(ForkJoinTest, MatchesBruteForceScheduleOnRandomTaskSets) {
+  // Deterministic pseudo-random task sets: sizes crossing the task/core
+  // boundary in both directions, including the tasks < cores regime the
+  // removed dead branch claimed to serve.
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 40) / static_cast<double>(1 << 24);
+  };
+  for (std::size_t n : {1u, 3u, 7u, 16u, 61u}) {
+    for (std::size_t cores : {1u, 2u, 5u, 16u, 64u}) {
+      std::vector<double> tasks(n);
+      for (double& d : tasks) d = next() * 10.0;
+      const double expected = brute_force_list_schedule(tasks, cores);
+      EXPECT_DOUBLE_EQ(simulate_fork_join(tasks, cores), expected)
+          << "n=" << n << " cores=" << cores;
+    }
+  }
+}
+
+TEST(ForkJoinTest, MoreCoresThanTasksIsBoundedByLongestTask) {
+  // tasks <= cores: every task starts at 0 on its own core, so the
+  // parallel phase is exactly max(duration) and the overheads add on top.
+  const std::vector<double> tasks = {0.5, 2.5, 1.0};
+  EXPECT_DOUBLE_EQ(simulate_fork_join(tasks, 3), 2.5);
+  EXPECT_DOUBLE_EQ(simulate_fork_join(tasks, 1000), 2.5);
+  EXPECT_DOUBLE_EQ(simulate_fork_join(tasks, 8, 0.25, 0.125), 2.875);
+  // Empty task list: just the serial and barrier terms.
+  EXPECT_DOUBLE_EQ(simulate_fork_join(std::vector<double>{}, 4, 1.5, 0.5),
+                   2.0);
+}
+
 // --- cluster queueing -------------------------------------------------------------
 
 JobStreamConfig light_config() {

@@ -1,0 +1,169 @@
+// rcr::sweep — provenance stamping, fingerprint reproducibility, and the
+// standard scenario catalog.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sweep/scenarios.hpp"
+#include "sweep/sweep.hpp"
+#include "util/error.hpp"
+
+namespace rcr::sweep {
+namespace {
+
+CellSpec toy_cell(const std::string& id = "toy-a", double knob = 1.5) {
+  CellSpec spec;
+  spec.id = id;
+  spec.scenario = "toy";
+  spec.config = "scenario=toy knob=" + std::to_string(knob);
+  spec.run = [knob](const CellContext& ctx) {
+    return std::vector<Metric>{
+        {"knob_echo", knob},
+        {"seed_low_bits", static_cast<double>(ctx.seed & 0xFFFF)},
+    };
+  };
+  return spec;
+}
+
+TEST(SweepTest, StampsFullProvenance) {
+  SweepConfig cfg;
+  cfg.seed = 99;
+  const CellResult r = run_cell(toy_cell(), cfg);
+  EXPECT_EQ(r.provenance.master_seed, 99u);
+  EXPECT_EQ(r.provenance.config_hash, config_hash(toy_cell().config));
+  EXPECT_EQ(r.provenance.cell_seed, cell_seed(99, r.provenance.config_hash));
+  EXPECT_NE(r.provenance.config_hash, 0u);
+  EXPECT_NE(r.provenance.cell_seed, 0u);
+  EXPECT_FALSE(r.provenance.simd_isa.empty());
+  EXPECT_EQ(r.provenance.threads, 0u);  // serial run
+  EXPECT_EQ(r.fingerprint, fingerprint_metrics(r.metrics));
+
+  parallel::ThreadPool pool(3);
+  cfg.pool = &pool;
+  EXPECT_EQ(run_cell(toy_cell(), cfg).provenance.threads, 3u);
+}
+
+TEST(SweepTest, ReRunningACellReproducesItsFingerprint) {
+  SweepConfig cfg;
+  cfg.seed = 4242;
+  const CellResult first = run_cell(toy_cell(), cfg);
+  const CellResult again = run_cell(toy_cell(), cfg);
+  EXPECT_EQ(first.fingerprint, again.fingerprint);
+  EXPECT_EQ(first.provenance.cell_seed, again.provenance.cell_seed);
+  // The recorded provenance alone is enough to replay the cell.
+  SweepConfig replay;
+  replay.seed = first.provenance.master_seed;
+  EXPECT_EQ(run_cell(toy_cell(), replay).fingerprint, first.fingerprint);
+}
+
+TEST(SweepTest, FingerprintIsBitwiseOverMetrics) {
+  const std::vector<Metric> m = {{"a", 0.1}, {"b", -3.0}};
+  EXPECT_EQ(fingerprint_metrics(m), fingerprint_metrics(m));
+  // Any change — value (by one ulp), name, or order — changes the hash.
+  std::vector<Metric> ulp = m;
+  double v = ulp[0].value;
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  ++bits;
+  std::memcpy(&v, &bits, sizeof v);
+  ulp[0].value = v;
+  EXPECT_NE(fingerprint_metrics(ulp), fingerprint_metrics(m));
+  std::vector<Metric> renamed = m;
+  renamed[1].name = "c";
+  EXPECT_NE(fingerprint_metrics(renamed), fingerprint_metrics(m));
+  const std::vector<Metric> reordered = {m[1], m[0]};
+  EXPECT_NE(fingerprint_metrics(reordered), fingerprint_metrics(m));
+}
+
+TEST(SweepTest, CellSeedsAreIndependentOfCatalogOrder) {
+  // Seeds derive from (master, config) only, so reordering or subsetting
+  // the catalog never perturbs a cell's stream.
+  SweepConfig cfg;
+  cfg.seed = 7;
+  const auto ab = run_sweep({toy_cell("a", 1.0), toy_cell("b", 2.0)}, cfg);
+  const auto ba = run_sweep({toy_cell("b", 2.0), toy_cell("a", 1.0)}, cfg);
+  ASSERT_EQ(ab.size(), 2u);
+  EXPECT_EQ(ab[0].fingerprint, ba[1].fingerprint);
+  EXPECT_EQ(ab[1].fingerprint, ba[0].fingerprint);
+  EXPECT_NE(ab[0].fingerprint, ab[1].fingerprint);  // different configs
+  EXPECT_NE(ab[0].provenance.cell_seed, ab[1].provenance.cell_seed);
+}
+
+TEST(SweepTest, ValidatesItsInputs) {
+  SweepConfig cfg;
+  CellSpec no_id = toy_cell();
+  no_id.id.clear();
+  EXPECT_THROW(run_cell(no_id, cfg), rcr::Error);
+  CellSpec no_body = toy_cell();
+  no_body.run = nullptr;
+  EXPECT_THROW(run_cell(no_body, cfg), rcr::Error);
+  CellSpec no_metrics = toy_cell();
+  no_metrics.run = [](const CellContext&) { return std::vector<Metric>{}; };
+  EXPECT_THROW(run_cell(no_metrics, cfg), rcr::Error);
+}
+
+TEST(SweepTest, CellJsonCarriesProvenanceAndExactBits) {
+  SweepConfig cfg;
+  cfg.seed = 5;
+  const CellResult r = run_cell(toy_cell(), cfg);
+  const std::string json = render_cell_json(r);
+  for (const char* key :
+       {"\"id\"", "\"scenario\"", "\"config\"", "\"master_seed\"",
+        "\"cell_seed\"", "\"threads\"", "\"simd_isa\"", "\"config_hash\"",
+        "\"metrics\"", "\"bits\"", "\"fingerprint\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  const std::string table = render_sweep_table({r});
+  EXPECT_NE(table.find("toy-a"), std::string::npos);
+  EXPECT_NE(render_sweep_json({r}).find(json), std::string::npos);
+}
+
+TEST(SweepCatalogTest, StandardCatalogIsWellFormed) {
+  const auto cells = standard_catalog();
+  EXPECT_EQ(cells.size(), amdahl_ablation_grid().size() +
+                              queue_policy_grid().size() +
+                              network_contention_grid().size() +
+                              population_grid().size() +
+                              beta_trait_grid().size());
+  std::set<std::string> ids;
+  std::set<std::uint64_t> hashes;
+  for (const auto& c : cells) {
+    EXPECT_FALSE(c.id.empty());
+    EXPECT_FALSE(c.scenario.empty());
+    EXPECT_TRUE(c.run != nullptr) << c.id;
+    EXPECT_TRUE(ids.insert(c.id).second) << "duplicate id " << c.id;
+    EXPECT_TRUE(hashes.insert(config_hash(c.config)).second)
+        << "duplicate config " << c.config;
+  }
+}
+
+TEST(SweepCatalogTest, CatalogCellsArePoolInvariant) {
+  // One representative cell per family: serial fingerprint == pooled
+  // fingerprint (the engines underneath are bitwise pool-invariant).
+  SweepConfig serial;
+  serial.seed = 7;
+  parallel::ThreadPool pool(4);
+  SweepConfig pooled;
+  pooled.seed = 7;
+  pooled.pool = &pool;
+  for (const auto& grid :
+       {amdahl_ablation_grid(), queue_policy_grid(),
+        network_contention_grid(), population_grid(), beta_trait_grid()}) {
+    ASSERT_FALSE(grid.empty());
+    const auto& cell = grid.front();
+    const CellResult a = run_cell(cell, serial);
+    const CellResult b = run_cell(cell, pooled);
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << cell.id;
+    ASSERT_EQ(a.metrics.size(), b.metrics.size());
+    for (std::size_t i = 0; i < a.metrics.size(); ++i)
+      EXPECT_DOUBLE_EQ(a.metrics[i].value, b.metrics[i].value)
+          << cell.id << ":" << a.metrics[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace rcr::sweep

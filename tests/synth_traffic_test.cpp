@@ -226,6 +226,70 @@ TEST(LogUniformTest, MomentsMatchClosedFormWithFixedSeed) {
               log_var, 0.05 * log_var);
 }
 
+TEST(BetaSamplerTest, ValidatesParameters) {
+  EXPECT_THROW(BetaSampler(0.0, 1.0), Error);
+  EXPECT_THROW(BetaSampler(1.0, -2.0), Error);
+  EXPECT_THROW(BetaSampler(2.0, 5.0).sample(1.0), Error);
+  EXPECT_THROW(BetaSampler(2.0, 5.0).sample(-0.1), Error);
+  EXPECT_NO_THROW(BetaSampler(0.5, 0.5));
+  EXPECT_NO_THROW(BetaSampler(80.0, 3.0));
+}
+
+TEST(BetaSamplerTest, InvertsItsOwnCdf) {
+  const BetaSampler beta(2.5, 4.0);
+  EXPECT_DOUBLE_EQ(beta.sample(0.0), 0.0);
+  // The sample is the x with cdf(x) == u, up to the bisection's terminal
+  // bracket (one ulp of x, amplified through the local density).
+  double prev = 0.0;
+  for (double u = 0.05; u < 1.0; u += 0.05) {
+    const double x = beta.sample(u);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    EXPECT_NEAR(beta.cdf(x), u, 1e-12);
+    EXPECT_GE(x, prev);  // monotone in the draw
+    prev = x;
+  }
+  // Median of the symmetric Beta(a, a) is exactly 1/2.
+  EXPECT_NEAR(BetaSampler(3.0, 3.0).sample(0.5), 0.5, 1e-12);
+}
+
+TEST(BetaSamplerTest, ClosedMomentsMatchTheFormulas) {
+  const BetaSampler beta(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(beta.mean(), 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(beta.variance(), 10.0 / (49.0 * 8.0));
+  // Beta(1, 1) is Uniform(0, 1): the inverse CDF is the identity.
+  const BetaSampler uniform(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(uniform.mean(), 0.5);
+  EXPECT_NEAR(uniform.variance(), 1.0 / 12.0, 1e-15);
+  for (double u = 0.1; u < 1.0; u += 0.2)
+    EXPECT_NEAR(uniform.sample(u), u, 1e-12);
+}
+
+TEST(BetaSamplerTest, EmpiricalMomentsMatchClosedFormWithFixedSeed) {
+  for (const auto& [a, b] : {std::pair{2.0, 5.0}, std::pair{5.0, 2.0},
+                             std::pair{0.5, 0.5}}) {
+    const BetaSampler beta(a, b);
+    constexpr std::size_t kDraws = 50000;
+    Rng rng(31337);
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < kDraws; ++i) {
+      const double x = beta.sample(rng.next_double());
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double mean = sum / kDraws;
+    const double var = sum_sq / kDraws - mean * mean;
+    // 4-sigma band on the sample mean; variance gets a 5% relative band.
+    EXPECT_NEAR(mean, beta.mean(),
+                4.0 * std::sqrt(beta.variance() / kDraws))
+        << "a=" << a << " b=" << b;
+    EXPECT_NEAR(var, beta.variance(), 0.05 * beta.variance())
+        << "a=" << a << " b=" << b;
+  }
+}
+
 TEST(TrafficTest, PureFunctionsAreDeterministicAcrossGenerators) {
   const ZipfSampler zipf(64, 0.9);
   // Same draws, same samples — regardless of which generator made them.

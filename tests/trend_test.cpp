@@ -153,6 +153,173 @@ TEST(DistributionShiftTest, NoShiftHighP) {
   EXPECT_GT(r.p_value, 0.9);
 }
 
+// Two waves with a grouping column: group "A" answers the multi-select
+// fully; group "B" is padded with rows whose answer is MISSING, so its
+// row count clears any small threshold while its answered count does not.
+data::Table make_grouped_wave(std::size_t b_answered, std::size_t b_missing,
+                              std::size_t b_hits) {
+  data::Table t;
+  auto& g = t.add_categorical("g", {"A", "B"});
+  auto& m = t.add_multiselect("m", {"x", "y"});
+  for (std::size_t i = 0; i < 12; ++i) {  // group A: 12 answered rows
+    g.push("A");
+    m.push_mask(i < 6 ? 0b01 : 0b10);
+  }
+  for (std::size_t i = 0; i < b_answered; ++i) {
+    g.push("B");
+    m.push_mask(i < b_hits ? 0b01 : 0b10);
+  }
+  for (std::size_t i = 0; i < b_missing; ++i) {
+    g.push("B");
+    m.push_missing();
+  }
+  return t;
+}
+
+TEST(PerGroupTrendTest, GateCountsAnsweredRowsNotGroupSize) {
+  // Group B has 8 rows in each wave — over the min_group_n=5 gate by raw
+  // row count — but only 3 of them actually answered the multi-select.
+  // The header's contract gates on ANSWERED rows, so B must be skipped;
+  // the pre-fix code gated on row_count() and let B through with its
+  // 3-row "sample".
+  const auto w1 = make_grouped_wave(3, 5, 1);
+  const auto w2 = make_grouped_wave(3, 5, 2);
+  const auto battery = per_group_trend(w1, w2, "g", "m", "x", 5);
+  ASSERT_EQ(battery.size(), 1u);
+  EXPECT_EQ(battery[0].indicator, "A");
+
+  // With every B row answering, B clears the same gate.
+  const auto full1 = make_grouped_wave(8, 0, 2);
+  const auto full2 = make_grouped_wave(8, 0, 6);
+  const auto both = per_group_trend(full1, full2, "g", "m", "x", 5);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0].indicator, "A");
+  EXPECT_EQ(both[1].indicator, "B");
+}
+
+// --- share-vector pairing validation ----------------------------------------
+
+data::OptionShare share_of(const std::string& label, double count,
+                           double total) {
+  data::OptionShare s;
+  s.label = label;
+  s.count = count;
+  s.total = total;
+  return s;
+}
+
+TEST(AppendShareTrendsTest, MatchedWavesReproduceTrendFromCounts) {
+  const std::vector<data::OptionShare> w1 = {share_of("x", 10, 100),
+                                             share_of("y", 40, 100)};
+  const std::vector<data::OptionShare> w2 = {share_of("x", 300, 600),
+                                             share_of("y", 120, 600)};
+  std::vector<ShareTrend> out;
+  append_share_trends(out, w1, w2);
+  ASSERT_EQ(out.size(), 2u);
+  const auto direct = trend_from_counts("x", 10, 100, 300, 600);
+  EXPECT_DOUBLE_EQ(out[0].test.p_value, direct.test.p_value);
+  EXPECT_DOUBLE_EQ(out[0].test.diff, direct.test.diff);
+}
+
+TEST(AppendShareTrendsTest, ShuffledOptionOrderFailsLoudly) {
+  // Same option set, different order: silent index pairing would compare
+  // "x" against "y". The validated path throws, naming the mismatch.
+  const std::vector<data::OptionShare> w1 = {share_of("x", 10, 100),
+                                             share_of("y", 40, 100)};
+  const std::vector<data::OptionShare> shuffled = {share_of("y", 120, 600),
+                                                   share_of("x", 300, 600)};
+  std::vector<ShareTrend> out;
+  EXPECT_THROW(append_share_trends(out, w1, shuffled), rcr::Error);
+  EXPECT_THROW(option_battery_from_shares(w1, shuffled), rcr::Error);
+  try {
+    option_battery_from_shares(w1, shuffled);
+    FAIL() << "expected a label-mismatch error";
+  } catch (const rcr::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("x"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("y"), std::string::npos) << msg;
+  }
+}
+
+TEST(AppendShareTrendsTest, MissingOptionFailsLoudly) {
+  const std::vector<data::OptionShare> w1 = {share_of("x", 10, 100),
+                                             share_of("y", 40, 100)};
+  // One wave dropped an option entirely: sizes disagree.
+  const std::vector<data::OptionShare> missing = {share_of("x", 300, 600)};
+  std::vector<ShareTrend> out;
+  EXPECT_THROW(append_share_trends(out, w1, missing), rcr::Error);
+  EXPECT_THROW(option_battery_from_shares(w1, missing), rcr::Error);
+}
+
+// --- N-wave trends ----------------------------------------------------------
+
+TEST(MultiWaveTrendTest, ValidatesItsCounts) {
+  EXPECT_THROW(
+      multi_wave_trend_from_counts("i", {{2011.0, 1.0, 10.0}}), rcr::Error);
+  EXPECT_THROW(multi_wave_trend_from_counts(
+                   "i", {{2024.0, 1.0, 10.0}, {2011.0, 2.0, 10.0}}),
+               rcr::Error);
+  EXPECT_THROW(multi_wave_trend_from_counts(
+                   "i", {{2011.0, 11.0, 10.0}, {2024.0, 2.0, 10.0}}),
+               rcr::Error);
+  EXPECT_THROW(multi_wave_trend_from_counts(
+                   "i", {{2011.0, 0.0, 0.0}, {2024.0, 2.0, 10.0}}),
+               rcr::Error);
+}
+
+TEST(MultiWaveTrendTest, TwoWaveSegmentIsExactlyTheTwoWaveTest) {
+  const auto multi = multi_wave_trend_from_counts(
+      "x", {{2011.0, 10.0, 100.0}, {2024.0, 300.0, 600.0}});
+  const auto two = trend_from_counts("x", 10, 100, 300, 600);
+  ASSERT_EQ(multi.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(multi.segments[0].p_value, two.test.p_value);
+  EXPECT_DOUBLE_EQ(multi.segments[0].diff, two.test.diff);
+  EXPECT_DOUBLE_EQ(multi.shares[0].estimate, two.share1.estimate);
+  EXPECT_DOUBLE_EQ(multi.shares[1].estimate, two.share2.estimate);
+  EXPECT_DOUBLE_EQ(multi.shares[0].lo, two.share1.lo);
+  EXPECT_DOUBLE_EQ(multi.shares[1].hi, two.share2.hi);
+}
+
+TEST(MultiWaveTrendTest, ThreeWaveBatteryOneHolmFamily) {
+  // "x" rises monotonically and hugely; "y" is flat.
+  const std::vector<double> years = {2011.0, 2017.0, 2024.0};
+  const std::vector<std::vector<data::OptionShare>> waves = {
+      {share_of("x", 10, 100), share_of("y", 30, 100)},
+      {share_of("x", 150, 300), share_of("y", 92, 300)},
+      {share_of("x", 540, 600), share_of("y", 180, 600)},
+  };
+  const auto battery = multi_wave_option_battery(years, waves);
+  ASSERT_EQ(battery.size(), 2u);
+  const auto& x = battery[0];
+  const auto& y = battery[1];
+  EXPECT_EQ(x.indicator, "x");
+  ASSERT_EQ(x.segments.size(), 2u);
+  EXPECT_EQ(x.direction, Direction::kIncrease);
+  EXPECT_LT(x.overall_p_adjusted, 0.05);
+  // Both of x's piecewise segments rise significantly even after sharing
+  // one Holm family with the whole battery.
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_GT(x.segments[s].diff, 0.0);
+    EXPECT_LT(x.segment_p_adjusted[s], 0.05);
+    // One family: adjusted never below raw.
+    EXPECT_GE(x.segment_p_adjusted[s], x.segments[s].p_value);
+  }
+  EXPECT_EQ(y.direction, Direction::kStable);
+  EXPECT_GE(y.overall_p_adjusted, y.overall.p_value);
+}
+
+TEST(MultiWaveTrendTest, BatteryValidatesLabelAlignmentAcrossEveryWave) {
+  const std::vector<double> years = {2011.0, 2017.0, 2024.0};
+  const std::vector<std::vector<data::OptionShare>> mismatched = {
+      {share_of("x", 10, 100), share_of("y", 30, 100)},
+      {share_of("x", 150, 300), share_of("y", 92, 300)},
+      {share_of("y", 180, 600), share_of("x", 540, 600)},  // shuffled
+  };
+  EXPECT_THROW(multi_wave_option_battery(years, mismatched), rcr::Error);
+  EXPECT_THROW(multi_wave_option_battery({2011.0, 2017.0}, mismatched),
+               rcr::Error);  // years/waves size mismatch
+}
+
 TEST(DirectionLabelTest, Labels) {
   EXPECT_STREQ(direction_label(Direction::kIncrease), "increase");
   EXPECT_STREQ(direction_label(Direction::kDecrease), "decrease");
